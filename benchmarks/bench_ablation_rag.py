@@ -1,0 +1,30 @@
+"""Ablation — RAG configuration sweep (selected documents, threshold, chunk window).
+
+Mirrors the configuration-selection experiments published in the paper's
+repository: the benchmark reports F1 for variants of the Table 4 settings.
+"""
+
+from conftest import run_once
+
+from repro.benchmark import ablation_rag_configuration
+from repro.evaluation import format_table
+
+
+def test_benchmark_ablation_rag_configuration(benchmark, runner):
+    rows = run_once(
+        benchmark, ablation_rag_configuration, runner,
+        dataset_name="factbench", model_name="gemma2:9b", max_facts=30,
+    )
+    assert len(rows) >= 5
+    print()
+    print(
+        format_table(
+            ["k_d", "threshold", "chunk window", "F1(T)", "F1(F)"],
+            [
+                [row["selected_documents"], row["relevance_threshold"], row["chunk_window"],
+                 row["f1_true"], row["f1_false"]]
+                for row in rows
+            ],
+            title="Ablation: RAG configuration sweep (Gemma2, FactBench subsample)",
+        )
+    )

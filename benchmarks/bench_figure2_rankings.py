@@ -1,0 +1,30 @@
+"""Figure 2 — configurations ranked by mean F1(T) and F1(F), with the random baseline."""
+
+from conftest import run_once
+
+from repro.benchmark import figure2_ranked_f1
+from repro.evaluation import format_ranking_series
+
+
+def test_benchmark_figure2_ranked_f1(benchmark, runner):
+    figure = run_once(benchmark, figure2_ranked_f1, runner)
+    assert figure["ranked_by_f1_true"] and figure["ranked_by_f1_false"]
+    assert figure["random_guess_f1_true"] > figure["random_guess_f1_false"]
+    print()
+    print(
+        format_ranking_series(
+            figure["ranked_by_f1_true"],
+            metric="f1_true",
+            baseline=figure["random_guess_f1_true"],
+            title="Figure 2 (left): configurations ranked by mean F1(T)",
+        )
+    )
+    print()
+    print(
+        format_ranking_series(
+            figure["ranked_by_f1_false"],
+            metric="f1_false",
+            baseline=figure["random_guess_f1_false"],
+            title="Figure 2 (right): configurations ranked by mean F1(F)",
+        )
+    )

@@ -1,0 +1,24 @@
+"""Figure 3 — trade-off between execution time and F1 with the Pareto frontier."""
+
+from conftest import run_once
+
+from repro.benchmark import figure3_pareto
+from repro.evaluation import format_pareto_points
+
+
+def test_benchmark_figure3_pareto(benchmark, runner):
+    figure = run_once(benchmark, figure3_pareto, runner)
+    points = figure["points"]
+    frontier = figure["frontier_f1_false"]
+    assert points and frontier
+    assert frontier[0].method in ("dka", "giv-z"), "the fast end of the frontier is internal-knowledge"
+    print()
+    print(format_pareto_points(points, frontier, title="Figure 3: time vs F1(F) trade-off"))
+    print()
+    print(
+        format_pareto_points(
+            points,
+            figure["frontier_f1_true"],
+            title="Figure 3 (companion): time vs F1(T) trade-off",
+        )
+    )

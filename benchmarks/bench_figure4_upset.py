@@ -1,0 +1,18 @@
+"""Figure 4 — intersections of correct predictions across the four open-source models."""
+
+from conftest import run_once
+
+from repro.benchmark import figure4_upset
+from repro.evaluation import format_upset
+
+
+def test_benchmark_figure4_upset(benchmark, runner):
+    cells_by_method = run_once(benchmark, figure4_upset, runner)
+    total_facts = sum(len(runner.dataset(name)) for name in runner.config.datasets)
+    for method, cells in cells_by_method.items():
+        assert cells
+        assert sum(cell.count for cell in cells) <= total_facts
+    print()
+    for method, cells in cells_by_method.items():
+        print(format_upset(cells, title=f"Figure 4 ({method}): correct-prediction intersections"))
+        print()

@@ -1,0 +1,29 @@
+"""§4.1 — statistics of the RAG corpus and the generated questions."""
+
+from conftest import run_once
+
+from repro.benchmark import rag_corpus_statistics
+from repro.evaluation import format_table
+
+
+def test_benchmark_rag_corpus_statistics(benchmark, runner):
+    stats = run_once(benchmark, rag_corpus_statistics, runner)
+    for dataset_stats in stats.values():
+        assert 0.6 <= dataset_stats["text_coverage_rate"] <= 1.0
+        assert dataset_stats["questions_per_fact"] >= 2
+    print()
+    columns = [
+        "num_documents",
+        "mean_docs_per_fact",
+        "text_coverage_rate",
+        "questions_per_fact",
+        "question_similarity_mean",
+        "question_similarity_high_share",
+    ]
+    print(
+        format_table(
+            ["dataset"] + columns,
+            [[name] + [values.get(column, 0.0) for column in columns] for name, values in stats.items()],
+            title="RAG dataset statistics (paper section 4.1, reduced scale)",
+        )
+    )

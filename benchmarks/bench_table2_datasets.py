@@ -1,0 +1,28 @@
+"""Table 2 — dataset statistics (facts, predicates, facts/entity, gold accuracy)."""
+
+from conftest import run_once
+
+from repro.benchmark import table2_dataset_statistics
+from repro.evaluation import format_table
+
+
+def test_benchmark_table2_dataset_statistics(benchmark, runner):
+    rows = run_once(benchmark, table2_dataset_statistics, runner)
+    assert {row["dataset"] for row in rows} == set(runner.config.datasets)
+    print()
+    print(
+        format_table(
+            ["dataset", "facts", "predicates", "facts/entity", "gold accuracy (mu)"],
+            [
+                [
+                    row["dataset"],
+                    row["num_facts"],
+                    row["num_predicates"],
+                    row["avg_facts_per_entity"],
+                    row["gold_accuracy"],
+                ]
+                for row in rows
+            ],
+            title="Table 2: summary of the FactBench, YAGO, and DBpedia datasets",
+        )
+    )

@@ -1,0 +1,24 @@
+"""Table 3 — time and token cost of the RAG dataset-generation pipeline."""
+
+from conftest import run_once
+
+from repro.benchmark import table3_rag_dataset_costs
+from repro.evaluation import format_table
+
+
+def test_benchmark_table3_rag_dataset_costs(benchmark, runner):
+    costs = run_once(benchmark, table3_rag_dataset_costs, runner, "factbench", 20)
+    assert costs["questions_per_fact"] >= 2
+    print()
+    print(
+        format_table(
+            ["task", "avg. time (s)", "avg. tokens"],
+            [
+                ["Question Generation", costs["question_generation_avg_seconds"],
+                 costs["question_generation_avg_tokens"]],
+                ["Get documents (SERP pages)", costs["serp_collection_avg_seconds"], "-"],
+                ["Fetch documents for each triple", costs["document_fetch_avg_seconds"], "-"],
+            ],
+            title="Table 3: average cost per step of the RAG dataset generation",
+        )
+    )

@@ -1,0 +1,19 @@
+"""Table 4 — configuration parameters of the RAG pipeline."""
+
+from conftest import run_once
+
+from repro.benchmark import table4_rag_configuration
+from repro.evaluation import format_table
+
+
+def test_benchmark_table4_rag_configuration(benchmark, runner):
+    rows = run_once(benchmark, table4_rag_configuration, runner)
+    assert ("Relevance Threshold", "0.5") in rows
+    print()
+    print(
+        format_table(
+            ["RAG component", "parameter"],
+            [list(row) for row in rows],
+            title="Table 4: configuration parameters used in the RAG pipeline",
+        )
+    )

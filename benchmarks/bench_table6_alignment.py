@@ -1,0 +1,16 @@
+"""Table 6 — consensus alignment (CA_M) and tie rates per method and dataset."""
+
+from conftest import run_once
+
+from repro.benchmark import table6_alignment
+from repro.evaluation import format_alignment_table
+
+
+def test_benchmark_table6_alignment(benchmark, runner):
+    alignment, ties = run_once(benchmark, table6_alignment, runner)
+    for dataset in runner.config.datasets:
+        for method in runner.config.methods:
+            assert set(alignment[dataset][method]) == set(runner.config.models)
+            assert 0.0 <= ties[dataset][method] <= 1.0
+    print()
+    print(format_alignment_table(alignment, ties))

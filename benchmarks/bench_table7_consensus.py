@@ -1,0 +1,32 @@
+"""Table 7 — multi-model consensus F1 under the three tie-break arbitrations."""
+
+from conftest import run_once
+
+from repro.benchmark import table7_consensus_f1
+from repro.evaluation import format_table
+
+
+def test_benchmark_table7_consensus_f1(benchmark, runner):
+    table = run_once(benchmark, table7_consensus_f1, runner)
+    rows = []
+    for dataset, methods in table.items():
+        for method, judges in methods.items():
+            row = [dataset, method]
+            for judge in ("agg-cons-up", "agg-cons-down", "agg-commercial"):
+                row.append(judges[judge]["f1_true"])
+                row.append(judges[judge]["f1_false"])
+            rows.append(row)
+            # The paper finds the choice of arbitrator has minimal influence.
+            values = [judges[j]["f1_true"] for j in judges]
+            assert max(values) - min(values) <= 0.30
+    print()
+    print(
+        format_table(
+            ["dataset", "method",
+             "cons-up F1(T)", "cons-up F1(F)",
+             "cons-down F1(T)", "cons-down F1(F)",
+             "gpt-4o-mini F1(T)", "gpt-4o-mini F1(F)"],
+            rows,
+            title="Table 7: consensus performance by tie-break arbitration",
+        )
+    )

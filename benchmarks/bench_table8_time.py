@@ -1,0 +1,20 @@
+"""Table 8 — execution time per fact for each method, model, and dataset."""
+
+from conftest import run_once
+
+from repro.benchmark import table8_execution_time
+from repro.evaluation import format_time_table
+
+
+def test_benchmark_table8_execution_time(benchmark, runner):
+    table = run_once(benchmark, table8_execution_time, runner)
+    for dataset in runner.config.datasets:
+        for model in runner.config.models:
+            assert (
+                table[dataset]["dka"][model]
+                < table[dataset]["giv-z"][model]
+                < table[dataset]["giv-f"][model]
+                < table[dataset]["rag"][model]
+            ), "the paper's DKA < GIV-Z < GIV-F < RAG cost ordering must hold"
+    print()
+    print(format_time_table(table))

@@ -1,0 +1,22 @@
+"""Table 9 — error clustering (E1–E6) of incorrect predictions per dataset/model."""
+
+from conftest import run_once
+
+from repro.benchmark import table9_error_clustering
+from repro.evaluation import ERROR_CATEGORIES, format_error_table
+
+
+def test_benchmark_table9_error_clustering(benchmark, runner):
+    table = run_once(benchmark, table9_error_clustering, runner, "rag")
+    counts = {dataset: block["counts"] for dataset, block in table.items()}
+    for dataset, block in table.items():
+        for model, model_counts in block["counts"].items():
+            assert set(model_counts) == set(ERROR_CATEGORIES)
+        for value in block["unique_ratios"].values():
+            assert 0.0 <= value <= 1.0
+    print()
+    print(format_error_table(counts))
+    print()
+    for dataset, block in table.items():
+        ratios = " ".join(f"{k}={v:.2f}" for k, v in block["unique_ratios"].items())
+        print(f"unique-error ratios [{dataset}]: {ratios}")

@@ -1,0 +1,60 @@
+"""Quickstart: validate a handful of KG facts with every FactCheck strategy.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small synthetic world, samples a FactBench-style
+dataset, and validates a few facts with DKA, GIV-F, and RAG using the
+simulated Gemma2 model, printing the verdict, the gold label, and the cost
+of each call.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.evaluation import classwise_f1_from_run
+from repro.validation import Verdict
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scale=0.02,
+        max_facts_per_dataset=20,
+        world_scale=0.2,
+        documents_per_fact=12,
+        serp_results_per_query=20,
+        datasets=("factbench",),
+    )
+    runner = BenchmarkRunner(config)
+    dataset = runner.dataset("factbench")
+    model = runner.registry.get("gemma2:9b")
+
+    print(f"Dataset: {dataset.name} with {len(dataset)} facts "
+          f"(gold accuracy {dataset.gold_accuracy():.2f})\n")
+
+    print("=== Validating five facts with each strategy ===")
+    for method in ("dka", "giv-f", "rag"):
+        strategy = runner.build_strategy(method, "factbench", model)
+        print(f"\n--- {method.upper()} ({model.name}) ---")
+        for fact in dataset.facts()[:5]:
+            result = strategy.validate(fact)
+            verdict = result.verdict.value.upper()
+            marker = "?" if result.verdict is Verdict.INVALID else (
+                "OK " if result.is_correct else "MISS"
+            )
+            print(
+                f"[{marker}] {fact.subject_name} --{fact.predicate_name}--> {fact.object_name}"
+                f"  verdict={verdict:<7} gold={'TRUE' if fact.label else 'FALSE':<5}"
+                f"  {result.latency_seconds:.2f}s / {result.total_tokens} tokens"
+            )
+
+    print("\n=== Full-dataset class-wise F1 per method ===")
+    for method in ("dka", "giv-z", "giv-f", "rag"):
+        run = runner.run(method, "factbench", "gemma2:9b")
+        scores = classwise_f1_from_run(run)
+        print(f"{method:<6} F1(T)={scores.f1_true:.2f}  F1(F)={scores.f1_false:.2f}")
+
+
+if __name__ == "__main__":
+    main()

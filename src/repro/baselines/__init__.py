@@ -1,0 +1,21 @@
+"""Internal KG-based fact-checking baselines (KStream, KLinker, PredPath, rules).
+
+These reproduce the classic graph-topology checkers the paper contrasts with
+external-evidence / LLM-based validation, so the benchmark can compare both
+paradigms on the same datasets.
+"""
+
+from .base import GraphFactChecker, build_reference_graph
+from .klinker import KnowledgeLinker
+from .kstream import KnowledgeStream
+from .predpath import PredPath
+from .rulebased import EvidentialPathChecker
+
+__all__ = [
+    "EvidentialPathChecker",
+    "GraphFactChecker",
+    "KnowledgeLinker",
+    "KnowledgeStream",
+    "PredPath",
+    "build_reference_graph",
+]

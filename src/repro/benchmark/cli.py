@@ -1,0 +1,241 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.benchmark.cli --experiment table5 --max-facts 60
+    python -m repro.benchmark.cli --experiment all --scale 0.05 --output results.txt
+
+Each experiment prints the corresponding table/figure in the same text
+format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
+reproduce a single result without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, TextIO
+
+from ..evaluation import (
+    format_alignment_table,
+    format_error_table,
+    format_f1_table,
+    format_pareto_points,
+    format_ranking_series,
+    format_table,
+    format_time_table,
+    format_upset,
+)
+from .config import ExperimentConfig
+from .experiments import (
+    ablation_rag_configuration,
+    baseline_comparison,
+    figure2_ranked_f1,
+    figure3_pareto,
+    figure4_upset,
+    rag_corpus_statistics,
+    table2_dataset_statistics,
+    table3_rag_dataset_costs,
+    table4_rag_configuration,
+    table5_classwise_f1,
+    table6_alignment,
+    table7_consensus_f1,
+    table8_execution_time,
+    table9_error_clustering,
+)
+from .runner import BenchmarkRunner
+
+__all__ = ["build_parser", "run_experiment", "main", "EXPERIMENTS"]
+
+
+def _render_table2(runner: BenchmarkRunner) -> str:
+    rows = table2_dataset_statistics(runner)
+    return format_table(
+        ["dataset", "facts", "predicates", "facts/entity", "gold accuracy"],
+        [[r["dataset"], r["num_facts"], r["num_predicates"], r["avg_facts_per_entity"], r["gold_accuracy"]] for r in rows],
+        title="Table 2: dataset statistics",
+    )
+
+
+def _render_table3(runner: BenchmarkRunner) -> str:
+    costs = table3_rag_dataset_costs(runner)
+    return format_table(
+        ["task", "avg time (s)", "avg tokens"],
+        [
+            ["Question Generation", costs["question_generation_avg_seconds"], costs["question_generation_avg_tokens"]],
+            ["Get documents (SERP pages)", costs["serp_collection_avg_seconds"], "-"],
+            ["Fetch documents per triple", costs["document_fetch_avg_seconds"], "-"],
+        ],
+        title="Table 3: RAG dataset generation cost",
+    )
+
+
+def _render_table4(runner: BenchmarkRunner) -> str:
+    return format_table(
+        ["RAG component", "parameter"],
+        [list(row) for row in table4_rag_configuration(runner)],
+        title="Table 4: RAG pipeline configuration",
+    )
+
+
+def _render_table5(runner: BenchmarkRunner) -> str:
+    return format_f1_table(table5_classwise_f1(runner))
+
+
+def _render_table6(runner: BenchmarkRunner) -> str:
+    alignment, ties = table6_alignment(runner)
+    return format_alignment_table(alignment, ties)
+
+
+def _render_table7(runner: BenchmarkRunner) -> str:
+    table = table7_consensus_f1(runner)
+    rows = []
+    for dataset, methods in table.items():
+        for method, judges in methods.items():
+            row = [dataset, method]
+            for judge in ("agg-cons-up", "agg-cons-down", "agg-commercial"):
+                row.extend([judges[judge]["f1_true"], judges[judge]["f1_false"]])
+            rows.append(row)
+    return format_table(
+        ["dataset", "method", "up F1(T)", "up F1(F)", "down F1(T)", "down F1(F)", "gpt F1(T)", "gpt F1(F)"],
+        rows,
+        title="Table 7: consensus performance",
+    )
+
+
+def _render_table8(runner: BenchmarkRunner) -> str:
+    return format_time_table(table8_execution_time(runner))
+
+
+def _render_table9(runner: BenchmarkRunner) -> str:
+    table = table9_error_clustering(runner)
+    return format_error_table({dataset: block["counts"] for dataset, block in table.items()})
+
+
+def _render_figure2(runner: BenchmarkRunner) -> str:
+    figure = figure2_ranked_f1(runner)
+    left = format_ranking_series(
+        figure["ranked_by_f1_true"], "f1_true", figure["random_guess_f1_true"],
+        title="Figure 2 (left): ranked by F1(T)",
+    )
+    right = format_ranking_series(
+        figure["ranked_by_f1_false"], "f1_false", figure["random_guess_f1_false"],
+        title="Figure 2 (right): ranked by F1(F)",
+    )
+    return left + "\n\n" + right
+
+
+def _render_figure3(runner: BenchmarkRunner) -> str:
+    figure = figure3_pareto(runner)
+    return format_pareto_points(figure["points"], figure["frontier_f1_false"])
+
+
+def _render_figure4(runner: BenchmarkRunner) -> str:
+    sections = []
+    for method, cells in figure4_upset(runner).items():
+        sections.append(format_upset(cells, title=f"Figure 4 ({method})"))
+    return "\n\n".join(sections)
+
+
+def _render_corpus_stats(runner: BenchmarkRunner) -> str:
+    stats = rag_corpus_statistics(runner)
+    columns = ["num_documents", "mean_docs_per_fact", "text_coverage_rate", "questions_per_fact"]
+    return format_table(
+        ["dataset"] + columns,
+        [[name] + [values.get(column, 0.0) for column in columns] for name, values in stats.items()],
+        title="RAG corpus statistics",
+    )
+
+
+def _render_ablation(runner: BenchmarkRunner) -> str:
+    rows = ablation_rag_configuration(runner)
+    return format_table(
+        ["k_d", "threshold", "chunk window", "F1(T)", "F1(F)"],
+        [[r["selected_documents"], r["relevance_threshold"], r["chunk_window"], r["f1_true"], r["f1_false"]] for r in rows],
+        title="RAG configuration ablation",
+    )
+
+
+def _render_baselines(runner: BenchmarkRunner) -> str:
+    results = baseline_comparison(runner)
+    return format_table(
+        ["approach", "F1(T)", "F1(F)", "avg s/fact"],
+        [[name, s["f1_true"], s["f1_false"], s["avg_seconds"]] for name, s in results.items()],
+        title="Internal KG baselines vs LLM strategies",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[BenchmarkRunner], str]] = {
+    "table2": _render_table2,
+    "table3": _render_table3,
+    "table4": _render_table4,
+    "table5": _render_table5,
+    "table6": _render_table6,
+    "table7": _render_table7,
+    "table8": _render_table8,
+    "table9": _render_table9,
+    "figure2": _render_figure2,
+    "figure3": _render_figure3,
+    "figure4": _render_figure4,
+    "corpus-stats": _render_corpus_stats,
+    "ablation": _render_ablation,
+    "baselines": _render_baselines,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-factcheck",
+        description="Regenerate the FactCheck paper's tables and figures on the simulated substrate.",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="table5",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="Which table/figure to regenerate (default: table5).",
+    )
+    parser.add_argument("--scale", type=float, default=0.05, help="Dataset scale relative to the paper (default 0.05).")
+    parser.add_argument("--max-facts", type=int, default=60, help="Cap on facts per dataset (default 60; 0 = no cap).")
+    parser.add_argument("--world-scale", type=float, default=0.3, help="Synthetic world population scale.")
+    parser.add_argument("--documents-per-fact", type=int, default=14, help="Average corpus documents per fact.")
+    parser.add_argument("--seed", type=int, default=7, help="Master seed.")
+    parser.add_argument("--output", default=None, help="Optional file to write the rendered output to.")
+    return parser
+
+
+def run_experiment(name: str, runner: BenchmarkRunner) -> str:
+    """Render one experiment (or all of them) to text."""
+    if name == "all":
+        sections = []
+        for key in EXPERIMENTS:
+            sections.append(EXPERIMENTS[key](runner))
+        return "\n\n".join(sections)
+    try:
+        render = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(f"Unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}") from exc
+    return render(runner)
+
+
+def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_facts_per_dataset=args.max_facts or None,
+        world_scale=args.world_scale,
+        documents_per_fact=args.documents_per_fact,
+        seed=args.seed,
+    )
+    runner = BenchmarkRunner(config)
+    rendered = run_experiment(args.experiment, runner)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    stream.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

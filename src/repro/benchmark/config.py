@@ -1,0 +1,100 @@
+"""Experiment configuration for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..llm.profiles import OPEN_SOURCE_MODELS
+from ..retrieval.webgen import WebCorpusConfig
+from ..validation.rag import RAGConfig
+from ..worldmodel.generator import WorldConfig
+
+__all__ = ["ExperimentConfig", "QUICK_CONFIG", "PAPER_SCALE_CONFIG"]
+
+_DEFAULT_METHODS: Tuple[str, ...] = ("dka", "giv-z", "giv-f", "rag")
+_DEFAULT_DATASETS: Tuple[str, ...] = ("factbench", "yago", "dbpedia")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to reproduce one full benchmark run.
+
+    Attributes
+    ----------
+    scale:
+        Fraction of the paper-scale dataset sizes to generate (1.0 = 2,800 /
+        1,386 / 9,344 facts).
+    max_facts_per_dataset:
+        Optional stratified cap applied after generation; keeps quick runs
+        quick while preserving each dataset's gold accuracy.
+    world_scale:
+        Scale of the synthetic world population.
+    methods / datasets / models:
+        Which parts of the grid to run.
+    commercial_model:
+        The commercial reference model (GPT-4o mini profile).
+    documents_per_fact:
+        Average corpus documents generated per fact (paper: ~154).
+    serp_results_per_query:
+        SERP depth used during retrieval (paper: 100).
+    include_commercial_in_grid:
+        Whether the commercial model is part of the Table 5 grid (it is in
+        the paper, but not part of the 4-model consensus ensemble).
+    seed:
+        Master seed for world, datasets, corpus, and model behaviour.
+    """
+
+    scale: float = 0.05
+    max_facts_per_dataset: Optional[int] = 80
+    world_scale: float = 0.35
+    methods: Tuple[str, ...] = _DEFAULT_METHODS
+    datasets: Tuple[str, ...] = _DEFAULT_DATASETS
+    models: Tuple[str, ...] = tuple(OPEN_SOURCE_MODELS)
+    commercial_model: str = "gpt-4o-mini"
+    include_commercial_in_grid: bool = True
+    documents_per_fact: int = 14
+    serp_results_per_query: int = 40
+    rag: RAGConfig = field(default_factory=RAGConfig)
+    seed: int = 7
+
+    def world_config(self) -> WorldConfig:
+        return WorldConfig(scale=self.world_scale, seed=self.seed)
+
+    def corpus_config(self) -> WebCorpusConfig:
+        return WebCorpusConfig(
+            documents_per_fact=self.documents_per_fact, seed=self.seed + 3
+        )
+
+    def rag_config(self) -> RAGConfig:
+        return RAGConfig(
+            transformation_model=self.rag.transformation_model,
+            question_model=self.rag.question_model,
+            num_questions=self.rag.num_questions,
+            relevance_threshold=self.rag.relevance_threshold,
+            selected_questions=self.rag.selected_questions,
+            selected_documents=self.rag.selected_documents,
+            serp_results_per_query=self.serp_results_per_query,
+            chunk_window=self.rag.chunk_window,
+            chunk_stride=self.rag.chunk_stride,
+            max_evidence_chunks=self.rag.max_evidence_chunks,
+        )
+
+    def grid_models(self) -> Tuple[str, ...]:
+        """Models included in the Table 5 / Table 8 grids."""
+        if self.include_commercial_in_grid:
+            return tuple(self.models) + (self.commercial_model,)
+        return tuple(self.models)
+
+
+#: Configuration used by the test-suite and the default benchmark runs.
+QUICK_CONFIG = ExperimentConfig()
+
+#: Paper-scale configuration (hours of compute; documented for completeness).
+PAPER_SCALE_CONFIG = ExperimentConfig(
+    scale=1.0,
+    max_facts_per_dataset=None,
+    world_scale=1.0,
+    documents_per_fact=154,
+    serp_results_per_query=100,
+)

@@ -1,0 +1,278 @@
+"""Benchmark runner: builds the full experimental grid and caches results.
+
+The runner owns every substrate (world, datasets, corpora, models) and runs
+the method x dataset x model grid once, caching the validation runs so that
+all table/figure computations — which slice the same grid in different ways —
+do not repeat any LLM work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..datasets import FactDataset, build_dbpedia, build_factbench, build_yago
+from ..kg.namespaces import DBPEDIA_ENCODING, KGEncoding, YAGO_ENCODING
+from ..kg.verbalization import Verbalizer
+from ..llm.base import LLMClient
+from ..llm.registry import ModelRegistry
+from ..llm.telemetry import TelemetryCollector
+from ..retrieval.corpus import Corpus
+from ..retrieval.mock_api import MockSearchAPI
+from ..retrieval.reranker import CrossEncoderReranker
+from ..retrieval.webgen import WebCorpusGenerator
+from ..validation.base import ValidationRun, ValidationStrategy
+from ..validation.consensus import ConsensusRun, MajorityVoteConsensus
+from ..validation.dka import DirectKnowledgeAssessment
+from ..validation.giv import GuidedIterativeVerification
+from ..validation.pipeline import ValidationPipeline
+from ..validation.rag import (
+    QuestionGenerator,
+    RAGDatasetBuilder,
+    RAGDatasetStats,
+    RAGValidator,
+    TripleTransformer,
+)
+from ..worldmodel.generator import World, build_world
+from .config import ExperimentConfig, QUICK_CONFIG
+
+__all__ = ["BenchmarkRunner"]
+
+_DATASET_BUILDERS = {
+    "factbench": build_factbench,
+    "yago": build_yago,
+    "dbpedia": build_dbpedia,
+}
+
+_DATASET_ENCODINGS: Dict[str, KGEncoding] = {
+    "factbench": DBPEDIA_ENCODING,
+    "yago": YAGO_ENCODING,
+    "dbpedia": DBPEDIA_ENCODING,
+}
+
+
+class BenchmarkRunner:
+    """Owns the substrates and the cached method x dataset x model grid."""
+
+    def __init__(self, config: ExperimentConfig = QUICK_CONFIG) -> None:
+        self.config = config
+        self.telemetry = TelemetryCollector()
+        self._world: Optional[World] = None
+        self._datasets: Dict[str, FactDataset] = {}
+        self._corpora: Dict[str, Corpus] = {}
+        self._search_apis: Dict[str, MockSearchAPI] = {}
+        self._registry: Optional[ModelRegistry] = None
+        self._verbalizer: Optional[Verbalizer] = None
+        self._reranker = CrossEncoderReranker()
+        self._evidence_caches: Dict[str, dict] = {}
+        self._runs: Dict[Tuple[str, str, str], ValidationRun] = {}
+        self._consensus_cache: Dict[Tuple[str, str, str], ConsensusRun] = {}
+
+    # ------------------------------------------------------------- substrates
+
+    @property
+    def world(self) -> World:
+        if self._world is None:
+            self._world = build_world(self.config.world_config())
+        return self._world
+
+    @property
+    def registry(self) -> ModelRegistry:
+        if self._registry is None:
+            self._registry = ModelRegistry(self.world, seed=self.config.seed)
+        return self._registry
+
+    @property
+    def verbalizer(self) -> Verbalizer:
+        if self._verbalizer is None:
+            self._verbalizer = Verbalizer(self.world)
+        return self._verbalizer
+
+    def dataset(self, name: str) -> FactDataset:
+        """Build (and cache) one evaluation dataset at the configured scale."""
+        if name not in self._datasets:
+            builder = _DATASET_BUILDERS.get(name)
+            if builder is None:
+                raise KeyError(f"Unknown dataset {name!r}; expected one of {sorted(_DATASET_BUILDERS)}")
+            dataset = builder(self.world, scale=self.config.scale)
+            if self.config.max_facts_per_dataset is not None:
+                dataset = dataset.sample(self.config.max_facts_per_dataset, seed=self.config.seed)
+            self._datasets[name] = dataset
+        return self._datasets[name]
+
+    def datasets(self) -> Dict[str, FactDataset]:
+        return {name: self.dataset(name) for name in self.config.datasets}
+
+    def encoding(self, dataset_name: str) -> KGEncoding:
+        return _DATASET_ENCODINGS.get(dataset_name, DBPEDIA_ENCODING)
+
+    def corpus(self, dataset_name: str) -> Corpus:
+        """The synthetic web corpus generated for one dataset's facts."""
+        if dataset_name not in self._corpora:
+            generator = WebCorpusGenerator(self.world, self.config.corpus_config())
+            self._corpora[dataset_name] = generator.build_corpus(self.dataset(dataset_name).facts())
+        return self._corpora[dataset_name]
+
+    def search_api(self, dataset_name: str) -> MockSearchAPI:
+        if dataset_name not in self._search_apis:
+            self._search_apis[dataset_name] = MockSearchAPI(
+                self.corpus(dataset_name),
+                default_num_results=self.config.serp_results_per_query,
+            )
+        return self._search_apis[dataset_name]
+
+    # ------------------------------------------------------------- strategies
+
+    def build_strategy(
+        self, method: str, dataset_name: str, model: LLMClient
+    ) -> ValidationStrategy:
+        """Instantiate one validation strategy for a (method, dataset, model)."""
+        if method == "dka":
+            return DirectKnowledgeAssessment(model, self.verbalizer, self.telemetry)
+        if method == "giv-z":
+            return GuidedIterativeVerification(
+                model, few_shot=False, verbalizer=self.verbalizer, telemetry=self.telemetry
+            )
+        if method == "giv-f":
+            return GuidedIterativeVerification(
+                model, few_shot=True, verbalizer=self.verbalizer, telemetry=self.telemetry
+            )
+        if method == "rag":
+            return self._build_rag_strategy(dataset_name, model)
+        raise KeyError(f"Unknown method {method!r}")
+
+    def _build_rag_strategy(self, dataset_name: str, model: LLMClient) -> RAGValidator:
+        rag_config = self.config.rag_config()
+        upstream_model = self.registry.get(rag_config.transformation_model)
+        transformer = TripleTransformer(upstream_model, self.verbalizer, self.telemetry)
+        question_generator = QuestionGenerator(
+            upstream_model, self._reranker, rag_config, self.telemetry
+        )
+        cache = self._evidence_caches.setdefault(dataset_name, {})
+        return RAGValidator(
+            model=model,
+            search_api=self.search_api(dataset_name),
+            kg_encoding=self.encoding(dataset_name),
+            config=rag_config,
+            transformer=transformer,
+            question_generator=question_generator,
+            reranker=self._reranker,
+            verbalizer=self.verbalizer,
+            telemetry=self.telemetry,
+            evidence_cache=cache,
+        )
+
+    # ------------------------------------------------------------- grid runs
+
+    def run(self, method: str, dataset_name: str, model_name: str) -> ValidationRun:
+        """Run (or fetch from cache) one cell of the grid."""
+        key = (method, dataset_name, model_name)
+        if key not in self._runs:
+            model = self.registry.get(model_name)
+            strategy = self.build_strategy(method, dataset_name, model)
+            pipeline = ValidationPipeline(self.telemetry)
+            self._runs[key] = pipeline.run(strategy, self.dataset(dataset_name))
+        return self._runs[key]
+
+    def runs_for(self, method: str, dataset_name: str, model_names: Optional[Tuple[str, ...]] = None) -> Dict[str, ValidationRun]:
+        names = model_names or tuple(self.config.models)
+        return {name: self.run(method, dataset_name, name) for name in names}
+
+    def full_grid(self) -> Dict[str, Dict[str, Dict[str, ValidationRun]]]:
+        """``grid[method][dataset][model] -> ValidationRun`` over the configured grid."""
+        grid: Dict[str, Dict[str, Dict[str, ValidationRun]]] = {}
+        for method in self.config.methods:
+            grid[method] = {}
+            for dataset_name in self.config.datasets:
+                grid[method][dataset_name] = {
+                    model_name: self.run(method, dataset_name, model_name)
+                    for model_name in self.config.grid_models()
+                }
+        return grid
+
+    # ------------------------------------------------------------- consensus
+
+    def consensus(self, method: str, dataset_name: str, judge: str = "none") -> ConsensusRun:
+        """Majority-vote consensus of the four open-source models.
+
+        ``judge`` selects the tie-breaking arbitrator: ``"none"`` (ties stay
+        ties), ``"cons-up"`` / ``"cons-down"`` (larger variant of the most /
+        least consistent model), or ``"commercial"`` (GPT-4o mini profile).
+        """
+        key = (method, dataset_name, judge)
+        if key in self._consensus_cache:
+            return self._consensus_cache[key]
+        ensemble = self.runs_for(method, dataset_name, tuple(self.config.models))
+        aggregator = MajorityVoteConsensus()
+        judge_fn = None
+        judge_label = judge
+        if judge != "none":
+            judge_model_name = self._select_judge_model(method, judge)
+            judge_label = f"{judge}:{judge_model_name}"
+            judge_fn = self._judge_fn(method, dataset_name, judge_model_name)
+        consensus = aggregator.aggregate(ensemble, judge_fn=judge_fn, judge_name=judge_label)
+        self._consensus_cache[key] = consensus
+        return consensus
+
+    def alignment(self, method: str, dataset_name: str) -> Dict[str, float]:
+        """Per-model consensus alignment CA_M for one method/dataset (Table 6)."""
+        ensemble = self.runs_for(method, dataset_name, tuple(self.config.models))
+        consensus = self.consensus(method, dataset_name, judge="none")
+        return MajorityVoteConsensus().alignment_scores(ensemble, consensus)
+
+    def _model_consistency(self, method: str) -> Dict[str, float]:
+        """Average CA_M per model across datasets for one method."""
+        totals: Dict[str, List[float]] = {name: [] for name in self.config.models}
+        for dataset_name in self.config.datasets:
+            for model_name, score in self.alignment(method, dataset_name).items():
+                totals[model_name].append(score)
+        return {
+            name: (sum(values) / len(values) if values else 0.0)
+            for name, values in totals.items()
+        }
+
+    def _select_judge_model(self, method: str, judge: str) -> str:
+        if judge == "commercial":
+            return self.config.commercial_model
+        consistency = self._model_consistency(method)
+        ordered = sorted(consistency.items(), key=lambda item: item[1])
+        base_name = ordered[-1][0] if judge == "cons-up" else ordered[0][0]
+        return self.registry.upgrade_for(base_name).name
+
+    def _judge_fn(self, method: str, dataset_name: str, judge_model_name: str) -> Callable[[str], Optional[bool]]:
+        dataset = self.dataset(dataset_name)
+        model = self.registry.get(judge_model_name)
+        strategy = self.build_strategy(method, dataset_name, model)
+        cache: Dict[str, Optional[bool]] = {}
+
+        def judge(fact_id: str) -> Optional[bool]:
+            if fact_id not in cache:
+                fact = dataset.get(fact_id)
+                if fact is None:
+                    cache[fact_id] = None
+                else:
+                    cache[fact_id] = strategy.validate(fact).verdict.as_bool()
+            return cache[fact_id]
+
+        return judge
+
+    # ------------------------------------------------------------- RAG dataset
+
+    def build_rag_dataset(self, dataset_name: str, max_facts: Optional[int] = 40) -> Tuple[Dict[str, dict], RAGDatasetStats]:
+        """Pre-build the questions + SERP dataset for (a sample of) one dataset."""
+        rag_config = self.config.rag_config()
+        upstream_model = self.registry.get(rag_config.transformation_model)
+        transformer = TripleTransformer(upstream_model, self.verbalizer, self.telemetry)
+        question_generator = QuestionGenerator(
+            upstream_model, self._reranker, rag_config, self.telemetry
+        )
+        builder = RAGDatasetBuilder(
+            transformer,
+            question_generator,
+            self.search_api(dataset_name),
+            self.encoding(dataset_name),
+            rag_config,
+        )
+        dataset = self.dataset(dataset_name)
+        if max_facts is not None:
+            dataset = dataset.sample(max_facts, seed=self.config.seed)
+        return builder.build(dataset)

@@ -1,0 +1,97 @@
+"""JSONL serialization for labeled fact datasets.
+
+The published benchmark distributes its datasets as flat files on
+HuggingFace; this module provides the equivalent round-trip so users can
+export generated datasets, hand-edit or annotate them, and reload them for
+evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..kg.triples import Triple
+from .base import FactDataset, LabeledFact
+
+__all__ = ["save_dataset", "load_dataset", "fact_to_record", "fact_from_record"]
+
+
+def fact_to_record(fact: LabeledFact) -> dict:
+    """Serialize one labeled fact to a JSON-compatible dict."""
+    return {
+        "fact_id": fact.fact_id,
+        "subject": fact.triple.subject,
+        "predicate": fact.triple.predicate,
+        "object": fact.triple.object,
+        "label": fact.label,
+        "dataset": fact.dataset,
+        "subject_name": fact.subject_name,
+        "object_name": fact.object_name,
+        "predicate_name": fact.predicate_name,
+        "category": fact.category,
+        "popularity": fact.popularity,
+        "topic": fact.topic,
+        "negative_strategy": fact.negative_strategy,
+        "canonical_predicate": fact.canonical_predicate,
+    }
+
+
+def fact_from_record(record: dict) -> LabeledFact:
+    """Deserialize one labeled fact from a JSON record.
+
+    Raises
+    ------
+    KeyError
+        When a required field is missing; optional metadata fields fall back
+        to their defaults.
+    """
+    return LabeledFact(
+        fact_id=record["fact_id"],
+        triple=Triple(record["subject"], record["predicate"], record["object"]),
+        label=bool(record["label"]),
+        dataset=record["dataset"],
+        subject_name=record["subject_name"],
+        object_name=record["object_name"],
+        predicate_name=record["predicate_name"],
+        category=record.get("category", "role"),
+        popularity=float(record.get("popularity", 0.5)),
+        topic=record.get("topic", "General"),
+        negative_strategy=record.get("negative_strategy"),
+        canonical_predicate=record.get("canonical_predicate", ""),
+    )
+
+
+def save_dataset(dataset: FactDataset, path: Union[str, Path]) -> Path:
+    """Write a dataset as one JSON object per line; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for fact in dataset:
+            handle.write(json.dumps(fact_to_record(fact), ensure_ascii=False))
+            handle.write("\n")
+    return target
+
+
+def load_dataset(path: Union[str, Path], name: str | None = None) -> FactDataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to read.
+    name:
+        Optional dataset name override; defaults to the ``dataset`` field of
+        the first record, or the file stem when the file is empty.
+    """
+    source = Path(path)
+    facts: List[LabeledFact] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            facts.append(fact_from_record(json.loads(line)))
+    dataset_name = name or (facts[0].dataset if facts else source.stem)
+    return FactDataset(dataset_name, facts)

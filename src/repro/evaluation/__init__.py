@@ -1,0 +1,77 @@
+"""Evaluation and analysis: metrics, efficiency, Pareto, UpSet, error taxonomy."""
+
+from .efficiency import TimingSummary, average_response_time, iqr_filter, summarize_latencies
+from .error_analysis import (
+    ERROR_CATEGORIES,
+    ErrorAnalysis,
+    ErrorAnalyzer,
+    ErrorRecord,
+    unique_ratio,
+)
+from .metrics import (
+    ClasswiseF1,
+    ConfusionCounts,
+    accuracy,
+    classwise_f1,
+    classwise_f1_from_run,
+    confusion_counts,
+    precision_recall_f1,
+    random_guess_f1,
+)
+from .pareto import TradeoffPoint, build_tradeoff_points, pareto_frontier
+from .significance import BootstrapInterval, McNemarResult, bootstrap_f1_interval, mcnemar_test
+from .reporting import (
+    format_alignment_table,
+    format_error_table,
+    format_f1_table,
+    format_pareto_points,
+    format_ranking_series,
+    format_table,
+    format_time_table,
+    format_upset,
+)
+from .upset import (
+    IntersectionCell,
+    all_model_intersection_size,
+    exclusive_intersections,
+    upset_intersections,
+)
+
+__all__ = [
+    "ClasswiseF1",
+    "ConfusionCounts",
+    "ERROR_CATEGORIES",
+    "ErrorAnalysis",
+    "ErrorAnalyzer",
+    "ErrorRecord",
+    "IntersectionCell",
+    "TimingSummary",
+    "BootstrapInterval",
+    "McNemarResult",
+    "bootstrap_f1_interval",
+    "mcnemar_test",
+    "TradeoffPoint",
+    "accuracy",
+    "all_model_intersection_size",
+    "average_response_time",
+    "build_tradeoff_points",
+    "classwise_f1",
+    "classwise_f1_from_run",
+    "confusion_counts",
+    "exclusive_intersections",
+    "format_alignment_table",
+    "format_error_table",
+    "format_f1_table",
+    "format_pareto_points",
+    "format_ranking_series",
+    "format_table",
+    "format_time_table",
+    "format_upset",
+    "iqr_filter",
+    "pareto_frontier",
+    "precision_recall_f1",
+    "random_guess_f1",
+    "summarize_latencies",
+    "unique_ratio",
+    "upset_intersections",
+]

@@ -1,0 +1,82 @@
+"""Pareto trade-off analysis between latency and verification quality (Figure 3).
+
+The paper plots every (model, method) configuration in the plane
+(average response time, F1) and highlights the Pareto frontier: the
+configurations for which no other configuration is both faster and more
+accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["TradeoffPoint", "pareto_frontier", "build_tradeoff_points"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One configuration in the cost/quality plane."""
+
+    model: str
+    method: str
+    dataset: str
+    time_seconds: float
+    f1_true: float
+    f1_false: float
+
+    def label(self) -> str:
+        return f"{self.model}/{self.method}"
+
+
+def pareto_frontier(
+    points: Sequence[TradeoffPoint], metric: str = "f1_false"
+) -> List[TradeoffPoint]:
+    """The subset of points not dominated in (lower time, higher metric).
+
+    A point dominates another when it is at least as fast and at least as
+    accurate, and strictly better in one of the two.  The frontier is
+    returned sorted by increasing time.
+    """
+    if metric not in ("f1_true", "f1_false"):
+        raise ValueError("metric must be 'f1_true' or 'f1_false'")
+    frontier: List[TradeoffPoint] = []
+    ordered = sorted(points, key=lambda point: (point.time_seconds, -getattr(point, metric)))
+    best_quality = float("-inf")
+    for point in ordered:
+        quality = getattr(point, metric)
+        if quality > best_quality:
+            frontier.append(point)
+            best_quality = quality
+    return frontier
+
+
+def build_tradeoff_points(
+    f1_table: Dict[str, Dict[str, Dict[str, Dict[str, float]]]],
+    time_table: Dict[str, Dict[str, Dict[str, float]]],
+) -> List[TradeoffPoint]:
+    """Join the F1 table and the timing table into trade-off points.
+
+    ``f1_table[dataset][method][model] -> {"f1_true": .., "f1_false": ..}``
+    ``time_table[dataset][method][model] -> seconds``
+    """
+    points: List[TradeoffPoint] = []
+    for dataset, methods in f1_table.items():
+        for method, models in methods.items():
+            for model, scores in models.items():
+                time_seconds = (
+                    time_table.get(dataset, {}).get(method, {}).get(model)
+                )
+                if time_seconds is None:
+                    continue
+                points.append(
+                    TradeoffPoint(
+                        model=model,
+                        method=method,
+                        dataset=dataset,
+                        time_seconds=time_seconds,
+                        f1_true=scores.get("f1_true", 0.0),
+                        f1_false=scores.get("f1_false", 0.0),
+                    )
+                )
+    return points

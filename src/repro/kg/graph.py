@@ -1,0 +1,200 @@
+"""Indexed triple store with path queries — the KG substrate.
+
+The internal KG-based baselines (KStream, KLinker, PredPath) and the
+rule-based checker operate directly over a knowledge graph: they need fast
+neighbour expansion, degree statistics, and bounded path enumeration.  This
+module provides a lightweight in-memory triple store with SPO/POS/OSP
+indexes and a NetworkX export for the flow-based baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .triples import Triple
+
+__all__ = ["KnowledgeGraph", "Path", "PathStep"]
+
+# A step in a path: (predicate, direction, node) where direction is +1 when
+# the edge was traversed subject->object and -1 when traversed inversely.
+PathStep = Tuple[str, int, str]
+Path = Tuple[PathStep, ...]
+
+
+class KnowledgeGraph:
+    """A directed, labelled multigraph of triples with standard KG indexes."""
+
+    def __init__(self, name: str = "kg") -> None:
+        self.name = name
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._pos: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._osp: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
+        self._out_edges: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        self._in_edges: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns ``False`` when it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        s, p, o = triple.as_tuple()
+        self._spo[s][p].add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._out_edges[s].append((p, o))
+        self._in_edges[o].append((p, s))
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; returns ``False`` when it was not present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        s, p, o = triple.as_tuple()
+        self._spo[s][p].discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._out_edges[s].remove((p, o))
+        self._in_edges[o].remove((p, s))
+        return True
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples))
+
+    def contains(self, subject: str, predicate: str, obj: str) -> bool:
+        return Triple(subject, predicate, obj) in self._triples
+
+    def objects(self, subject: str, predicate: str) -> List[str]:
+        return sorted(self._spo.get(subject, {}).get(predicate, ()))
+
+    def subjects(self, predicate: str, obj: str) -> List[str]:
+        return sorted(self._pos.get(predicate, {}).get(obj, ()))
+
+    def predicates_between(self, subject: str, obj: str) -> List[str]:
+        return sorted(self._osp.get(obj, {}).get(subject, ()))
+
+    def triples_with_predicate(self, predicate: str) -> List[Triple]:
+        result = []
+        for obj, subjects in self._pos.get(predicate, {}).items():
+            result.extend(Triple(s, predicate, obj) for s in subjects)
+        return sorted(result)
+
+    def predicates(self) -> List[str]:
+        return sorted(self._pos)
+
+    def nodes(self) -> List[str]:
+        seen: Set[str] = set(self._out_edges) | set(self._in_edges)
+        return sorted(seen)
+
+    def out_edges(self, node: str) -> List[Tuple[str, str]]:
+        """Outgoing ``(predicate, object)`` pairs for a node."""
+        return list(self._out_edges.get(node, ()))
+
+    def in_edges(self, node: str) -> List[Tuple[str, str]]:
+        """Incoming ``(predicate, subject)`` pairs for a node."""
+        return list(self._in_edges.get(node, ()))
+
+    def degree(self, node: str) -> int:
+        return len(self._out_edges.get(node, ())) + len(self._in_edges.get(node, ()))
+
+    # -- path queries (used by the internal-KG baselines) --------------------
+
+    def neighbors(self, node: str) -> List[Tuple[str, int, str]]:
+        """Undirected neighbourhood as ``(predicate, direction, node)`` steps."""
+        steps: List[Tuple[str, int, str]] = []
+        steps.extend((p, +1, o) for p, o in self._out_edges.get(node, ()))
+        steps.extend((p, -1, s) for p, s in self._in_edges.get(node, ()))
+        return steps
+
+    def find_paths(
+        self,
+        source: str,
+        target: str,
+        max_length: int = 3,
+        exclude: Optional[Triple] = None,
+        max_paths: int = 200,
+    ) -> List[Path]:
+        """Enumerate simple paths between two nodes up to ``max_length`` hops.
+
+        Parameters
+        ----------
+        exclude:
+            A triple whose direct edge should be ignored (the statement under
+            verification must not support itself).
+        max_paths:
+            Enumeration cap that keeps the baselines tractable on dense
+            graphs; the search is breadth-first so the shortest paths are
+            kept.
+        """
+        if source == target:
+            return []
+        excluded_edge: Optional[Tuple[str, str, str]] = (
+            exclude.as_tuple() if exclude is not None else None
+        )
+        paths: List[Path] = []
+        queue: deque[Tuple[str, Path, frozenset]] = deque()
+        queue.append((source, (), frozenset({source})))
+        while queue and len(paths) < max_paths:
+            node, path, visited = queue.popleft()
+            if len(path) >= max_length:
+                continue
+            for predicate, direction, neighbor in self.neighbors(node):
+                if neighbor in visited:
+                    continue
+                if excluded_edge is not None:
+                    forward = (node, predicate, neighbor)
+                    backward = (neighbor, predicate, node)
+                    if direction == +1 and forward == excluded_edge:
+                        continue
+                    if direction == -1 and backward == excluded_edge:
+                        continue
+                new_path = path + ((predicate, direction, neighbor),)
+                if neighbor == target:
+                    paths.append(new_path)
+                    if len(paths) >= max_paths:
+                        break
+                    continue
+                queue.append((neighbor, new_path, visited | {neighbor}))
+        return paths
+
+    @staticmethod
+    def path_signature(path: Path) -> Tuple[Tuple[str, int], ...]:
+        """Predicate-level signature of a path (drops intermediate nodes).
+
+        PredPath mines *predicate paths*: two instance paths share a
+        signature when they traverse the same predicates in the same
+        directions.
+        """
+        return tuple((predicate, direction) for predicate, direction, __ in path)
+
+    # -- exports --------------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to a NetworkX multigraph (used by the max-flow baseline)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for triple in self._triples:
+            graph.add_edge(triple.subject, triple.object, predicate=triple.predicate)
+        return graph
+
+    def copy(self) -> "KnowledgeGraph":
+        clone = KnowledgeGraph(self.name)
+        clone.add_all(self._triples)
+        return clone

@@ -1,0 +1,141 @@
+"""KG-specific term encodings (namespaces, IRIs, predicate conventions).
+
+The paper stresses that heterogeneous KG encodings — DBpedia resource IRIs,
+YAGO angle-bracket terms, underscores, camelCase predicates — hinder
+retrieval and motivate the LLM-based triple transformation step.  This module
+reproduces those conventions so that the rest of the pipeline has to deal
+with exactly the same encoding noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .triples import Triple
+
+__all__ = [
+    "KGEncoding",
+    "DBPEDIA_ENCODING",
+    "YAGO_ENCODING",
+    "FREEBASE_ENCODING",
+    "ENCODINGS",
+    "encode_label",
+    "decode_label",
+    "decode_predicate",
+    "camel_case",
+    "split_camel_case",
+]
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_CAMEL_BOUNDARY_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def encode_label(name: str) -> str:
+    """Encode a surface name the way DBpedia/YAGO resources do.
+
+    ``"Alexander III of Russia"`` becomes ``"Alexander_III_of_Russia"``.
+    """
+    return _WHITESPACE_RE.sub("_", name.strip())
+
+
+def decode_label(term: str) -> str:
+    """Invert :func:`encode_label`, also stripping any IRI prefix and brackets."""
+    label = term
+    if label.startswith("<") and label.endswith(">"):
+        label = label[1:-1]
+    if "/" in label:
+        label = label.rsplit("/", 1)[-1]
+    if ":" in label and "//" not in label:
+        label = label.rsplit(":", 1)[-1]
+    return label.replace("_", " ").strip()
+
+
+def camel_case(name: str) -> str:
+    """Turn ``"is married to"`` into ``"isMarriedTo"``."""
+    parts = [part for part in _WHITESPACE_RE.split(name.strip()) if part]
+    if not parts:
+        return ""
+    head, *rest = parts
+    return head.lower() + "".join(word.capitalize() for word in rest)
+
+
+def split_camel_case(name: str) -> str:
+    """Turn ``"isMarriedTo"`` into ``"is married to"``."""
+    return _CAMEL_BOUNDARY_RE.sub(" ", name).lower()
+
+
+def decode_predicate(term: str) -> str:
+    """Extract the bare camelCase predicate from any encoded form."""
+    label = term
+    if label.startswith("<") and label.endswith(">"):
+        label = label[1:-1]
+    if "/" in label:
+        label = label.rsplit("/", 1)[-1]
+    if ":" in label and "//" not in label:
+        label = label.rsplit(":", 1)[-1]
+    return label
+
+
+@dataclass(frozen=True)
+class KGEncoding:
+    """Encoding conventions of one source KG.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"dbpedia"``, ``"yago"``, ``"freebase"``).
+    entity_fn / predicate_fn:
+        Functions mapping a surface name / camelCase predicate into the KG's
+        encoded term.
+    source_domains:
+        Web domains considered "origin sources" of this KG; the RAG pipeline
+        filters retrieved documents from these domains to avoid circular
+        verification (the paper's ``S_KG`` set).
+    """
+
+    name: str
+    entity_fn: Callable[[str], str]
+    predicate_fn: Callable[[str], str]
+    source_domains: tuple
+
+    def encode_entity(self, name: str) -> str:
+        return self.entity_fn(name)
+
+    def encode_predicate(self, predicate: str) -> str:
+        return self.predicate_fn(predicate)
+
+    def encode_triple(self, subject_name: str, predicate: str, object_name: str) -> Triple:
+        return Triple(
+            subject=self.encode_entity(subject_name),
+            predicate=self.encode_predicate(predicate),
+            object=self.encode_entity(object_name),
+        )
+
+
+DBPEDIA_ENCODING = KGEncoding(
+    name="dbpedia",
+    entity_fn=lambda name: f"http://dbpedia.org/resource/{encode_label(name)}",
+    predicate_fn=lambda pred: f"http://dbpedia.org/ontology/{pred}",
+    source_domains=("wikipedia.org", "dbpedia.org"),
+)
+
+YAGO_ENCODING = KGEncoding(
+    name="yago",
+    entity_fn=lambda name: f"<{encode_label(name)}>",
+    predicate_fn=lambda pred: f"<{camel_case('has ' + split_camel_case(pred)) if not pred.startswith(('has', 'is')) else pred}>",
+    source_domains=("wikipedia.org", "yago-knowledge.org"),
+)
+
+FREEBASE_ENCODING = KGEncoding(
+    name="freebase",
+    entity_fn=lambda name: f"fb:{encode_label(name)}",
+    predicate_fn=lambda pred: f"fb:{split_camel_case(pred).replace(' ', '.')}",
+    source_domains=("wikipedia.org", "freebase.com"),
+)
+
+ENCODINGS: Dict[str, KGEncoding] = {
+    encoding.name: encoding
+    for encoding in (DBPEDIA_ENCODING, YAGO_ENCODING, FREEBASE_ENCODING)
+}

@@ -1,0 +1,100 @@
+"""N-Triples style import/export for knowledge graphs.
+
+Real KG snapshots (DBpedia, YAGO) are distributed as RDF dumps; this module
+lets the in-memory :class:`~repro.kg.graph.KnowledgeGraph` round-trip through
+a simple N-Triples-like serialization so users can export the reference
+graph, inspect it with standard tooling, or load an external triple dump
+into the benchmark.
+
+The serialization is a pragmatic subset of N-Triples: one triple per line,
+terms either ``<IRI>`` or ``"literal"``, terminated by `` .``.  Blank nodes
+and datatype/language tags are intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from .graph import KnowledgeGraph
+from .triples import Triple
+
+__all__ = ["serialize_triple", "parse_triple_line", "save_ntriples", "load_ntriples"]
+
+_TERM_RE = re.compile(r'<([^>]*)>|"((?:[^"\\]|\\.)*)"')
+
+
+def _encode_term(term: str) -> str:
+    """IRIs stay bracketed; everything else becomes a quoted literal."""
+    if term.startswith("<") and term.endswith(">"):
+        return term
+    if term.startswith("http://") or term.startswith("https://"):
+        return f"<{term}>"
+    escaped = term.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def serialize_triple(triple: Triple) -> str:
+    """Render one triple as an N-Triples line."""
+    return (
+        f"{_encode_term(triple.subject)} "
+        f"{_encode_term(triple.predicate)} "
+        f"{_encode_term(triple.object)} ."
+    )
+
+
+def parse_triple_line(line: str) -> Triple:
+    """Parse one N-Triples line back into a :class:`Triple`.
+
+    Raises
+    ------
+    ValueError
+        If the line does not contain exactly three terms followed by ``.``.
+    """
+    stripped = line.strip()
+    if not stripped.endswith("."):
+        raise ValueError(f"Not a triple line (missing terminal '.'): {line!r}")
+    matches = _TERM_RE.findall(stripped[:-1])
+    if len(matches) != 3:
+        raise ValueError(f"Expected exactly three terms, found {len(matches)}: {line!r}")
+    terms: List[str] = []
+    for raw_iri, raw_literal in matches:
+        if raw_iri:
+            # Re-bracket non-http IRIs (e.g. YAGO's <Albert_Einstein>) so the
+            # original encoding is preserved on round-trip.
+            terms.append(raw_iri if raw_iri.startswith("http") else f"<{raw_iri}>")
+        else:
+            terms.append(raw_literal.replace('\\"', '"').replace("\\\\", "\\"))
+    return Triple(*terms)
+
+
+def save_ntriples(graph_or_triples: Union[KnowledgeGraph, Iterable[Triple]], path: Union[str, Path]) -> Path:
+    """Write a graph (or any triple iterable) to an N-Triples file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for triple in graph_or_triples:
+            handle.write(serialize_triple(triple))
+            handle.write("\n")
+    return target
+
+
+def load_ntriples(path: Union[str, Path], name: str = "imported") -> KnowledgeGraph:
+    """Load an N-Triples file into a new :class:`KnowledgeGraph`.
+
+    Lines that are empty or start with ``#`` are skipped; malformed lines
+    raise :class:`ValueError` with the offending line number.
+    """
+    source = Path(path)
+    graph = KnowledgeGraph(name)
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                graph.add(parse_triple_line(stripped))
+            except ValueError as exc:
+                raise ValueError(f"{source}:{line_number}: {exc}") from exc
+    return graph

@@ -1,0 +1,45 @@
+"""LLM substrate: client interface, simulated models, profiles, telemetry.
+
+The validation strategies depend only on :class:`LLMClient`; offline the
+benchmark instantiates :class:`SimulatedLLM` objects whose behaviour is
+grounded in the shared world model and calibrated per-model via
+:class:`ModelProfile`.
+"""
+
+from .base import GenerationError, LLMClient, LLMResponse
+from .profiles import (
+    ALL_PROFILES,
+    COMMERCIAL_MODELS,
+    OPEN_SOURCE_MODELS,
+    UPGRADE_VARIANTS,
+    ModelProfile,
+    get_profile,
+    upgrade_of,
+)
+from .registry import ModelRegistry, create_model, create_models, default_open_source_names
+from .simulated import SimulatedLLM
+from .telemetry import CallRecord, TelemetryCollector, UsageSummary
+from .tokenizer import SimpleTokenizer, count_tokens
+
+__all__ = [
+    "ALL_PROFILES",
+    "COMMERCIAL_MODELS",
+    "CallRecord",
+    "GenerationError",
+    "LLMClient",
+    "LLMResponse",
+    "ModelProfile",
+    "ModelRegistry",
+    "OPEN_SOURCE_MODELS",
+    "SimpleTokenizer",
+    "SimulatedLLM",
+    "TelemetryCollector",
+    "UPGRADE_VARIANTS",
+    "UsageSummary",
+    "count_tokens",
+    "create_model",
+    "create_models",
+    "default_open_source_names",
+    "get_profile",
+    "upgrade_of",
+]

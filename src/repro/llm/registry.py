@@ -1,0 +1,63 @@
+"""Model registry: build the benchmark's model zoo from profiles."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..worldmodel.generator import World
+from .base import LLMClient
+from .profiles import ALL_PROFILES, OPEN_SOURCE_MODELS, get_profile, upgrade_of
+from .simulated import SimulatedLLM
+
+__all__ = ["create_model", "create_models", "default_open_source_names", "ModelRegistry"]
+
+
+def default_open_source_names() -> List[str]:
+    """The four open-source backbone models evaluated throughout the paper."""
+    return list(OPEN_SOURCE_MODELS)
+
+
+def create_model(name: str, world: World, seed: int = 0) -> SimulatedLLM:
+    """Instantiate one simulated model by name.
+
+    Raises
+    ------
+    KeyError
+        When the name is not in the benchmark's model zoo.
+    """
+    return SimulatedLLM(get_profile(name), world, seed=seed)
+
+
+def create_models(names: Sequence[str], world: World, seed: int = 0) -> Dict[str, SimulatedLLM]:
+    """Instantiate a set of models, keyed by name."""
+    return {name: create_model(name, world, seed=seed) for name in names}
+
+
+class ModelRegistry:
+    """Lazily instantiates and caches models over a shared world.
+
+    The consensus strategies need, in addition to the four backbone models,
+    the upgraded variants used for tie-breaking and the commercial
+    arbitrator; the registry hands them out on demand so each model is only
+    built once per benchmark run.
+    """
+
+    def __init__(self, world: World, seed: int = 0) -> None:
+        self.world = world
+        self.seed = seed
+        self._cache: Dict[str, SimulatedLLM] = {}
+
+    def get(self, name: str) -> SimulatedLLM:
+        if name not in self._cache:
+            self._cache[name] = create_model(name, self.world, seed=self.seed)
+        return self._cache[name]
+
+    def open_source_models(self) -> Dict[str, SimulatedLLM]:
+        return {name: self.get(name) for name in default_open_source_names()}
+
+    def upgrade_for(self, base_name: str) -> SimulatedLLM:
+        """The larger tie-breaker variant of ``base_name`` (e.g. 9B -> 27B)."""
+        return self.get(upgrade_of(base_name).name)
+
+    def available(self) -> List[str]:
+        return sorted(ALL_PROFILES)

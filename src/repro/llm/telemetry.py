@@ -1,0 +1,114 @@
+"""Telemetry: token-usage and latency accounting for LLM calls.
+
+The paper instruments its models with OpenTelemetry (via OpenLIT) to track
+token usage and inference time.  This module is the in-process equivalent: a
+collector records every call, and aggregation helpers produce the per-task
+averages reported in Table 3 and the per-method response times behind
+Table 8.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .base import LLMResponse
+
+__all__ = ["CallRecord", "TelemetryCollector", "UsageSummary"]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One recorded LLM invocation."""
+
+    model: str
+    task: str
+    prompt_tokens: int
+    completion_tokens: int
+    latency_seconds: float
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class UsageSummary:
+    """Aggregate usage for one (model, task) group."""
+
+    calls: int
+    avg_prompt_tokens: float
+    avg_completion_tokens: float
+    avg_total_tokens: float
+    avg_latency_seconds: float
+    total_latency_seconds: float
+
+    @staticmethod
+    def from_records(records: Iterable[CallRecord]) -> "UsageSummary":
+        items = list(records)
+        if not items:
+            return UsageSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        count = len(items)
+        total_latency = sum(record.latency_seconds for record in items)
+        return UsageSummary(
+            calls=count,
+            avg_prompt_tokens=sum(r.prompt_tokens for r in items) / count,
+            avg_completion_tokens=sum(r.completion_tokens for r in items) / count,
+            avg_total_tokens=sum(r.total_tokens for r in items) / count,
+            avg_latency_seconds=total_latency / count,
+            total_latency_seconds=total_latency,
+        )
+
+
+class TelemetryCollector:
+    """Records LLM calls and aggregates usage by model and task."""
+
+    def __init__(self) -> None:
+        self._records: List[CallRecord] = []
+
+    def record(self, response: LLMResponse, task: str = "generic") -> CallRecord:
+        """Record one response under a task label; returns the stored record."""
+        record = CallRecord(
+            model=response.model,
+            task=task,
+            prompt_tokens=response.prompt_tokens,
+            completion_tokens=response.completion_tokens,
+            latency_seconds=response.latency_seconds,
+        )
+        self._records.append(record)
+        return record
+
+    def records(
+        self, model: Optional[str] = None, task: Optional[str] = None
+    ) -> List[CallRecord]:
+        return [
+            record
+            for record in self._records
+            if (model is None or record.model == model)
+            and (task is None or record.task == task)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def summary(
+        self, model: Optional[str] = None, task: Optional[str] = None
+    ) -> UsageSummary:
+        return UsageSummary.from_records(self.records(model, task))
+
+    def by_task(self) -> Dict[str, UsageSummary]:
+        """Per-task aggregation (the shape of the paper's Table 3)."""
+        grouped: Dict[str, List[CallRecord]] = defaultdict(list)
+        for record in self._records:
+            grouped[record.task].append(record)
+        return {task: UsageSummary.from_records(items) for task, items in sorted(grouped.items())}
+
+    def by_model(self) -> Dict[str, UsageSummary]:
+        grouped: Dict[str, List[CallRecord]] = defaultdict(list)
+        for record in self._records:
+            grouped[record.model].append(record)
+        return {model: UsageSummary.from_records(items) for model, items in sorted(grouped.items())}

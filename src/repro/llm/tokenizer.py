@@ -1,0 +1,50 @@
+"""Deterministic tokenizer used for token accounting.
+
+The benchmark tracks token usage per request (the paper reports average
+token expenditure for the RAG dataset generation and monitors usage through
+OpenLIT).  Offline we do not need a model-faithful BPE vocabulary — only a
+stable, deterministic count that scales with text length the way real
+tokenizers do (roughly 1.3 tokens per whitespace word for English).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["SimpleTokenizer", "count_tokens"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+|[^\sA-Za-z0-9]")
+_SUBWORD_LENGTH = 6
+
+
+class SimpleTokenizer:
+    """Splits text into word and punctuation tokens, then into subwords.
+
+    Long alphanumeric words are broken into fixed-size chunks to emulate the
+    subword inflation of BPE tokenizers, so token counts grow slightly
+    faster than word counts — matching the ~1.3x ratio real tokenizers show
+    on English prose.
+    """
+
+    def tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        for match in _TOKEN_RE.finditer(text):
+            piece = match.group(0)
+            if len(piece) <= _SUBWORD_LENGTH or not piece.isalnum():
+                tokens.append(piece)
+                continue
+            for start in range(0, len(piece), _SUBWORD_LENGTH):
+                tokens.append(piece[start : start + _SUBWORD_LENGTH])
+        return tokens
+
+    def count(self, text: str) -> int:
+        return len(self.tokenize(text))
+
+
+_DEFAULT = SimpleTokenizer()
+
+
+def count_tokens(text: str) -> int:
+    """Count tokens with the module-level default tokenizer."""
+    return _DEFAULT.count(text)

@@ -1,0 +1,90 @@
+"""Sliding-window document chunking (phase 4 of the RAG pipeline).
+
+The paper segments each selected document into small overlapping passages
+with a sliding window (size 3) before injecting them into the validation
+prompt.  Chunking operates on sentences so passages remain grammatical.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Chunk", "SlidingWindowChunker", "split_sentences"]
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def split_sentences(text: str) -> List[str]:
+    """Split text into sentences on terminal punctuation; trims whitespace."""
+    if not text.strip():
+        return []
+    parts = _SENTENCE_RE.split(text.strip())
+    return [part.strip() for part in parts if part.strip()]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous window of sentences from one document."""
+
+    doc_id: str
+    start_sentence: int
+    text: str
+
+
+class SlidingWindowChunker:
+    """Sentence-level sliding window chunker.
+
+    Parameters
+    ----------
+    window_size:
+        Number of sentences per chunk (the paper uses 3).
+    stride:
+        Number of sentences the window advances between chunks; a stride
+        smaller than the window produces overlapping passages.
+    """
+
+    def __init__(self, window_size: int = 3, stride: int = 2) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.window_size = window_size
+        # A stride larger than the window would silently drop sentences from
+        # the evidence, so it is clamped: every sentence appears in >= 1 chunk.
+        self.stride = min(stride, window_size)
+
+    def chunk_text(self, text: str, doc_id: str = "") -> List[Chunk]:
+        """Chunk raw text; short texts yield a single chunk, empty text none."""
+        sentences = split_sentences(text)
+        if not sentences:
+            return []
+        if len(sentences) <= self.window_size:
+            return [Chunk(doc_id=doc_id, start_sentence=0, text=" ".join(sentences))]
+        chunks: List[Chunk] = []
+        starts = list(range(0, len(sentences), self.stride))
+        for start in starts:
+            window = sentences[start : start + self.window_size]
+            chunks.append(
+                Chunk(doc_id=doc_id, start_sentence=start, text=" ".join(window))
+            )
+        # Guarantee the tail is covered even when the stride overshoots the
+        # window (every sentence must appear in at least one chunk).
+        if starts and starts[-1] + self.window_size < len(sentences):
+            tail_start = len(sentences) - self.window_size
+            chunks.append(
+                Chunk(
+                    doc_id=doc_id,
+                    start_sentence=tail_start,
+                    text=" ".join(sentences[tail_start:]),
+                )
+            )
+        return chunks
+
+    def chunk_documents(self, documents: Sequence) -> List[Chunk]:
+        """Chunk a sequence of :class:`~repro.retrieval.corpus.Document` objects."""
+        chunks: List[Chunk] = []
+        for document in documents:
+            chunks.extend(self.chunk_text(document.text, doc_id=document.doc_id))
+        return chunks

@@ -1,0 +1,85 @@
+"""Deterministic hashed bag-of-words embeddings.
+
+Stand-in for the ``bge-small-en-v1.5`` sentence embedder used in the paper's
+RAG configuration.  The embedder hashes tokens into a fixed-dimensional
+count vector, applies sub-linear term scaling, and L2-normalises, which is
+enough to provide a meaningful semantic-proximity ordering over the
+synthetic corpus (documents and questions sharing entity mentions and
+relation words land close together).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["HashingEmbedder", "cosine_similarity"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+_STOPWORDS = frozenset(
+    "a an the of in on at for to and or is was were are be been with by from "
+    "as it its this that these those who whom which what where when how did "
+    "does do done about".split()
+)
+
+
+def _tokens(text: str) -> List[str]:
+    return [token for token in _WORD_RE.findall(text.lower()) if token not in _STOPWORDS]
+
+
+class HashingEmbedder:
+    """Maps text to a fixed-size normalised vector via token hashing."""
+
+    def __init__(self, dimensions: int = 256, cache_size: int = 50000) -> None:
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self._cache_size = cache_size
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _bucket(self, token: str) -> int:
+        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.dimensions
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text; empty text maps to the zero vector.
+
+        Embeddings are memoized (documents recur across facts and models in
+        the RAG pipeline), with a bounded cache that resets when full.
+        """
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        vector = np.zeros(self.dimensions, dtype=float)
+        for token in _tokens(text):
+            vector[self._bucket(token)] += 1.0
+        # Sub-linear scaling dampens very frequent tokens.
+        vector = np.sqrt(vector)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[text] = vector
+        return vector
+
+    def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dimensions), dtype=float)
+        return np.vstack([self.embed(text) for text in texts])
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        return cosine_similarity(self.embed(text_a), self.embed(text_b))
+
+
+def cosine_similarity(vector_a: np.ndarray, vector_b: np.ndarray) -> float:
+    """Cosine similarity, defined as 0.0 when either vector is zero."""
+    norm_a = np.linalg.norm(vector_a)
+    norm_b = np.linalg.norm(vector_b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(vector_a, vector_b) / (norm_a * norm_b))

@@ -1,0 +1,93 @@
+"""Cross-encoder substitute: lexical + embedding relevance scoring.
+
+The paper uses two cross-encoders: ``jina-reranker-v1-turbo-en`` to rank the
+generated questions against the transformed triple, and
+``ms-marco-MiniLM-L-6-v2`` to select the most relevant documents.  Offline,
+the :class:`CrossEncoderReranker` plays both roles: it combines token
+containment (how much of the query is covered by the candidate) with the
+hashed-embedding cosine similarity, mapped through a sigmoid so scores live
+in ``[0, 1]`` like the paper's sigmoid-scaled dot-product scores.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .embeddings import HashingEmbedder
+
+__all__ = ["CrossEncoderReranker", "ScoredText"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class ScoredText:
+    """A candidate text with its relevance score against a query."""
+
+    index: int
+    text: str
+    score: float
+
+
+class CrossEncoderReranker:
+    """Scores query/candidate pairs and ranks candidates by relevance."""
+
+    def __init__(
+        self,
+        embedder: HashingEmbedder | None = None,
+        lexical_weight: float = 2.4,
+        semantic_weight: float = 2.0,
+        bias: float = -1.4,
+    ) -> None:
+        self.embedder = embedder or HashingEmbedder()
+        self.lexical_weight = lexical_weight
+        self.semantic_weight = semantic_weight
+        self.bias = bias
+        self._term_cache: dict[str, frozenset] = {}
+
+    def score(self, query: str, candidate: str) -> float:
+        """Relevance of ``candidate`` to ``query`` in ``[0, 1]``."""
+        if not query.strip() or not candidate.strip():
+            return 0.0
+        lexical = self._containment(query, candidate)
+        semantic = self.embedder.similarity(query, candidate)
+        logit = self.lexical_weight * lexical + self.semantic_weight * semantic + self.bias
+        return 1.0 / (1.0 + math.exp(-logit))
+
+    def rank(self, query: str, candidates: Sequence[str]) -> List[ScoredText]:
+        """Rank candidates by decreasing relevance (ties broken by index)."""
+        scored = [
+            ScoredText(index=index, text=candidate, score=self.score(query, candidate))
+            for index, candidate in enumerate(candidates)
+        ]
+        return sorted(scored, key=lambda item: (-item.score, item.index))
+
+    def top_k(self, query: str, candidates: Sequence[str], k: int) -> List[ScoredText]:
+        return self.rank(query, candidates)[: max(0, k)]
+
+    def filter_by_threshold(
+        self, query: str, candidates: Sequence[str], threshold: float
+    ) -> List[ScoredText]:
+        """Candidates whose score is at least ``threshold``, ranked."""
+        return [item for item in self.rank(query, candidates) if item.score >= threshold]
+
+    def _terms(self, text: str) -> frozenset:
+        """Memoized term set (candidates recur heavily across queries)."""
+        cached = self._term_cache.get(text)
+        if cached is None:
+            cached = frozenset(_WORD_RE.findall(text.lower()))
+            if len(self._term_cache) >= 50000:
+                self._term_cache.clear()
+            self._term_cache[text] = cached
+        return cached
+
+    def _containment(self, query: str, candidate: str) -> float:
+        """Share of query terms present in the candidate."""
+        query_terms = self._terms(query)
+        if not query_terms:
+            return 0.0
+        candidate_terms = self._terms(candidate)
+        return len(query_terms & candidate_terms) / len(query_terms)

@@ -1,0 +1,121 @@
+"""BM25 search engine over the synthetic corpus (the "Google" of the benchmark)."""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .corpus import Corpus, Document
+
+__all__ = ["SearchResult", "SearchEngine"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def _tokenize(text: str) -> List[str]:
+    return _WORD_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit: the document plus its retrieval score and snippet."""
+
+    document: Document
+    score: float
+    snippet: str
+
+
+class SearchEngine:
+    """Okapi BM25 over document titles and bodies.
+
+    Titles are weighted more heavily than body text, which mirrors how web
+    search surfaces entity-profile pages for entity-name queries — the
+    behaviour the RAG pipeline depends on.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        k1: float = 1.5,
+        b: float = 0.75,
+        title_weight: float = 2.5,
+    ) -> None:
+        self.corpus = corpus
+        self.k1 = k1
+        self.b = b
+        self.title_weight = title_weight
+        self._doc_ids: List[str] = []
+        self._doc_lengths: List[float] = []
+        self._postings: Dict[str, List[tuple]] = defaultdict(list)
+        self._document_frequency: Counter = Counter()
+        self._avg_length = 0.0
+        self._build_index()
+
+    def _build_index(self) -> None:
+        for document in self.corpus:
+            tokens = _tokenize(document.text)
+            title_tokens = _tokenize(document.title)
+            weighted = Counter(tokens)
+            for token in title_tokens:
+                weighted[token] += self.title_weight
+            index = len(self._doc_ids)
+            self._doc_ids.append(document.doc_id)
+            length = sum(weighted.values())
+            self._doc_lengths.append(length)
+            for term, frequency in weighted.items():
+                self._postings[term].append((index, frequency))
+                self._document_frequency[term] += 1
+        total = sum(self._doc_lengths)
+        self._avg_length = total / len(self._doc_lengths) if self._doc_lengths else 0.0
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def _idf(self, term: str) -> float:
+        n = len(self._doc_ids)
+        df = self._document_frequency.get(term, 0)
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def search(self, query: str, num_results: int = 100) -> List[SearchResult]:
+        """Rank documents for a query; returns up to ``num_results`` hits."""
+        query_terms = _tokenize(query)
+        if not query_terms or not self._doc_ids:
+            return []
+        scores: Dict[int, float] = defaultdict(float)
+        for term in query_terms:
+            idf = self._idf(term)
+            if idf <= 0.0:
+                continue
+            for index, tf in self._postings.get(term, ()):
+                length_norm = 1.0 - self.b + self.b * (
+                    self._doc_lengths[index] / self._avg_length if self._avg_length else 1.0
+                )
+                scores[index] += idf * (tf * (self.k1 + 1.0)) / (tf + self.k1 * length_norm)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:num_results]
+        results: List[SearchResult] = []
+        for index, score in ranked:
+            document = self.corpus.get(self._doc_ids[index])
+            if document is None:
+                continue
+            results.append(
+                SearchResult(document=document, score=score, snippet=self._snippet(document, query_terms))
+            )
+        return results
+
+    @staticmethod
+    def _snippet(document: Document, query_terms: Sequence[str], width: int = 160) -> str:
+        """A short excerpt around the first query-term occurrence."""
+        text = document.text or document.title
+        lowered = text.lower()
+        position = -1
+        for term in query_terms:
+            position = lowered.find(term)
+            if position >= 0:
+                break
+        if position < 0:
+            return text[:width]
+        start = max(0, position - width // 3)
+        return text[start : start + width]

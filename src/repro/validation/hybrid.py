@@ -1,0 +1,101 @@
+"""Hybrid validation: KG-path evidence combined with web-evidence RAG.
+
+The paper's future-work section suggests "hybrid retrieval strategies that
+combine structured KG traversal with unstructured web data".  This module
+implements that extension: :class:`HybridValidator` scores each triple with
+an internal KG-based checker (any :class:`~repro.baselines.base.GraphFactChecker`,
+e.g. Knowledge Linker) *and* with the RAG pipeline, then fuses the two
+signals.  The fusion is deliberately simple and interpretable:
+
+* when the graph score is confidently high or low (outside a configurable
+  uncertainty band) and the LLM verdict agrees, the agreement is reported;
+* when they disagree, the side whose confidence is stronger wins;
+* when the graph checker abstains (score inside the band, e.g. because the
+  reference KG is incomplete around the entities), the LLM verdict stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.base import GraphFactChecker
+from ..datasets.base import LabeledFact
+from .base import ValidationResult, ValidationStrategy, Verdict
+
+__all__ = ["HybridConfig", "HybridValidator"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Fusion parameters.
+
+    ``low_band`` / ``high_band`` delimit the graph checker's abstention zone;
+    scores inside ``(low_band, high_band)`` are treated as "the KG does not
+    know".  ``graph_weight`` controls how much a confident graph signal can
+    override a disagreeing LLM verdict.
+    """
+
+    low_band: float = 0.25
+    high_band: float = 0.75
+    graph_weight: float = 0.5
+
+
+class HybridValidator(ValidationStrategy):
+    """Fuse an internal KG-based checker with an LLM validation strategy."""
+
+    def __init__(
+        self,
+        graph_checker: GraphFactChecker,
+        llm_strategy: ValidationStrategy,
+        config: Optional[HybridConfig] = None,
+    ) -> None:
+        self.graph_checker = graph_checker
+        self.llm_strategy = llm_strategy
+        self.config = config or HybridConfig()
+        self.method_name = f"hybrid({graph_checker.method_name}+{llm_strategy.method_name})"
+        self.model = getattr(llm_strategy, "model", None)
+
+    def graph_opinion(self, fact: LabeledFact) -> Optional[bool]:
+        """The graph checker's opinion, or ``None`` when it abstains."""
+        score = self.graph_checker.score(
+            fact.subject_name, fact.base_predicate(), fact.object_name
+        )
+        if score >= self.config.high_band:
+            return True
+        if score <= self.config.low_band:
+            return False
+        return None
+
+    def validate(self, fact: LabeledFact) -> ValidationResult:
+        llm_result = self.llm_strategy.validate(fact)
+        llm_verdict = llm_result.verdict.as_bool()
+        graph_verdict = self.graph_opinion(fact)
+
+        fused: Optional[bool]
+        if llm_verdict is None:
+            # The LLM failed to answer: fall back entirely to the graph.
+            fused = graph_verdict
+        elif graph_verdict is None or graph_verdict == llm_verdict:
+            fused = llm_verdict
+        else:
+            # Disagreement: the graph overrides only in proportion to its
+            # configured weight, deterministically (ties go to the LLM so the
+            # hybrid never does worse than RAG when the KG is unreliable).
+            fused = graph_verdict if self.config.graph_weight > 0.5 else llm_verdict
+
+        verdict = Verdict.from_bool(fused) if fused is not None else Verdict.INVALID
+        return ValidationResult(
+            fact_id=fact.fact_id,
+            verdict=verdict,
+            gold_label=fact.label,
+            model=llm_result.model,
+            method=self.method_name,
+            latency_seconds=llm_result.latency_seconds,
+            prompt_tokens=llm_result.prompt_tokens,
+            completion_tokens=llm_result.completion_tokens,
+            raw_response=llm_result.raw_response,
+            num_evidence_chunks=llm_result.num_evidence_chunks,
+            num_retries=llm_result.num_retries,
+            evidence_mentions_subject=llm_result.evidence_mentions_subject,
+        )

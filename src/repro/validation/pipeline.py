@@ -1,0 +1,74 @@
+"""Orchestration: run validation strategies over datasets and collect runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..datasets.base import FactDataset, LabeledFact
+from ..llm.base import LLMClient
+from ..llm.telemetry import TelemetryCollector
+from .base import ValidationResult, ValidationRun, ValidationStrategy, Verdict
+
+__all__ = ["ValidationPipeline", "StrategyFactory", "run_matrix"]
+
+#: Builds a strategy for a given model; used to run the same method across
+#: the whole model zoo.
+StrategyFactory = Callable[[LLMClient], ValidationStrategy]
+
+
+class ValidationPipeline:
+    """Runs strategies over datasets, with optional progress callbacks."""
+
+    def __init__(
+        self,
+        telemetry: Optional[TelemetryCollector] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ) -> None:
+        self.telemetry = telemetry
+        self.progress = progress
+
+    def run(self, strategy: ValidationStrategy, dataset: FactDataset) -> ValidationRun:
+        """Validate every fact of ``dataset`` with ``strategy``."""
+        run = ValidationRun(
+            method=strategy.method_name,
+            model=strategy.model_name(),
+            dataset=dataset.name,
+        )
+        total = len(dataset)
+        for index, fact in enumerate(dataset):
+            run.add(strategy.validate(fact))
+            if self.progress is not None:
+                self.progress(strategy.method_name, index + 1, total)
+        return run
+
+    def run_models(
+        self,
+        factory: StrategyFactory,
+        models: Mapping[str, LLMClient],
+        dataset: FactDataset,
+    ) -> Dict[str, ValidationRun]:
+        """Run one method (via its factory) for every model on one dataset."""
+        return {
+            name: self.run(factory(model), dataset) for name, model in sorted(models.items())
+        }
+
+
+def run_matrix(
+    factories: Mapping[str, StrategyFactory],
+    models: Mapping[str, LLMClient],
+    datasets: Sequence[FactDataset],
+    pipeline: Optional[ValidationPipeline] = None,
+) -> Dict[str, Dict[str, Dict[str, ValidationRun]]]:
+    """Run a full method x dataset x model grid.
+
+    Returns a nested mapping ``results[method][dataset][model] -> ValidationRun``,
+    which is the shape all the table/figure generators consume.
+    """
+    pipeline = pipeline or ValidationPipeline()
+    results: Dict[str, Dict[str, Dict[str, ValidationRun]]] = {}
+    for method_name, factory in factories.items():
+        results[method_name] = {}
+        for dataset in datasets:
+            results[method_name][dataset.name] = pipeline.run_models(factory, models, dataset)
+    return results

@@ -1,0 +1,266 @@
+"""Deterministic synthetic name generation for world-model entities.
+
+The FactCheck paper draws its facts from DBpedia, YAGO, and Freebase, whose
+entities are real people, places, and works.  Offline we cannot ship those
+KGs, so the world model invents a synthetic-but-plausible universe.  Names
+must be:
+
+* deterministic for a given seed (so datasets, corpora, and LLM knowledge
+  all agree on the same universe),
+* unique per entity (names double as surface forms in generated documents
+  and in verbalized statements, so collisions would corrupt evidence), and
+* pronounceable enough that verbalized statements read like natural text.
+
+Names are assembled from curated syllable inventories per entity category.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+__all__ = ["NameGenerator"]
+
+_PERSON_FIRST = [
+    "Aldric", "Brenna", "Cassian", "Delia", "Edric", "Fiora", "Gareth",
+    "Helena", "Ivor", "Jessa", "Kelvin", "Lyra", "Marcel", "Nadia",
+    "Orin", "Petra", "Quentin", "Rosalind", "Stefan", "Talia", "Ulric",
+    "Vera", "Wendel", "Xenia", "Yorick", "Zelda", "Ansel", "Beatrix",
+    "Corwin", "Daphne", "Emeric", "Freya", "Gideon", "Honora", "Isolde",
+    "Jasper", "Katri", "Leopold", "Mirela", "Nestor", "Octavia", "Percival",
+    "Quilla", "Roderic", "Sabine", "Tobias", "Undine", "Viggo", "Wilhelmina",
+]
+
+_PERSON_LAST = [
+    "Fenwick", "Ashcombe", "Belgrave", "Calloway", "Dunmore", "Elsworth",
+    "Farrow", "Grantham", "Hollis", "Ingleby", "Jarvis", "Kestrel",
+    "Lockhart", "Merriweather", "Norcross", "Osgood", "Pemberton",
+    "Quimby", "Ravenscroft", "Standish", "Thorncliff", "Underhill",
+    "Vance", "Whitlock", "Yardley", "Abernathy", "Blackwood", "Cromwell",
+    "Davenport", "Ellery", "Fairbanks", "Greenfield", "Harrington",
+    "Ivanhoe", "Kingsley", "Langford", "Montrose", "Nightingale",
+    "Ormsby", "Prescott", "Radcliffe", "Sheffield", "Trevelyan",
+    "Vanderholt", "Wexford", "Winterbourne", "Ashford", "Bellamy",
+]
+
+_PLACE_PREFIX = [
+    "Brim", "Cald", "Dor", "Elm", "Fair", "Glen", "Hart", "Ives", "Kings",
+    "Lynd", "Mar", "North", "Oak", "Pend", "Quar", "Rook", "Stone", "Thorn",
+    "Vale", "West", "Ash", "Birch", "Crest", "Dray", "East", "Frost",
+    "Gold", "Haven", "Iron", "Juni", "Lake", "Mill", "New", "Old",
+]
+
+_PLACE_SUFFIX = [
+    "worth", "bury", "ford", "haven", "mere", "stead", "ton", "wick",
+    "dale", "field", "gate", "holm", "minster", "port", "ridge", "shire",
+    "vale", "bridge", "brook", "cliff", "crest", "moor", "march", "fall",
+]
+
+_COUNTRY_STEM = [
+    "Vald", "Ostr", "Meri", "Cael", "Dray", "Elor", "Fenn", "Gald",
+    "Harv", "Istr", "Jor", "Kess", "Lun", "Mord", "Nor", "Orl", "Pasc",
+    "Quir", "Ros", "Sab", "Tyr", "Ulm", "Vint", "Wes", "Zan", "Ard",
+    "Bel", "Cor", "Dun", "Esk",
+]
+
+_COUNTRY_SUFFIX = ["oria", "land", "mark", "avia", "istan", "onia", "era", "heim", "ovia", "ania"]
+
+_ORG_PREFIX = [
+    "Apex", "Borealis", "Cobalt", "Dynamic", "Evergreen", "Fulcrum",
+    "Granite", "Horizon", "Integral", "Keystone", "Lumina", "Meridian",
+    "Nimbus", "Obsidian", "Pinnacle", "Quantum", "Redwood", "Sterling",
+    "Titan", "Umbra", "Vertex", "Westfield", "Zenith", "Argent", "Beacon",
+]
+
+_ORG_SUFFIX = [
+    "Industries", "Holdings", "Systems", "Laboratories", "Group",
+    "Consortium", "Partners", "Dynamics", "Works", "Collective",
+    "Enterprises", "Technologies", "Foundation", "Institute", "Corporation",
+]
+
+_FILM_FIRST = [
+    "Silent", "Crimson", "Endless", "Broken", "Golden", "Hidden", "Last",
+    "Midnight", "Scarlet", "Distant", "Forgotten", "Burning", "Silver",
+    "Winter", "Autumn", "Shattered", "Whispering", "Falling", "Rising",
+    "Eternal", "Hollow", "Savage", "Gentle", "Restless",
+]
+
+_FILM_SECOND = [
+    "Harvest", "Tides", "Empire", "Promise", "Horizon", "Letters",
+    "Gardens", "Shadows", "Rivers", "Crossing", "Voyage", "Reckoning",
+    "Sonata", "Vigil", "Masquerade", "Covenant", "Requiem", "Paradox",
+    "Labyrinth", "Odyssey", "Frontier", "Serenade", "Citadel", "Mirage",
+]
+
+_BOOK_PATTERN_FIRST = [
+    "The Cartographer of", "A History of", "Letters from", "The Last Days of",
+    "Beneath the Skies of", "The Gardens of", "Chronicles of", "The Silence of",
+    "Beyond the Walls of", "The Winter of", "Songs of", "The Architect of",
+]
+
+_BAND_FIRST = [
+    "The Velvet", "Electric", "The Wandering", "Midnight", "The Paper",
+    "Crimson", "The Glass", "Neon", "The Hollow", "Static", "The Marble",
+    "Golden",
+]
+
+_BAND_SECOND = [
+    "Foxes", "Orchard", "Pilots", "Cascade", "Lanterns", "Meridian",
+    "Harbor", "Wolves", "Parade", "Echoes", "Satellites", "Gardens",
+]
+
+_AWARD_STEM = [
+    "Halcyon", "Meridian", "Aurelian", "Sterling", "Laurel", "Beacon",
+    "Polaris", "Vanguard", "Cobalt", "Ivory", "Obsidian", "Summit",
+]
+
+_AWARD_KIND = [
+    "Prize", "Medal", "Award", "Honor", "Fellowship", "Laureate",
+]
+
+_TEAM_SUFFIX = [
+    "Rovers", "United", "Athletic", "Wanderers", "City", "Falcons",
+    "Mariners", "Rangers", "Dynamo", "Phoenix", "Harriers", "Comets",
+]
+
+_UNIVERSITY_KIND = [
+    "University", "Institute of Technology", "College", "Polytechnic",
+    "Academy of Sciences", "State University",
+]
+
+_GENRES = [
+    "Drama", "Noir Thriller", "Historical Epic", "Science Fantasy",
+    "Romantic Comedy", "Psychological Mystery", "Documentary", "Western",
+    "Political Satire", "Adventure", "Coming-of-age", "Musical",
+    "Speculative Fiction", "Crime Procedural", "Biographical Drama",
+    "Folk Horror",
+]
+
+_RELIGIONS = [
+    "Aurelianism", "The Meridian Faith", "Solarian Creed", "Veritism",
+    "The Old Covenant", "Luminism", "The Quiet Path", "Emberite Tradition",
+]
+
+_LANGUAGES = [
+    "Valdorian", "Ostrine", "Caelic", "Merish", "Drayvic", "Fennish",
+    "Galdric", "Harvan", "Istrian", "Kessric", "Lunari", "Nordalic",
+]
+
+
+class NameGenerator:
+    """Produces unique, deterministic names for each entity category.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal random generator.  Two generators built with
+        the same seed emit identical name sequences.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._used: set[str] = set()
+
+    def _unique(self, candidates_factory, max_attempts: int = 200) -> str:
+        """Draw names until an unused one appears, then register it."""
+        for __ in range(max_attempts):
+            name = candidates_factory()
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Deterministic fallback: append a numeric disambiguator.
+        base = candidates_factory()
+        suffix = 2
+        while f"{base} {_roman(suffix)}" in self._used:
+            suffix += 1
+        name = f"{base} {_roman(suffix)}"
+        self._used.add(name)
+        return name
+
+    def person(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_PERSON_FIRST)} {self._rng.choice(_PERSON_LAST)}"
+        )
+
+    def city(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_PLACE_PREFIX)}{self._rng.choice(_PLACE_SUFFIX)}"
+        )
+
+    def country(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_COUNTRY_STEM)}{self._rng.choice(_COUNTRY_SUFFIX)}"
+        )
+
+    def organization(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_ORG_PREFIX)} {self._rng.choice(_ORG_SUFFIX)}"
+        )
+
+    def university(self, city_name: str | None = None) -> str:
+        def build() -> str:
+            kind = self._rng.choice(_UNIVERSITY_KIND)
+            anchor = city_name or f"{self._rng.choice(_PLACE_PREFIX)}{self._rng.choice(_PLACE_SUFFIX)}"
+            return f"{anchor} {kind}"
+
+        return self._unique(build)
+
+    def film(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_FILM_FIRST)} {self._rng.choice(_FILM_SECOND)}"
+        )
+
+    def book(self, place_name: str | None = None) -> str:
+        def build() -> str:
+            opener = self._rng.choice(_BOOK_PATTERN_FIRST)
+            anchor = place_name or f"{self._rng.choice(_PLACE_PREFIX)}{self._rng.choice(_PLACE_SUFFIX)}"
+            return f"{opener} {anchor}"
+
+        return self._unique(build)
+
+    def band(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_BAND_FIRST)} {self._rng.choice(_BAND_SECOND)}"
+        )
+
+    def award(self) -> str:
+        return self._unique(
+            lambda: f"{self._rng.choice(_AWARD_STEM)} {self._rng.choice(_AWARD_KIND)}"
+        )
+
+    def sports_team(self, city_name: str | None = None) -> str:
+        def build() -> str:
+            anchor = city_name or f"{self._rng.choice(_PLACE_PREFIX)}{self._rng.choice(_PLACE_SUFFIX)}"
+            return f"{anchor} {self._rng.choice(_TEAM_SUFFIX)}"
+
+        return self._unique(build)
+
+    def genre_pool(self) -> List[str]:
+        """Genres are a small closed vocabulary rather than generated names."""
+        return list(_GENRES)
+
+    def religion_pool(self) -> List[str]:
+        return list(_RELIGIONS)
+
+    def language_pool(self) -> List[str]:
+        return list(_LANGUAGES)
+
+    def year(self, start: int = 1850, end: int = 2020) -> int:
+        """A year literal used for temporal facts."""
+        return self._rng.randint(start, end)
+
+
+def _roman(value: int) -> str:
+    """Small roman-numeral helper for disambiguating duplicate names."""
+    numerals = [
+        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"),
+        (90, "XC"), (50, "L"), (40, "XL"), (10, "X"), (9, "IX"),
+        (5, "V"), (4, "IV"), (1, "I"),
+    ]
+    out: List[str] = []
+    remaining = value
+    for amount, symbol in numerals:
+        while remaining >= amount:
+            out.append(symbol)
+            remaining -= amount
+    return "".join(out)

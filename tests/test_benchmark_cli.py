@@ -1,0 +1,62 @@
+"""Tests for the command-line interface that regenerates tables and figures."""
+
+import io
+
+import pytest
+
+from repro.benchmark import EXPERIMENTS, run_experiment
+from repro.benchmark.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiment == "table5"
+        assert args.scale == pytest.approx(0.05)
+
+    def test_experiment_choices_cover_all_tables_and_figures(self):
+        expected = {
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "table8", "table9", "figure2", "figure3", "figure4",
+            "corpus-stats", "ablation", "baselines",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--experiment", "table99"])
+
+
+class TestRunExperiment:
+    def test_table2_renders(self, runner):
+        rendered = run_experiment("table2", runner)
+        assert "Table 2" in rendered
+        assert "factbench" in rendered
+
+    def test_table4_renders_without_running_grid(self, runner):
+        rendered = run_experiment("table4", runner)
+        assert "Sliding Window" in rendered
+
+    def test_unknown_experiment_raises(self, runner):
+        with pytest.raises(KeyError):
+            run_experiment("tableX", runner)
+
+
+class TestMain:
+    def test_main_writes_output_file(self, tmp_path):
+        output = tmp_path / "table2.txt"
+        stream = io.StringIO()
+        code = main(
+            [
+                "--experiment", "table2",
+                "--scale", "0.01",
+                "--max-facts", "12",
+                "--world-scale", "0.12",
+                "--documents-per-fact", "6",
+                "--output", str(output),
+            ],
+            stream=stream,
+        )
+        assert code == 0
+        assert "Table 2" in stream.getvalue()
+        assert output.read_text(encoding="utf-8").strip()

@@ -1,0 +1,89 @@
+"""Tests for the benchmark configuration and runner."""
+
+import pytest
+
+from repro.benchmark import ExperimentConfig, PAPER_SCALE_CONFIG, QUICK_CONFIG
+
+
+class TestConfig:
+    def test_default_grid_models_include_commercial(self):
+        config = ExperimentConfig()
+        assert config.grid_models()[-1] == "gpt-4o-mini"
+        assert len(config.grid_models()) == 5
+
+    def test_commercial_can_be_excluded(self):
+        config = ExperimentConfig(include_commercial_in_grid=False)
+        assert "gpt-4o-mini" not in config.grid_models()
+
+    def test_paper_scale_config_is_full_size(self):
+        assert PAPER_SCALE_CONFIG.scale == 1.0
+        assert PAPER_SCALE_CONFIG.max_facts_per_dataset is None
+        assert PAPER_SCALE_CONFIG.documents_per_fact == 154
+
+    def test_quick_config_is_small(self):
+        assert QUICK_CONFIG.scale < 0.5
+
+    def test_rag_config_propagates_serp_depth(self):
+        config = ExperimentConfig(serp_results_per_query=33)
+        assert config.rag_config().serp_results_per_query == 33
+
+
+class TestRunner:
+    def test_datasets_match_config(self, runner):
+        datasets = runner.datasets()
+        assert set(datasets) == set(runner.config.datasets)
+        for dataset in datasets.values():
+            assert len(dataset) <= runner.config.max_facts_per_dataset
+
+    def test_dataset_unknown_name_raises(self, runner):
+        with pytest.raises(KeyError):
+            runner.dataset("wikidata")
+
+    def test_dataset_cached(self, runner):
+        assert runner.dataset("factbench") is runner.dataset("factbench")
+
+    def test_corpus_and_search_api_cached(self, runner):
+        assert runner.corpus("factbench") is runner.corpus("factbench")
+        assert runner.search_api("factbench") is runner.search_api("factbench")
+
+    def test_encoding_selection(self, runner):
+        assert runner.encoding("yago").name == "yago"
+        assert runner.encoding("factbench").name == "dbpedia"
+
+    def test_build_strategy_unknown_method(self, runner):
+        with pytest.raises(KeyError):
+            runner.build_strategy("chain-of-thought", "factbench", runner.registry.get("gemma2:9b"))
+
+    def test_run_is_cached(self, runner):
+        first = runner.run("dka", "factbench", "gemma2:9b")
+        second = runner.run("dka", "factbench", "gemma2:9b")
+        assert first is second
+        assert len(first) == len(runner.dataset("factbench"))
+
+    def test_runs_for_returns_all_ensemble_models(self, runner):
+        runs = runner.runs_for("dka", "factbench")
+        assert set(runs) == set(runner.config.models)
+
+    def test_consensus_and_alignment(self, runner):
+        consensus = runner.consensus("dka", "factbench", judge="none")
+        assert 0.0 <= consensus.tie_rate() <= 1.0
+        alignment = runner.alignment("dka", "factbench")
+        assert set(alignment) == set(runner.config.models)
+        assert all(0.0 <= value <= 1.0 for value in alignment.values())
+
+    def test_consensus_with_commercial_judge_resolves_ties(self, runner):
+        plain = runner.consensus("dka", "factbench", judge="none")
+        judged = runner.consensus("dka", "factbench", judge="commercial")
+        unresolved = sum(1 for o in judged.outcomes if o.verdict.value == "tie")
+        assert unresolved <= sum(1 for o in plain.outcomes if o.verdict.value == "tie")
+        assert judged.judge.startswith("commercial:")
+
+    def test_judge_selection_uses_upgrades(self, runner):
+        name = runner._select_judge_model("dka", "cons-up")
+        assert name in {"gemma2:27b", "qwen2.5:14b", "llama3.1:70b", "mistral-nemo:12b"}
+
+    def test_build_rag_dataset_stats(self, runner):
+        records, stats = runner.build_rag_dataset("factbench", max_facts=5)
+        assert stats.num_facts == 5
+        assert stats.avg_questions_per_fact >= 2
+        assert set(records) <= {fact.fact_id for fact in runner.dataset("factbench")}

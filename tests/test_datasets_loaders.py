@@ -1,0 +1,63 @@
+"""Tests for JSONL dataset serialization."""
+
+import json
+
+from repro.datasets import fact_from_record, fact_to_record, load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_record_roundtrip_preserves_fields(self, factbench_small):
+        fact = factbench_small[0]
+        restored = fact_from_record(fact_to_record(fact))
+        assert restored == fact
+
+    def test_save_and_load(self, tmp_path, factbench_small):
+        path = tmp_path / "facts.jsonl"
+        save_dataset(factbench_small, path)
+        loaded = load_dataset(path)
+        assert loaded.name == factbench_small.name
+        assert len(loaded) == len(factbench_small)
+        assert loaded.facts() == factbench_small.facts()
+
+    def test_saved_file_is_jsonl(self, tmp_path, factbench_small):
+        path = save_dataset(factbench_small, tmp_path / "facts.jsonl")
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == len(factbench_small)
+        record = json.loads(lines[0])
+        assert {"fact_id", "subject", "predicate", "object", "label"} <= set(record)
+
+    def test_load_with_name_override(self, tmp_path, factbench_small):
+        path = save_dataset(factbench_small, tmp_path / "facts.jsonl")
+        loaded = load_dataset(path, name="custom")
+        assert loaded.name == "custom"
+
+    def test_load_skips_blank_lines(self, tmp_path, factbench_small):
+        path = tmp_path / "facts.jsonl"
+        save_dataset(factbench_small, path)
+        content = path.read_text(encoding="utf-8") + "\n\n"
+        path.write_text(content, encoding="utf-8")
+        assert len(load_dataset(path)) == len(factbench_small)
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        dataset = load_dataset(path)
+        assert len(dataset) == 0
+        assert dataset.name == "empty"
+
+    def test_optional_fields_default(self):
+        record = {
+            "fact_id": "x-1",
+            "subject": "s",
+            "predicate": "p",
+            "object": "o",
+            "label": True,
+            "dataset": "x",
+            "subject_name": "S",
+            "object_name": "O",
+            "predicate_name": "p",
+        }
+        fact = fact_from_record(record)
+        assert fact.category == "role"
+        assert fact.topic == "General"
+        assert fact.base_predicate() == "p"

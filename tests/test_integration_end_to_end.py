@@ -1,0 +1,80 @@
+"""End-to-end integration tests: from world generation to consensus verdicts."""
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.datasets import load_dataset, save_dataset
+from repro.evaluation import classwise_f1_from_run
+from repro.validation import Verdict
+
+
+@pytest.fixture(scope="module")
+def tiny_runner():
+    """A fully independent, very small runner (exercises the whole stack fresh)."""
+    config = ExperimentConfig(
+        scale=0.01,
+        max_facts_per_dataset=14,
+        world_scale=0.12,
+        documents_per_fact=7,
+        serp_results_per_query=10,
+        datasets=("factbench", "yago"),
+        seed=23,
+    )
+    return BenchmarkRunner(config)
+
+
+class TestEndToEnd:
+    def test_every_method_produces_full_runs(self, tiny_runner):
+        for method in tiny_runner.config.methods:
+            run = tiny_runner.run(method, "factbench", "gemma2:9b")
+            assert len(run) == len(tiny_runner.dataset("factbench"))
+            answered = [r for r in run.results if r.verdict in (Verdict.TRUE, Verdict.FALSE)]
+            assert len(answered) >= len(run.results) * 0.7
+
+    def test_rag_uses_evidence_for_most_facts(self, tiny_runner):
+        run = tiny_runner.run("rag", "factbench", "gemma2:9b")
+        with_evidence = [r for r in run.results if r.num_evidence_chunks > 0]
+        assert len(with_evidence) >= len(run.results) * 0.6
+
+    def test_consensus_pipeline_end_to_end(self, tiny_runner):
+        consensus = tiny_runner.consensus("dka", "factbench", judge="commercial")
+        assert len(consensus) == len(tiny_runner.dataset("factbench"))
+        predictions = consensus.predictions()
+        assert any(value is not None for value in predictions.values())
+
+    def test_results_are_reproducible_across_runners(self):
+        config = ExperimentConfig(
+            scale=0.01,
+            max_facts_per_dataset=10,
+            world_scale=0.12,
+            documents_per_fact=6,
+            serp_results_per_query=8,
+            datasets=("factbench",),
+            seed=31,
+        )
+        run_a = BenchmarkRunner(config).run("dka", "factbench", "mistral:7b")
+        run_b = BenchmarkRunner(config).run("dka", "factbench", "mistral:7b")
+        assert run_a.verdicts() == run_b.verdicts()
+        assert run_a.latencies() == run_b.latencies()
+
+    def test_f1_better_than_random_on_factbench(self, tiny_runner):
+        run = tiny_runner.run("rag", "factbench", "gemma2:9b")
+        scores = classwise_f1_from_run(run)
+        assert scores.f1_true > 0.5
+
+    def test_dataset_roundtrip_through_disk_preserves_results(self, tiny_runner, tmp_path):
+        dataset = tiny_runner.dataset("factbench")
+        path = save_dataset(dataset, tmp_path / "factbench.jsonl")
+        reloaded = load_dataset(path)
+        strategy = tiny_runner.build_strategy("dka", "factbench", tiny_runner.registry.get("gemma2:9b"))
+        original = {fact.fact_id: strategy.validate(fact).verdict for fact in dataset}
+        restored = {fact.fact_id: strategy.validate(fact).verdict for fact in reloaded}
+        assert original == restored
+
+    def test_telemetry_accumulates_across_methods(self, tiny_runner):
+        tiny_runner.run("dka", "factbench", "gemma2:9b")
+        tiny_runner.run("rag", "factbench", "gemma2:9b")
+        tasks = tiny_runner.telemetry.by_task()
+        assert "dka" in tasks
+        assert "rag" in tasks
+        assert "transform" in tasks or "question-generation" in tasks

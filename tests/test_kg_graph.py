@@ -1,0 +1,118 @@
+"""Tests for the indexed triple store and its path queries."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph, Triple
+
+
+@pytest.fixture
+def small_graph():
+    graph = KnowledgeGraph("test")
+    triples = [
+        Triple("alice", "spouse", "bob"),
+        Triple("alice", "birthPlace", "springfield"),
+        Triple("bob", "birthPlace", "springfield"),
+        Triple("springfield", "locatedIn", "freedonia"),
+        Triple("alice", "employer", "acme"),
+        Triple("bob", "employer", "acme"),
+        Triple("carol", "birthPlace", "shelbyville"),
+    ]
+    graph.add_all(triples)
+    return graph
+
+
+class TestMutation:
+    def test_add_returns_true_then_false(self):
+        graph = KnowledgeGraph()
+        triple = Triple("a", "p", "b")
+        assert graph.add(triple) is True
+        assert graph.add(triple) is False
+        assert len(graph) == 1
+
+    def test_remove(self, small_graph):
+        triple = Triple("alice", "spouse", "bob")
+        assert small_graph.remove(triple) is True
+        assert triple not in small_graph
+        assert small_graph.remove(triple) is False
+
+    def test_remove_updates_indexes(self, small_graph):
+        small_graph.remove(Triple("alice", "employer", "acme"))
+        assert "acme" not in small_graph.objects("alice", "employer")
+        assert ("employer", "acme") not in small_graph.out_edges("alice")
+
+
+class TestQueries:
+    def test_contains(self, small_graph):
+        assert small_graph.contains("alice", "spouse", "bob")
+        assert not small_graph.contains("bob", "spouse", "alice")
+
+    def test_objects_and_subjects(self, small_graph):
+        assert small_graph.objects("alice", "birthPlace") == ["springfield"]
+        assert small_graph.subjects("birthPlace", "springfield") == ["alice", "bob"]
+
+    def test_predicates_between(self, small_graph):
+        assert small_graph.predicates_between("alice", "bob") == ["spouse"]
+
+    def test_triples_with_predicate(self, small_graph):
+        triples = small_graph.triples_with_predicate("birthPlace")
+        assert len(triples) == 3
+        assert all(t.predicate == "birthPlace" for t in triples)
+
+    def test_degree_counts_both_directions(self, small_graph):
+        # springfield: 2 incoming birthPlace + 1 outgoing locatedIn.
+        assert small_graph.degree("springfield") == 3
+
+    def test_nodes_cover_subjects_and_objects(self, small_graph):
+        nodes = small_graph.nodes()
+        assert "freedonia" in nodes and "alice" in nodes
+
+    def test_neighbors_have_directions(self, small_graph):
+        steps = small_graph.neighbors("springfield")
+        directions = {(predicate, direction) for predicate, direction, __ in steps}
+        assert ("locatedIn", +1) in directions
+        assert ("birthPlace", -1) in directions
+
+
+class TestPaths:
+    def test_finds_indirect_path(self, small_graph):
+        paths = small_graph.find_paths("alice", "bob", max_length=2)
+        signatures = {KnowledgeGraph.path_signature(path) for path in paths}
+        # alice -birthPlace-> springfield <-birthPlace- bob
+        assert (("birthPlace", 1), ("birthPlace", -1)) in signatures
+
+    def test_exclude_direct_edge(self, small_graph):
+        paths = small_graph.find_paths(
+            "alice", "bob", max_length=1, exclude=Triple("alice", "spouse", "bob")
+        )
+        assert paths == []
+
+    def test_direct_edge_found_when_not_excluded(self, small_graph):
+        paths = small_graph.find_paths("alice", "bob", max_length=1)
+        assert (("spouse", 1),) in {KnowledgeGraph.path_signature(p) for p in paths}
+
+    def test_same_node_returns_empty(self, small_graph):
+        assert small_graph.find_paths("alice", "alice") == []
+
+    def test_max_paths_cap(self, small_graph):
+        paths = small_graph.find_paths("alice", "bob", max_length=3, max_paths=1)
+        assert len(paths) == 1
+
+    def test_paths_are_simple(self, small_graph):
+        for path in small_graph.find_paths("alice", "freedonia", max_length=3):
+            nodes = [node for __, ___, node in path]
+            assert len(nodes) == len(set(nodes))
+
+
+class TestExports:
+    def test_to_networkx_preserves_edge_count(self, small_graph):
+        graph = small_graph.to_networkx()
+        assert graph.number_of_edges() == len(small_graph)
+
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.add(Triple("new", "p", "node"))
+        assert len(clone) == len(small_graph) + 1
+
+    def test_iteration_sorted(self, small_graph):
+        listed = list(small_graph)
+        assert listed == sorted(listed)

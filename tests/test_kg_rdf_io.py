@@ -1,0 +1,89 @@
+"""Tests for N-Triples import/export of knowledge graphs."""
+
+import pytest
+
+from repro.kg import (
+    KnowledgeGraph,
+    Triple,
+    load_ntriples,
+    parse_triple_line,
+    save_ntriples,
+    serialize_triple,
+)
+
+
+class TestSerialization:
+    def test_iri_terms_bracketed(self):
+        triple = Triple(
+            "http://dbpedia.org/resource/Marie_Curie",
+            "http://dbpedia.org/ontology/birthPlace",
+            "http://dbpedia.org/resource/Warsaw",
+        )
+        line = serialize_triple(triple)
+        assert line.startswith("<http://dbpedia.org/resource/Marie_Curie>")
+        assert line.endswith(" .")
+
+    def test_plain_terms_become_literals(self):
+        line = serialize_triple(Triple("Marie Curie", "birthPlace", "Warsaw Town"))
+        assert '"Marie Curie"' in line and '"Warsaw Town"' in line
+
+    def test_quotes_escaped(self):
+        line = serialize_triple(Triple('The "Quoted" Name', "p", "o"))
+        restored = parse_triple_line(line)
+        assert restored.subject == 'The "Quoted" Name'
+
+    def test_roundtrip_mixed_encodings(self):
+        triples = [
+            Triple("http://dbpedia.org/resource/A", "http://dbpedia.org/ontology/p", "Literal value"),
+            Triple("<Albert_Einstein>", "<wasBornIn>", "<Ulm>"),
+            Triple("plain subject", "plainPredicate", "plain object"),
+        ]
+        for triple in triples:
+            assert parse_triple_line(serialize_triple(triple)) == triple
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_triple_line('"only" "two terms" .')
+        with pytest.raises(ValueError):
+            parse_triple_line('"a" "b" "c"')  # missing terminal dot
+
+
+class TestFileRoundTrip:
+    def test_save_and_load_graph(self, tmp_path):
+        graph = KnowledgeGraph("original")
+        graph.add_all(
+            [
+                Triple("alice", "spouse", "bob"),
+                Triple("alice", "birthPlace", "springfield"),
+                Triple("http://dbpedia.org/resource/X", "http://dbpedia.org/ontology/p", "y"),
+            ]
+        )
+        path = save_ntriples(graph, tmp_path / "graph.nt")
+        loaded = load_ntriples(path, name="copy")
+        assert len(loaded) == len(graph)
+        assert set(loaded) == set(graph)
+        assert loaded.name == "copy"
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "graph.nt"
+        path.write_text(
+            '# a comment line\n\n"alice" "spouse" "bob" .\n', encoding="utf-8"
+        )
+        graph = load_ntriples(path)
+        assert len(graph) == 1
+
+    def test_load_reports_line_number_on_error(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text('"alice" "spouse" "bob" .\nnot a triple\n', encoding="utf-8")
+        with pytest.raises(ValueError) as excinfo:
+            load_ntriples(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_save_reference_graph_sample(self, tmp_path, world):
+        from repro.baselines import build_reference_graph
+
+        graph = build_reference_graph(world)
+        sample = list(graph)[:50]
+        path = save_ntriples(sample, tmp_path / "sample.nt")
+        loaded = load_ntriples(path)
+        assert len(loaded) == len(set(sample))

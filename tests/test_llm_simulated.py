@@ -1,0 +1,215 @@
+"""Tests for the world-grounded simulated LLM."""
+
+import pytest
+
+from repro.llm import SimulatedLLM, create_model, get_profile
+from repro.validation.prompts import parse_questions, parse_verdict
+
+
+@pytest.fixture(scope="module")
+def sample_facts(factbench_small):
+    positives = [fact for fact in factbench_small if fact.label][:10]
+    negatives = [fact for fact in factbench_small if not fact.label][:10]
+    return positives, negatives
+
+
+class TestDeterminism:
+    def test_same_prompt_same_fact_same_response(self, world, factbench_small):
+        model_a = create_model("gemma2:9b", world, seed=1)
+        model_b = create_model("gemma2:9b", world, seed=1)
+        fact = factbench_small[0]
+        meta = {"task": "verify", "fact": fact, "method": "dka"}
+        response_a = model_a.generate("prompt", metadata=meta)
+        response_b = model_b.generate("prompt", metadata=meta)
+        assert response_a.text == response_b.text
+        assert response_a.latency_seconds == response_b.latency_seconds
+
+    def test_different_models_differ_somewhere(self, world, factbench_small):
+        gemma = create_model("gemma2:9b", world, seed=1)
+        mistral = create_model("mistral:7b", world, seed=1)
+        differing = 0
+        for fact in factbench_small.facts()[:30]:
+            meta = {"task": "verify", "fact": fact, "method": "dka"}
+            if gemma.generate("p", metadata=meta).text != mistral.generate("p", metadata=meta).text:
+                differing += 1
+        assert differing > 0
+
+
+class TestVerification:
+    def test_responses_parse_to_verdicts(self, gemma, factbench_small):
+        parsed = 0
+        for fact in factbench_small.facts()[:40]:
+            response = gemma.generate(
+                "p", metadata={"task": "verify", "fact": fact, "method": "dka"}
+            )
+            if parse_verdict(response.text) is not None:
+                parsed += 1
+        # format_compliance is ~0.97, so nearly all responses must parse.
+        assert parsed >= 35
+
+    def test_structured_mode_emits_json(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate(
+            "p",
+            metadata={"task": "verify", "fact": fact, "method": "giv-f",
+                      "structured": True, "few_shot": True},
+        )
+        if parse_verdict(response.text) is not None:
+            assert '"verdict"' in response.text
+
+    def test_accuracy_better_than_chance_on_popular_facts(self, gemma, factbench_small):
+        correct = 0
+        total = 0
+        for fact in factbench_small:
+            if fact.popularity < 0.5:
+                continue
+            response = gemma.generate(
+                "p", metadata={"task": "verify", "fact": fact, "method": "dka"}
+            )
+            verdict = parse_verdict(response.text)
+            if verdict is None:
+                continue
+            total += 1
+            correct += int(verdict == fact.label)
+        if total >= 5:
+            assert correct / total > 0.5
+
+    def test_supporting_evidence_pushes_toward_true(self, world, factbench_small):
+        gemma = create_model("gemma2:9b", world, seed=2)
+        positives = [fact for fact in factbench_small if fact.label][:20]
+        agree = 0
+        answered = 0
+        for fact in positives:
+            evidence = [f"{fact.subject_name} is documented together with {fact.object_name}."]
+            response = gemma.generate(
+                "p",
+                metadata={"task": "verify", "fact": fact, "method": "rag",
+                          "evidence": evidence, "structured": True},
+            )
+            verdict = parse_verdict(response.text)
+            if verdict is None:
+                continue
+            answered += 1
+            agree += int(verdict is True)
+        assert answered > 0
+        assert agree / answered > 0.8
+
+    def test_refuting_evidence_pushes_toward_false(self, world, factbench_small):
+        gemma = create_model("gemma2:9b", world, seed=2)
+        negatives = [
+            fact for fact in factbench_small
+            if not fact.label and fact.negative_strategy == "object-range"
+        ][:20]
+        said_false = 0
+        answered = 0
+        for fact in negatives:
+            subject = world.entity_by_name(fact.subject_name)
+            if subject is None:
+                continue
+            true_objects = world.true_objects(subject.entity_id, fact.base_predicate())
+            if not true_objects:
+                continue
+            alternative = world.name(true_objects[0])
+            evidence = [f"{fact.subject_name} is associated with {alternative} in every record."]
+            response = gemma.generate(
+                "p",
+                metadata={"task": "verify", "fact": fact, "method": "rag",
+                          "evidence": evidence, "structured": True},
+            )
+            verdict = parse_verdict(response.text)
+            if verdict is None:
+                continue
+            answered += 1
+            said_false += int(verdict is False)
+        if answered >= 5:
+            assert said_false / answered > 0.6
+
+    def test_commercial_model_sceptical_without_evidence(self, world, factbench_small):
+        gpt = create_model("gpt-4o-mini", world, seed=2)
+        positives = [fact for fact in factbench_small if fact.label]
+        said_true = 0
+        answered = 0
+        for fact in positives:
+            response = gpt.generate(
+                "p", metadata={"task": "verify", "fact": fact, "method": "dka"}
+            )
+            verdict = parse_verdict(response.text)
+            if verdict is None:
+                continue
+            answered += 1
+            said_true += int(verdict is True)
+        # The conservative commercial profile endorses far fewer true facts.
+        assert answered > 0
+        assert said_true / answered < 0.75
+
+    def test_reprompt_attempt_improves_compliance(self, world, factbench_small):
+        llama = create_model("llama3.1:8b", world, seed=5)
+        fact = factbench_small[1]
+        non_compliant_first = 0
+        compliant_second = 0
+        for fact in factbench_small.facts()[:40]:
+            first = llama.generate(
+                "p", metadata={"task": "verify", "fact": fact, "method": "giv-z",
+                               "structured": True, "attempt": 0},
+            )
+            if parse_verdict(first.text) is None:
+                non_compliant_first += 1
+                second = llama.generate(
+                    "p", metadata={"task": "verify", "fact": fact, "method": "giv-z",
+                                   "structured": True, "attempt": 1},
+                )
+                compliant_second += int(parse_verdict(second.text) is not None)
+        if non_compliant_first:
+            assert compliant_second >= 0  # retries never crash; usually recover
+
+
+class TestAuxiliaryTasks:
+    def test_transform_produces_sentence(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate("p", metadata={"task": "transform", "fact": fact})
+        assert fact.subject_name in response.text
+        assert response.text.strip().endswith((".", "?"))
+
+    def test_question_generation_yields_parseable_questions(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate(
+            "p", metadata={"task": "generate_questions", "fact": fact, "num_questions": 10}
+        )
+        questions = parse_questions(response.text)
+        assert 2 <= len(questions) <= 10
+        assert any(fact.subject_name in question for question in questions)
+
+    def test_error_explanation_mentions_entities(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate(
+            "p", metadata={"task": "explain_error", "fact": fact, "had_evidence": False}
+        )
+        assert fact.subject_name in response.text
+
+    def test_error_explanation_missing_context(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate(
+            "p",
+            metadata={"task": "explain_error", "fact": fact,
+                      "had_evidence": True, "evidence_useful": False},
+        )
+        assert "context" in response.text.lower()
+
+    def test_generic_task(self, gemma):
+        response = gemma.generate("Summarize the weather.")
+        assert response.text
+
+
+class TestAccounting:
+    def test_token_counts_reflect_prompt_length(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        short = gemma.generate("short", metadata={"task": "verify", "fact": fact, "method": "dka"})
+        long = gemma.generate("long " * 300, metadata={"task": "verify", "fact": fact, "method": "dka"})
+        assert long.prompt_tokens > short.prompt_tokens
+        assert long.latency_seconds > short.latency_seconds
+
+    def test_latency_positive(self, gemma, factbench_small):
+        fact = factbench_small[0]
+        response = gemma.generate("p", metadata={"task": "verify", "fact": fact, "method": "dka"})
+        assert response.latency_seconds > 0
+        assert response.total_tokens == response.prompt_tokens + response.completion_tokens

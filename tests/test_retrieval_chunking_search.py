@@ -1,0 +1,176 @@
+"""Tests for chunking, the BM25 search engine, the synthetic web, and the mock API."""
+
+import pytest
+
+from repro.retrieval import (
+    Corpus,
+    Document,
+    MockSearchAPI,
+    SearchEngine,
+    SlidingWindowChunker,
+    WebCorpusConfig,
+    WebCorpusGenerator,
+    split_sentences,
+)
+
+
+class TestSentenceSplitting:
+    def test_split_basic(self):
+        sentences = split_sentences("One. Two! Three?")
+        assert sentences == ["One.", "Two!", "Three?"]
+
+    def test_split_empty(self):
+        assert split_sentences("   ") == []
+
+
+class TestChunker:
+    def test_short_text_single_chunk(self):
+        chunker = SlidingWindowChunker(window_size=3, stride=2)
+        chunks = chunker.chunk_text("Only one sentence here.", doc_id="d")
+        assert len(chunks) == 1
+        assert chunks[0].doc_id == "d"
+
+    def test_empty_text_no_chunks(self):
+        assert SlidingWindowChunker().chunk_text("") == []
+
+    def test_windows_overlap(self):
+        text = "S1 alpha. S2 beta. S3 gamma. S4 delta. S5 epsilon."
+        chunks = SlidingWindowChunker(window_size=3, stride=2).chunk_text(text)
+        assert len(chunks) >= 2
+        assert "S3 gamma." in chunks[0].text and "S3 gamma." in chunks[1].text
+
+    def test_all_sentences_covered(self):
+        text = " ".join(f"Sentence number {i}." for i in range(10))
+        chunks = SlidingWindowChunker(window_size=3, stride=2).chunk_text(text)
+        combined = " ".join(chunk.text for chunk in chunks)
+        for i in range(10):
+            assert f"Sentence number {i}." in combined
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SlidingWindowChunker(window_size=0)
+        with pytest.raises(ValueError):
+            SlidingWindowChunker(stride=0)
+
+    def test_chunk_documents(self):
+        documents = [
+            Document("d1", "u1", "t", "A one. A two. A three. A four.", "s"),
+            Document("d2", "u2", "t", "", "s"),
+        ]
+        chunks = SlidingWindowChunker().chunk_documents(documents)
+        assert all(chunk.doc_id == "d1" for chunk in chunks)
+
+
+class TestSearchEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        corpus = Corpus(
+            [
+                Document("d1", "u1", "Aldric Fenwick profile",
+                         "Aldric Fenwick was born in Brimworth. He studied at Oakmere College.",
+                         "encyclia.org"),
+                Document("d2", "u2", "Brimworth overview",
+                         "Brimworth is located in Valdoria. The town has a famous harbor.",
+                         "openalmanac.org"),
+                Document("d3", "u3", "Unrelated finance news",
+                         "Quarterly results exceeded expectations across all divisions.",
+                         "dailyherald.example"),
+                Document("d4", "u4", "Empty page", "", "factfile.info"),
+            ]
+        )
+        return SearchEngine(corpus)
+
+    def test_entity_query_finds_profile_first(self, engine):
+        results = engine.search("Where was Aldric Fenwick born?")
+        assert results
+        assert results[0].document.doc_id == "d1"
+
+    def test_num_results_respected(self, engine):
+        assert len(engine.search("Brimworth", num_results=1)) == 1
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+
+    def test_snippet_contains_query_term_context(self, engine):
+        results = engine.search("Brimworth harbor")
+        assert any("Brimworth" in result.snippet for result in results)
+
+    def test_unmatched_query_returns_nothing_relevant(self, engine):
+        results = engine.search("zzzz qqqq xxxx")
+        assert results == []
+
+    def test_scores_are_descending(self, engine):
+        results = engine.search("Brimworth Valdoria harbor")
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestWebCorpusGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self, world, factbench_small):
+        generator = WebCorpusGenerator(world, WebCorpusConfig(documents_per_fact=12, seed=2))
+        fact = next(fact for fact in factbench_small if fact.label)
+        return fact, generator.documents_for_fact(fact)
+
+    def test_document_mix(self, generated):
+        __, documents = generated
+        kinds = {doc.kind for doc in documents}
+        assert "profile" in kinds
+        assert "empty" in kinds or "noise" in kinds
+
+    def test_empty_documents_have_no_text(self, generated):
+        __, documents = generated
+        for doc in documents:
+            if doc.kind == "empty":
+                assert doc.is_empty
+
+    def test_kg_origin_documents_on_kg_domains(self, generated):
+        __, documents = generated
+        for doc in documents:
+            if doc.kind == "kg-origin":
+                assert doc.source in ("en.wikipedia.org", "dbpedia.org")
+
+    def test_profile_documents_mention_subject(self, generated):
+        fact, documents = generated
+        profiles = [doc for doc in documents if doc.kind == "profile"]
+        assert profiles
+        assert all(fact.subject_name in doc.title for doc in profiles)
+
+    def test_corpus_provenance_and_coverage(self, world, factbench_small):
+        generator = WebCorpusGenerator(world, WebCorpusConfig(documents_per_fact=10, seed=3))
+        corpus = generator.build_corpus(factbench_small.facts()[:6])
+        stats = corpus.stats()
+        assert stats["num_facts_with_documents"] == 6
+        assert 0.6 < stats["text_coverage_rate"] <= 1.0
+
+    def test_deterministic_per_fact(self, world, factbench_small):
+        fact = factbench_small[0]
+        first = WebCorpusGenerator(world, WebCorpusConfig(seed=4)).documents_for_fact(fact)
+        second = WebCorpusGenerator(world, WebCorpusConfig(seed=4)).documents_for_fact(fact)
+        assert [d.text for d in first] == [d.text for d in second]
+
+
+class TestMockSearchAPI:
+    def test_search_returns_serp_entries(self, search_api):
+        results = search_api.search("profile and background", num=5)
+        assert len(results) <= 5
+        for rank, entry in enumerate(results, start=1):
+            assert entry.rank == rank
+            assert entry.url.startswith("https://")
+
+    def test_fetch_content_roundtrip(self, search_api, corpus_small):
+        document = next(doc for doc in corpus_small if not doc.is_empty)
+        assert search_api.fetch_content(document.url) == document.text
+        assert search_api.fetch_document(document.url).doc_id == document.doc_id
+
+    def test_fetch_unknown_url(self, search_api):
+        assert search_api.fetch_content("https://unknown.example/page") is None
+
+    def test_query_log_records_parameters(self, search_api):
+        search_api.reset_log()
+        search_api.search("some query", gl="us", num=3)
+        log = search_api.query_log()
+        assert log[-1]["q"] == "some query"
+        assert log[-1]["num"] == "3"
+        search_api.reset_log()
+        assert search_api.query_log() == []

@@ -1,0 +1,122 @@
+"""Tests for majority-vote consensus and consensus alignment."""
+
+import pytest
+
+from repro.validation import (
+    MajorityVoteConsensus,
+    ValidationResult,
+    ValidationRun,
+    Verdict,
+    consensus_alignment,
+    majority_vote,
+)
+
+
+def _result(fact_id, verdict, gold, model="m", method="dka"):
+    return ValidationResult(
+        fact_id=fact_id,
+        verdict=verdict,
+        gold_label=gold,
+        model=model,
+        method=method,
+        latency_seconds=0.1,
+        prompt_tokens=10,
+        completion_tokens=5,
+    )
+
+
+def _run(model, verdicts, gold):
+    run = ValidationRun(method="dka", model=model, dataset="synthetic")
+    for index, (verdict, label) in enumerate(zip(verdicts, gold)):
+        run.add(_result(f"f{index}", verdict, label, model=model))
+    return run
+
+
+class TestMajorityVote:
+    def test_unanimous_true(self):
+        assert majority_vote([True, True, True, True]) is Verdict.TRUE
+
+    def test_three_to_one(self):
+        assert majority_vote([True, True, True, False]) is Verdict.TRUE
+        assert majority_vote([False, False, False, True]) is Verdict.FALSE
+
+    def test_tie(self):
+        assert majority_vote([True, True, False, False]) is Verdict.TIE
+
+    def test_invalid_votes_ignored(self):
+        assert majority_vote([True, True, True, None]) is Verdict.TRUE
+        assert majority_vote([True, None, False, None]) is Verdict.TIE
+
+    def test_majority_threshold_not_met_falls_back_to_plurality(self):
+        # 2 true vs 1 false with one abstention: no >=3 majority, not a tie.
+        assert majority_vote([True, True, False, None]) is Verdict.TRUE
+
+
+class TestAggregation:
+    @pytest.fixture
+    def runs(self):
+        gold = [True, True, False, True]
+        return {
+            "m1": _run("m1", [Verdict.TRUE, Verdict.TRUE, Verdict.FALSE, Verdict.TRUE], gold),
+            "m2": _run("m2", [Verdict.TRUE, Verdict.TRUE, Verdict.TRUE, Verdict.FALSE], gold),
+            "m3": _run("m3", [Verdict.TRUE, Verdict.FALSE, Verdict.FALSE, Verdict.TRUE], gold),
+            "m4": _run("m4", [Verdict.TRUE, Verdict.FALSE, Verdict.TRUE, Verdict.FALSE], gold),
+        }
+
+    def test_aggregate_without_judge(self, runs):
+        consensus = MajorityVoteConsensus().aggregate(runs)
+        assert len(consensus) == 4
+        by_fact = {outcome.fact_id: outcome for outcome in consensus.outcomes}
+        assert by_fact["f0"].verdict is Verdict.TRUE
+        assert by_fact["f1"].verdict is Verdict.TIE
+        assert by_fact["f2"].verdict is Verdict.TIE
+        assert by_fact["f3"].verdict is Verdict.TIE
+        assert consensus.tie_rate() == pytest.approx(0.75)
+
+    def test_aggregate_with_judge_resolves_ties(self, runs):
+        consensus = MajorityVoteConsensus().aggregate(
+            runs, judge_fn=lambda fact_id: True, judge_name="always-true"
+        )
+        assert all(outcome.verdict is not Verdict.TIE for outcome in consensus.outcomes)
+        arbitrated = [outcome for outcome in consensus.outcomes if outcome.arbitrated]
+        assert len(arbitrated) == 3
+
+    def test_judge_returning_none_keeps_tie(self, runs):
+        consensus = MajorityVoteConsensus().aggregate(
+            runs, judge_fn=lambda fact_id: None, judge_name="silent"
+        )
+        assert any(outcome.verdict is Verdict.TIE for outcome in consensus.outcomes)
+
+    def test_majority_labels(self, runs):
+        consensus = MajorityVoteConsensus().aggregate(runs)
+        labels = consensus.majority_labels()
+        assert labels["f0"] is True
+        assert labels["f1"] is None
+
+    def test_outcome_correctness(self, runs):
+        consensus = MajorityVoteConsensus().aggregate(runs)
+        outcome = next(o for o in consensus.outcomes if o.fact_id == "f0")
+        assert outcome.is_correct is True
+        tie = next(o for o in consensus.outcomes if o.verdict is Verdict.TIE)
+        assert tie.is_correct is None
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityVoteConsensus().aggregate({})
+
+    def test_alignment_scores(self, runs):
+        aggregator = MajorityVoteConsensus()
+        consensus = aggregator.aggregate(runs)
+        scores = aggregator.alignment_scores(runs, consensus)
+        assert set(scores) == set(runs)
+        # Only f0 has a strict majority, which every model agrees with.
+        assert all(score == 1.0 for score in scores.values())
+
+    def test_consensus_alignment_direct(self, runs):
+        majority = {"f0": True, "f1": False, "f2": False, "f3": True}
+        score = consensus_alignment(runs["m1"], majority)
+        assert score == pytest.approx(3 / 4)
+
+    def test_alignment_empty_run(self):
+        empty = ValidationRun(method="dka", model="m", dataset="d")
+        assert consensus_alignment(empty, {"f0": True}) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for deterministic name generation."""
+
+from repro.worldmodel.names import NameGenerator, _roman
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        first = NameGenerator(seed=42)
+        second = NameGenerator(seed=42)
+        assert [first.person() for _ in range(20)] == [second.person() for _ in range(20)]
+
+    def test_different_seed_different_sequence(self):
+        first = [NameGenerator(seed=1).person() for _ in range(10)]
+        second = [NameGenerator(seed=2).person() for _ in range(10)]
+        assert first != second
+
+
+class TestUniqueness:
+    def test_persons_unique(self):
+        generator = NameGenerator(seed=0)
+        names = [generator.person() for _ in range(500)]
+        assert len(set(names)) == 500
+
+    def test_cities_unique(self):
+        generator = NameGenerator(seed=0)
+        names = [generator.city() for _ in range(300)]
+        assert len(set(names)) == 300
+
+    def test_uniqueness_across_categories_within_one_generator(self):
+        generator = NameGenerator(seed=0)
+        names = [generator.country() for _ in range(60)]
+        names += [generator.organization() for _ in range(60)]
+        assert len(set(names)) == len(names)
+
+    def test_exhaustion_falls_back_to_roman_suffix(self):
+        generator = NameGenerator(seed=0)
+        # Far more award names than raw combinations (12 stems x 6 kinds = 72).
+        names = [generator.award() for _ in range(200)]
+        assert len(set(names)) == 200
+        assert any(name.split()[-1] in {"II", "III", "IV", "V"} for name in names)
+
+
+class TestShapes:
+    def test_person_has_first_and_last(self):
+        name = NameGenerator(seed=7).person()
+        assert len(name.split()) == 2
+
+    def test_university_anchored_to_city(self):
+        generator = NameGenerator(seed=7)
+        name = generator.university("Brimworth")
+        assert name.startswith("Brimworth")
+
+    def test_team_anchored_to_city(self):
+        generator = NameGenerator(seed=7)
+        name = generator.sports_team("Oakmere")
+        assert name.startswith("Oakmere")
+
+    def test_year_in_range(self):
+        generator = NameGenerator(seed=7)
+        for _ in range(50):
+            assert 1900 <= generator.year(1900, 1950) <= 1950
+
+    def test_pools_are_copies(self):
+        generator = NameGenerator(seed=7)
+        pool = generator.genre_pool()
+        pool.append("Mutated")
+        assert "Mutated" not in generator.genre_pool()
+
+
+class TestRoman:
+    def test_small_values(self):
+        assert _roman(2) == "II"
+        assert _roman(4) == "IV"
+        assert _roman(9) == "IX"
+
+    def test_larger_value(self):
+        assert _roman(1987) == "MCMLXXXVII"
