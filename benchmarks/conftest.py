@@ -5,6 +5,15 @@ scale (the paper-scale configuration is documented in
 ``repro.benchmark.config.PAPER_SCALE_CONFIG``); every ``bench_*`` module
 regenerates one table or figure from it and prints the rows so the output can
 be compared side-by-side with the paper.
+
+Perf runs should emit machine-readable JSON for the BENCH_* trajectory::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpaths.py -q -s \
+        --benchmark-json=benchmarks/out/hotpaths.json
+
+(``--benchmark-json`` is provided by pytest-benchmark; ``benchmarks/out/``
+is the conventional output location — create it first.  See
+``benchmarks/README.md`` for the full invocation matrix.)
 """
 
 from __future__ import annotations

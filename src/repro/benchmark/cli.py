@@ -199,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--world-scale", type=float, default=0.3, help="Synthetic world population scale.")
     parser.add_argument("--documents-per-fact", type=int, default=14, help="Average corpus documents per fact.")
     parser.add_argument("--seed", type=int, default=7, help="Master seed.")
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        help=(
+            "Pre-run the FULL configured method x dataset x model grid over "
+            "N worker processes before rendering (default 1 = serial; "
+            "verdicts are identical).  Worth it for grid-wide experiments "
+            "(table5/table8/all); single-slice experiments run less work "
+            "without it."
+        ),
+    )
     parser.add_argument("--output", default=None, help="Optional file to write the rendered output to.")
     return parser
 
@@ -229,6 +241,10 @@ def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
         seed=args.seed,
     )
     runner = BenchmarkRunner(config)
+    if args.parallel > 1:
+        # Populate the grid cache concurrently; the renderers then only hit
+        # cached cells (deterministic — verdicts match a serial run).
+        runner.run_grid(parallel=args.parallel)
     rendered = run_experiment(args.experiment, runner)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -5,12 +5,21 @@ rule-based checker operate directly over a knowledge graph: they need fast
 neighbour expansion, degree statistics, and bounded path enumeration.  This
 module provides a lightweight in-memory triple store with SPO/POS/OSP
 indexes and a NetworkX export for the flow-based baseline.
+
+Internally every node and predicate is interned to a small integer and the
+adjacency is kept as per-node edge lists over those integers, so the hot
+traversal loops (``neighbors``, ``find_paths``) touch ints and flat lists
+instead of hashing strings.  ``find_paths`` runs a meet-in-the-middle
+search: a backward breadth-first sweep from the target labels every node
+with its distance lower bound, and the forward enumeration prunes any
+branch that provably cannot meet the target within the hop budget.  The
+result (content *and* order) is identical to a plain forward BFS.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -23,6 +32,9 @@ __all__ = ["KnowledgeGraph", "Path", "PathStep"]
 PathStep = Tuple[str, int, str]
 Path = Tuple[PathStep, ...]
 
+#: Internal step over interned ids: (predicate id, direction, node id).
+_IdStep = Tuple[int, int, int]
+
 
 class KnowledgeGraph:
     """A directed, labelled multigraph of triples with standard KG indexes."""
@@ -30,11 +42,51 @@ class KnowledgeGraph:
     def __init__(self, name: str = "kg") -> None:
         self.name = name
         self._triples: Set[Triple] = set()
-        self._spo: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: Dict[str, Dict[str, Set[str]]] = defaultdict(lambda: defaultdict(set))
-        self._out_edges: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
-        self._in_edges: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        self._spo: Dict[str, Dict[str, Set[str]]] = {}
+        self._pos: Dict[str, Dict[str, Set[str]]] = {}
+        self._osp: Dict[str, Dict[str, Set[str]]] = {}
+        # Interning tables: every node / predicate string maps to a dense id.
+        self._node_ids: Dict[str, int] = {}
+        self._node_names: List[str] = []
+        self._pred_ids: Dict[str, int] = {}
+        self._pred_names: List[str] = []
+        # Per-node edge lists over interned ids, insertion-ordered with O(1)
+        # membership and removal: list index `node id` -> {(pred, other): None}.
+        self._out: List[Dict[Tuple[int, int], None]] = []
+        self._in: List[Dict[Tuple[int, int], None]] = []
+        # Lazily materialised per-node step lists used by the traversal
+        # kernels; entry is None when the node's adjacency changed.
+        self._steps_cache: List[Optional[List[_IdStep]]] = []
+
+    # -- interning ----------------------------------------------------------
+
+    def _intern_node(self, name: str) -> int:
+        node_id = self._node_ids.get(name)
+        if node_id is None:
+            node_id = len(self._node_names)
+            self._node_ids[name] = node_id
+            self._node_names.append(name)
+            self._out.append({})
+            self._in.append({})
+            self._steps_cache.append(None)
+        return node_id
+
+    def _intern_predicate(self, name: str) -> int:
+        pred_id = self._pred_ids.get(name)
+        if pred_id is None:
+            pred_id = len(self._pred_names)
+            self._pred_ids[name] = pred_id
+            self._pred_names.append(name)
+        return pred_id
+
+    def _steps(self, node_id: int) -> List[_IdStep]:
+        """Undirected neighbour steps of one node, over interned ids."""
+        steps = self._steps_cache[node_id]
+        if steps is None:
+            steps = [(p, +1, o) for p, o in self._out[node_id]]
+            steps.extend((p, -1, s) for p, s in self._in[node_id])
+            self._steps_cache[node_id] = steps
+        return steps
 
     # -- mutation -----------------------------------------------------------
 
@@ -44,11 +96,16 @@ class KnowledgeGraph:
             return False
         self._triples.add(triple)
         s, p, o = triple.as_tuple()
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
-        self._out_edges[s].append((p, o))
-        self._in_edges[o].append((p, s))
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        s_id = self._intern_node(s)
+        o_id = self._intern_node(o)
+        p_id = self._intern_predicate(p)
+        self._out[s_id][(p_id, o_id)] = None
+        self._in[o_id][(p_id, s_id)] = None
+        self._steps_cache[s_id] = None
+        self._steps_cache[o_id] = None
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -61,12 +118,38 @@ class KnowledgeGraph:
             return False
         self._triples.discard(triple)
         s, p, o = triple.as_tuple()
-        self._spo[s][p].discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
-        self._out_edges[s].remove((p, o))
-        self._in_edges[o].remove((p, s))
+        self._discard_index(self._spo, s, p, o)
+        self._discard_index(self._pos, p, o, s)
+        self._discard_index(self._osp, o, s, p)
+        s_id = self._node_ids[s]
+        o_id = self._node_ids[o]
+        p_id = self._pred_ids[p]
+        del self._out[s_id][(p_id, o_id)]
+        del self._in[o_id][(p_id, s_id)]
+        self._steps_cache[s_id] = None
+        self._steps_cache[o_id] = None
         return True
+
+    @staticmethod
+    def _discard_index(
+        index: Dict[str, Dict[str, Set[str]]], a: str, b: str, c: str
+    ) -> None:
+        """Remove ``c`` from ``index[a][b]``, pruning empty shells.
+
+        Leaving empty dict/set shells behind would make ``predicates()`` and
+        ``nodes()`` report ghosts for fully removed keys.
+        """
+        inner = index.get(a)
+        if inner is None:
+            return
+        values = inner.get(b)
+        if values is None:
+            return
+        values.discard(c)
+        if not values:
+            del inner[b]
+            if not inner:
+                del index[a]
 
     # -- basic queries ------------------------------------------------------
 
@@ -101,28 +184,47 @@ class KnowledgeGraph:
         return sorted(self._pos)
 
     def nodes(self) -> List[str]:
-        seen: Set[str] = set(self._out_edges) | set(self._in_edges)
-        return sorted(seen)
+        """Nodes that participate in at least one triple."""
+        return sorted(
+            name
+            for name, node_id in self._node_ids.items()
+            if self._out[node_id] or self._in[node_id]
+        )
 
     def out_edges(self, node: str) -> List[Tuple[str, str]]:
         """Outgoing ``(predicate, object)`` pairs for a node."""
-        return list(self._out_edges.get(node, ()))
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            return []
+        names, preds = self._node_names, self._pred_names
+        return [(preds[p], names[o]) for p, o in self._out[node_id]]
 
     def in_edges(self, node: str) -> List[Tuple[str, str]]:
         """Incoming ``(predicate, subject)`` pairs for a node."""
-        return list(self._in_edges.get(node, ()))
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            return []
+        names, preds = self._node_names, self._pred_names
+        return [(preds[p], names[s]) for p, s in self._in[node_id]]
 
     def degree(self, node: str) -> int:
-        return len(self._out_edges.get(node, ())) + len(self._in_edges.get(node, ()))
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            return 0
+        return len(self._out[node_id]) + len(self._in[node_id])
 
     # -- path queries (used by the internal-KG baselines) --------------------
 
     def neighbors(self, node: str) -> List[Tuple[str, int, str]]:
         """Undirected neighbourhood as ``(predicate, direction, node)`` steps."""
-        steps: List[Tuple[str, int, str]] = []
-        steps.extend((p, +1, o) for p, o in self._out_edges.get(node, ()))
-        steps.extend((p, -1, s) for p, s in self._in_edges.get(node, ()))
-        return steps
+        node_id = self._node_ids.get(node)
+        if node_id is None:
+            return []
+        names, preds = self._node_names, self._pred_names
+        return [
+            (preds[p], direction, names[other])
+            for p, direction, other in self._steps(node_id)
+        ]
 
     def find_paths(
         self,
@@ -143,37 +245,92 @@ class KnowledgeGraph:
             Enumeration cap that keeps the baselines tractable on dense
             graphs; the search is breadth-first so the shortest paths are
             kept.
+
+        The search meets in the middle: a backward BFS from ``target``
+        labels nodes with a hop-count lower bound, and the forward BFS skips
+        every branch whose frontier node cannot reach the target within its
+        remaining budget.  Pruning only removes provably dead branches, so
+        the enumerated paths — and their order — match a full forward BFS.
         """
         if source == target:
             return []
-        excluded_edge: Optional[Tuple[str, str, str]] = (
-            exclude.as_tuple() if exclude is not None else None
-        )
-        paths: List[Path] = []
-        queue: deque[Tuple[str, Path, frozenset]] = deque()
-        queue.append((source, (), frozenset({source})))
+        source_id = self._node_ids.get(source)
+        target_id = self._node_ids.get(target)
+        if source_id is None or target_id is None:
+            return []
+
+        distance = self._distances_to(target_id, max_length)
+        if distance.get(source_id, max_length + 1) > max_length:
+            return []
+
+        excluded_edge = self._intern_edge(exclude)
+        paths: List[Tuple[_IdStep, ...]] = []
+        # Queue entries: (node id, path steps, nodes already on the path).
+        queue: deque = deque()
+        queue.append((source_id, (), (source_id,)))
+        steps_of = self._steps
         while queue and len(paths) < max_paths:
-            node, path, visited = queue.popleft()
-            if len(path) >= max_length:
+            node_id, path, visited = queue.popleft()
+            budget = max_length - len(path)
+            if budget <= 0:
                 continue
-            for predicate, direction, neighbor in self.neighbors(node):
-                if neighbor in visited:
+            for step in steps_of(node_id):
+                pred_id, direction, neighbor_id = step
+                if neighbor_id in visited:
                     continue
                 if excluded_edge is not None:
-                    forward = (node, predicate, neighbor)
-                    backward = (neighbor, predicate, node)
-                    if direction == +1 and forward == excluded_edge:
+                    edge = (
+                        (node_id, pred_id, neighbor_id)
+                        if direction == +1
+                        else (neighbor_id, pred_id, node_id)
+                    )
+                    if edge == excluded_edge:
                         continue
-                    if direction == -1 and backward == excluded_edge:
-                        continue
-                new_path = path + ((predicate, direction, neighbor),)
-                if neighbor == target:
-                    paths.append(new_path)
+                if neighbor_id == target_id:
+                    paths.append(path + (step,))
                     if len(paths) >= max_paths:
                         break
                     continue
-                queue.append((neighbor, new_path, visited | {neighbor}))
-        return paths
+                # Meet-in-the-middle prune: the neighbour must be able to
+                # reach the target with the budget left after this hop.
+                if distance.get(neighbor_id, max_length + 1) > budget - 1:
+                    continue
+                queue.append((neighbor_id, path + (step,), visited + (neighbor_id,)))
+
+        names, preds = self._node_names, self._pred_names
+        return [
+            tuple((preds[p], direction, names[n]) for p, direction, n in path)
+            for path in paths
+        ]
+
+    def _distances_to(self, target_id: int, max_length: int) -> Dict[int, int]:
+        """Backward BFS: hop-count lower bound from every node to the target."""
+        distance: Dict[int, int] = {target_id: 0}
+        frontier = [target_id]
+        steps_of = self._steps
+        for hops in range(1, max_length + 1):
+            next_frontier: List[int] = []
+            for node_id in frontier:
+                for __, ___, neighbor_id in steps_of(node_id):
+                    if neighbor_id not in distance:
+                        distance[neighbor_id] = hops
+                        next_frontier.append(neighbor_id)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return distance
+
+    def _intern_edge(self, triple: Optional[Triple]) -> Optional[Tuple[int, int, int]]:
+        """Interned (s, p, o) of a triple, or None when absent from the graph."""
+        if triple is None:
+            return None
+        s, p, o = triple.as_tuple()
+        s_id = self._node_ids.get(s)
+        p_id = self._pred_ids.get(p)
+        o_id = self._node_ids.get(o)
+        if s_id is None or p_id is None or o_id is None:
+            return None
+        return (s_id, p_id, o_id)
 
     @staticmethod
     def path_signature(path: Path) -> Tuple[Tuple[str, int], ...]:

@@ -79,6 +79,10 @@ class TelemetryCollector:
         self._records.append(record)
         return record
 
+    def extend(self, records: Iterable[CallRecord]) -> None:
+        """Append already-built records (e.g. collected in worker processes)."""
+        self._records.extend(records)
+
     def records(
         self, model: Optional[str] = None, task: Optional[str] = None
     ) -> List[CallRecord]:

@@ -6,6 +6,7 @@ BM25 engine plays the role of the search API, and deterministic
 lexical/embedding scorers stand in for the cross-encoder rerankers.
 """
 
+from .cache import LRUCache
 from .chunking import Chunk, SlidingWindowChunker, split_sentences
 from .corpus import Corpus, Document
 from .embeddings import HashingEmbedder, cosine_similarity
@@ -20,6 +21,7 @@ __all__ = [
     "CrossEncoderReranker",
     "Document",
     "HashingEmbedder",
+    "LRUCache",
     "MockSearchAPI",
     "ScoredText",
     "SearchEngine",

@@ -1,0 +1,56 @@
+"""Bounded LRU cache shared by the retrieval components.
+
+The embedder and the cross-encoder both memoize per-text computations
+(embedding vectors, term sets) that recur heavily across facts and models.
+The seed implementation used a dict that was *cleared* whenever it filled
+up, which threw away the hottest entries exactly when the pipeline needed
+them most; this module provides proper least-recently-used eviction instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping that evicts the least-recently-used entry.
+
+    Reads (:meth:`get`) refresh recency; writes insert at the most-recent
+    end and evict from the least-recent end once ``capacity`` is exceeded.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership does not refresh recency; use get() on the hot path.
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -6,6 +6,12 @@ count vector, applies sub-linear term scaling, and L2-normalises, which is
 enough to provide a meaningful semantic-proximity ordering over the
 synthetic corpus (documents and questions sharing entity mentions and
 relation words land close together).
+
+Embeddings are memoized with bounded LRU eviction (documents and chunks
+recur across facts and models in the RAG pipeline), token->bucket hashes
+are cached separately, and :meth:`HashingEmbedder.embed_many` builds whole
+batches through a single vectorised scatter-add instead of one Python loop
+per text.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ import re
 from typing import Iterable, List, Sequence
 
 import numpy as np
+
+from .cache import LRUCache
 
 __all__ = ["HashingEmbedder", "cosine_similarity"]
 
@@ -38,19 +46,21 @@ class HashingEmbedder:
         if dimensions <= 0:
             raise ValueError("dimensions must be positive")
         self.dimensions = dimensions
-        self._cache_size = cache_size
-        self._cache: dict[str, np.ndarray] = {}
+        self._cache = LRUCache(cache_size)
+        # Token hashes are tiny and shared across every text; a generous
+        # bound keeps the whole (finite) corpus vocabulary resident.
+        self._buckets = LRUCache(max(cache_size, 200_000))
 
     def _bucket(self, token: str) -> int:
-        digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
-        return int.from_bytes(digest, "big") % self.dimensions
+        bucket = self._buckets.get(token)
+        if bucket is None:
+            digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+            bucket = int.from_bytes(digest, "big") % self.dimensions
+            self._buckets.put(token, bucket)
+        return bucket
 
     def embed(self, text: str) -> np.ndarray:
-        """Embed one text; empty text maps to the zero vector.
-
-        Embeddings are memoized (documents recur across facts and models in
-        the RAG pipeline), with a bounded cache that resets when full.
-        """
+        """Embed one text; empty text maps to the zero vector."""
         cached = self._cache.get(text)
         if cached is not None:
             return cached
@@ -62,15 +72,64 @@ class HashingEmbedder:
         norm = np.linalg.norm(vector)
         if norm > 0:
             vector /= norm
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[text] = vector
+        self._cache.put(text, vector)
         return vector
 
     def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a batch of texts as one ``(len(texts), dimensions)`` matrix.
+
+        Cached texts are fetched; the misses are tokenised together and
+        accumulated with a single scatter-add, then normalised row-wise.
+        """
         if not texts:
             return np.zeros((0, self.dimensions), dtype=float)
-        return np.vstack([self.embed(text) for text in texts])
+        matrix = np.empty((len(texts), self.dimensions), dtype=float)
+        miss_positions: List[int] = []
+        for position, text in enumerate(texts):
+            cached = self._cache.get(text)
+            if cached is not None:
+                matrix[position] = cached
+            else:
+                miss_positions.append(position)
+        if miss_positions:
+            rows: List[int] = []
+            cols: List[int] = []
+            for row, position in enumerate(miss_positions):
+                for token in _tokens(texts[position]):
+                    rows.append(row)
+                    cols.append(self._bucket(token))
+            counts = np.zeros((len(miss_positions), self.dimensions), dtype=float)
+            if rows:
+                np.add.at(counts, (rows, cols), 1.0)
+            counts = np.sqrt(counts)
+            norms = np.linalg.norm(counts, axis=1)
+            nonzero = norms > 0
+            counts[nonzero] /= norms[nonzero, np.newaxis]
+            for row, position in enumerate(miss_positions):
+                vector = counts[row].copy()
+                self._cache.put(texts[position], vector)
+                matrix[position] = vector
+        return matrix
+
+    def warm(self, texts: Iterable[str], batch_size: int = 4096) -> int:
+        """Pre-populate the cache with a corpus; returns how many were new.
+
+        Used to build the corpus-level embedding matrix once so downstream
+        rerankers never re-embed documents per query.  The cache grows to
+        hold the whole warmed corpus (otherwise a corpus larger than the
+        LRU bound would silently thrash, paying the warm-up cost for
+        nothing), and the batch is chunked so very large corpora never
+        materialise one giant intermediate matrix.
+        """
+        fresh = [text for text in dict.fromkeys(texts) if text not in self._cache]
+        if not fresh:
+            return 0
+        needed = len(self._cache) + len(fresh)
+        if self._cache.capacity < needed:
+            self._cache.capacity = needed
+        for start in range(0, len(fresh), batch_size):
+            self.embed_many(fresh[start : start + batch_size])
+        return len(fresh)
 
     def similarity(self, text_a: str, text_b: str) -> float:
         return cosine_similarity(self.embed(text_a), self.embed(text_b))

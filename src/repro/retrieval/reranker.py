@@ -7,6 +7,11 @@ the :class:`CrossEncoderReranker` plays both roles: it combines token
 containment (how much of the query is covered by the candidate) with the
 hashed-embedding cosine similarity, mapped through a sigmoid so scores live
 in ``[0, 1]`` like the paper's sigmoid-scaled dot-product scores.
+
+Ranking is batched: the candidates are embedded as one matrix (served from
+the embedder's LRU cache after the first pass) and scored against the query
+vector with a single matrix-vector product, so re-ranking the same corpus
+documents across many facts never re-embeds them.
 """
 
 from __future__ import annotations
@@ -14,8 +19,11 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
+from .cache import LRUCache
 from .embeddings import HashingEmbedder
 
 __all__ = ["CrossEncoderReranker", "ScoredText"]
@@ -46,7 +54,7 @@ class CrossEncoderReranker:
         self.lexical_weight = lexical_weight
         self.semantic_weight = semantic_weight
         self.bias = bias
-        self._term_cache: dict[str, frozenset] = {}
+        self._term_cache = LRUCache(50000)
 
     def score(self, query: str, candidate: str) -> float:
         """Relevance of ``candidate`` to ``query`` in ``[0, 1]``."""
@@ -59,11 +67,42 @@ class CrossEncoderReranker:
 
     def rank(self, query: str, candidates: Sequence[str]) -> List[ScoredText]:
         """Rank candidates by decreasing relevance (ties broken by index)."""
+        scores = self.score_batch(query, candidates)
         scored = [
-            ScoredText(index=index, text=candidate, score=self.score(query, candidate))
+            ScoredText(index=index, text=candidate, score=scores[index])
             for index, candidate in enumerate(candidates)
         ]
         return sorted(scored, key=lambda item: (-item.score, item.index))
+
+    def score_batch(self, query: str, candidates: Sequence[str]) -> List[float]:
+        """Scores of every candidate against one query, in candidate order."""
+        if not candidates:
+            return []
+        if not query.strip():
+            return [0.0] * len(candidates)
+        query_vector = self.embedder.embed(query)
+        matrix = self.embedder.embed_many(candidates)
+        # Rows and query are unit-or-zero vectors, so the dot product *is*
+        # the cosine (zero rows contribute a 0 dot, matching the
+        # cosine-of-zero-vector convention).
+        semantic = matrix @ query_vector
+        query_terms = self._terms(query)
+        scores: List[float] = []
+        for index, candidate in enumerate(candidates):
+            if not candidate.strip():
+                scores.append(0.0)
+                continue
+            if query_terms:
+                lexical = len(query_terms & self._terms(candidate)) / len(query_terms)
+            else:
+                lexical = 0.0
+            logit = (
+                self.lexical_weight * lexical
+                + self.semantic_weight * float(semantic[index])
+                + self.bias
+            )
+            scores.append(1.0 / (1.0 + math.exp(-logit)))
+        return scores
 
     def top_k(self, query: str, candidates: Sequence[str], k: int) -> List[ScoredText]:
         return self.rank(query, candidates)[: max(0, k)]
@@ -74,14 +113,27 @@ class CrossEncoderReranker:
         """Candidates whose score is at least ``threshold``, ranked."""
         return [item for item in self.rank(query, candidates) if item.score >= threshold]
 
+    def precompute(self, texts: Iterable[str]) -> int:
+        """Warm the embedding and term caches for a corpus of candidate texts.
+
+        Called once per dataset so the per-fact ranking passes reuse the
+        corpus-level embedding matrix instead of re-embedding documents per
+        query; returns the number of texts that were actually new.
+        """
+        unique = list(dict.fromkeys(texts))
+        needed = len(self._term_cache) + len(unique)
+        if self._term_cache.capacity < needed:
+            self._term_cache.capacity = needed
+        for text in unique:
+            self._terms(text)
+        return self.embedder.warm(unique)
+
     def _terms(self, text: str) -> frozenset:
         """Memoized term set (candidates recur heavily across queries)."""
         cached = self._term_cache.get(text)
         if cached is None:
             cached = frozenset(_WORD_RE.findall(text.lower()))
-            if len(self._term_cache) >= 50000:
-                self._term_cache.clear()
-            self._term_cache[text] = cached
+            self._term_cache.put(text, cached)
         return cached
 
     def _containment(self, query: str, candidate: str) -> float:

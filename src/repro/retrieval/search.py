@@ -1,12 +1,21 @@
-"""BM25 search engine over the synthetic corpus (the "Google" of the benchmark)."""
+"""BM25 search engine over the synthetic corpus (the "Google" of the benchmark).
+
+The index stores postings as contiguous NumPy arrays — one ``(doc indices,
+term frequencies)`` pair per interned term — with the IDF and document
+length-normalisation vectors precomputed at build time.  Query scoring is a
+vectorised accumulation over the matched postings and top-k selection uses
+``argpartition`` instead of sorting every candidate, which together make
+single-query latency independent of Python-level per-posting work.
+"""
 
 from __future__ import annotations
 
-import math
 import re
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from .corpus import Corpus, Document
 
@@ -48,62 +57,115 @@ class SearchEngine:
         self.b = b
         self.title_weight = title_weight
         self._doc_ids: List[str] = []
-        self._doc_lengths: List[float] = []
-        self._postings: Dict[str, List[tuple]] = defaultdict(list)
-        self._document_frequency: Counter = Counter()
+        self._term_ids: Dict[str, int] = {}
+        self._posting_docs: List[np.ndarray] = []
+        self._posting_tfs: List[np.ndarray] = []
+        self._idf: np.ndarray = np.zeros(0)
+        self._length_norm: np.ndarray = np.zeros(0)
         self._avg_length = 0.0
         self._build_index()
 
     def _build_index(self) -> None:
+        term_ids = self._term_ids
+        posting_docs: List[List[int]] = []
+        posting_tfs: List[List[float]] = []
+        doc_lengths: List[float] = []
         for document in self.corpus:
-            tokens = _tokenize(document.text)
-            title_tokens = _tokenize(document.title)
-            weighted = Counter(tokens)
-            for token in title_tokens:
+            weighted = Counter(_tokenize(document.text))
+            for token in _tokenize(document.title):
                 weighted[token] += self.title_weight
             index = len(self._doc_ids)
             self._doc_ids.append(document.doc_id)
-            length = sum(weighted.values())
-            self._doc_lengths.append(length)
+            doc_lengths.append(sum(weighted.values()))
             for term, frequency in weighted.items():
-                self._postings[term].append((index, frequency))
-                self._document_frequency[term] += 1
-        total = sum(self._doc_lengths)
-        self._avg_length = total / len(self._doc_lengths) if self._doc_lengths else 0.0
+                term_id = term_ids.get(term)
+                if term_id is None:
+                    term_id = len(term_ids)
+                    term_ids[term] = term_id
+                    posting_docs.append([])
+                    posting_tfs.append([])
+                posting_docs[term_id].append(index)
+                posting_tfs[term_id].append(frequency)
+        self._posting_docs = [np.asarray(docs, dtype=np.int64) for docs in posting_docs]
+        self._posting_tfs = [np.asarray(tfs, dtype=np.float64) for tfs in posting_tfs]
+        lengths = np.asarray(doc_lengths, dtype=np.float64)
+        self._avg_length = float(lengths.mean()) if len(lengths) else 0.0
+        # Precomputed per-document BM25 length normalisation.
+        if self._avg_length:
+            self._length_norm = 1.0 - self.b + self.b * (lengths / self._avg_length)
+        else:
+            self._length_norm = np.ones_like(lengths)
+        n = len(self._doc_ids)
+        document_frequency = np.asarray(
+            [len(docs) for docs in self._posting_docs], dtype=np.float64
+        )
+        self._idf = np.log(1.0 + (n - document_frequency + 0.5) / (document_frequency + 0.5))
 
     def __len__(self) -> int:
         return len(self._doc_ids)
 
-    def _idf(self, term: str) -> float:
-        n = len(self._doc_ids)
-        df = self._document_frequency.get(term, 0)
-        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
-
     def search(self, query: str, num_results: int = 100) -> List[SearchResult]:
         """Rank documents for a query; returns up to ``num_results`` hits."""
         query_terms = _tokenize(query)
-        if not query_terms or not self._doc_ids:
+        if not query_terms or not self._doc_ids or num_results <= 0:
             return []
-        scores: Dict[int, float] = defaultdict(float)
-        for term in query_terms:
-            idf = self._idf(term)
+        scores = np.zeros(len(self._doc_ids), dtype=np.float64)
+        touched: List[np.ndarray] = []
+        k1 = self.k1
+        for term, occurrences in Counter(query_terms).items():
+            term_id = self._term_ids.get(term)
+            if term_id is None:
+                continue
+            idf = self._idf[term_id]
             if idf <= 0.0:
                 continue
-            for index, tf in self._postings.get(term, ()):
-                length_norm = 1.0 - self.b + self.b * (
-                    self._doc_lengths[index] / self._avg_length if self._avg_length else 1.0
-                )
-                scores[index] += idf * (tf * (self.k1 + 1.0)) / (tf + self.k1 * length_norm)
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:num_results]
+            docs = self._posting_docs[term_id]
+            tfs = self._posting_tfs[term_id]
+            scores[docs] += (occurrences * idf * (k1 + 1.0)) * tfs / (
+                tfs + k1 * self._length_norm[docs]
+            )
+            touched.append(docs)
+        if not touched:
+            return []
+        candidates = np.unique(np.concatenate(touched))
+        candidate_scores = scores[candidates]
+        top = self._top_k(candidates, candidate_scores, num_results)
         results: List[SearchResult] = []
-        for index, score in ranked:
+        for index in top:
             document = self.corpus.get(self._doc_ids[index])
             if document is None:
                 continue
             results.append(
-                SearchResult(document=document, score=score, snippet=self._snippet(document, query_terms))
+                SearchResult(
+                    document=document,
+                    score=float(scores[index]),
+                    snippet=self._snippet(document, query_terms),
+                )
             )
         return results
+
+    @staticmethod
+    def _top_k(candidates: np.ndarray, candidate_scores: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the top-k candidates ordered by (-score, doc index).
+
+        ``argpartition`` narrows the field before the final (small) sort; the
+        partition boundary is handled explicitly so score ties are broken by
+        ascending document index exactly like a full sort would.
+        """
+        if len(candidates) > k:
+            part = np.argpartition(-candidate_scores, k - 1)[:k]
+            threshold = candidate_scores[part].min()
+            above = candidate_scores > threshold
+            tied = np.flatnonzero(candidate_scores == threshold)
+            missing = k - int(above.sum())
+            if missing < len(tied):
+                # Ties at the boundary resolve to the smallest doc indices.
+                tied = tied[np.argsort(candidates[tied], kind="stable")[:missing]]
+            keep = np.concatenate([np.flatnonzero(above), tied])
+        else:
+            keep = np.arange(len(candidates))
+        order = np.lexsort((candidates[keep], -candidate_scores[keep]))
+        return candidates[keep][order]
 
     @staticmethod
     def _snippet(document: Document, query_terms: Sequence[str], width: int = 160) -> str:

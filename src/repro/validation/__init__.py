@@ -17,7 +17,12 @@ from .consensus import (
 from .dka import DirectKnowledgeAssessment
 from .giv import GuidedIterativeVerification
 from .hybrid import HybridConfig, HybridValidator
-from .pipeline import StrategyFactory, ValidationPipeline, run_matrix
+from .pipeline import (
+    ParallelValidationPipeline,
+    StrategyFactory,
+    ValidationPipeline,
+    run_matrix,
+)
 from .prompts import (
     FEW_SHOT_EXAMPLES,
     dka_prompt,
@@ -63,6 +68,7 @@ __all__ = [
     "RetrievedEvidence",
     "StrategyFactory",
     "TripleTransformer",
+    "ParallelValidationPipeline",
     "ValidationPipeline",
     "ValidationResult",
     "ValidationRun",

@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TypeVar
 
 from ..datasets.base import FactDataset, LabeledFact
 from ..llm.base import LLMClient
 from ..llm.telemetry import TelemetryCollector
 from .base import ValidationResult, ValidationRun, ValidationStrategy, Verdict
 
-__all__ = ["ValidationPipeline", "StrategyFactory", "run_matrix"]
+__all__ = [
+    "ValidationPipeline",
+    "ParallelValidationPipeline",
+    "StrategyFactory",
+    "run_matrix",
+]
 
 #: Builds a strategy for a given model; used to run the same method across
 #: the whole model zoo.
@@ -52,6 +58,55 @@ class ValidationPipeline:
         return {
             name: self.run(factory(model), dataset) for name, model in sorted(models.items())
         }
+
+
+_Cell = TypeVar("_Cell")
+
+
+class ParallelValidationPipeline(ValidationPipeline):
+    """A :class:`ValidationPipeline` that fans independent work over processes.
+
+    Validation cells — e.g. the ``(method, dataset, model)`` combinations of
+    the benchmark grid — are mutually independent and fully deterministic
+    (the simulated models derive every decision from stable hashes), so they
+    can execute concurrently without changing any verdict.
+
+    The pool uses the ``fork`` start method: workers inherit the heavyweight
+    substrates (world model, corpora, search indexes) through copy-on-write
+    memory instead of pickling them, so the submitted callable only needs to
+    name its work item.  Results are returned in submission order, which
+    makes the merge deterministic regardless of worker scheduling.  On
+    platforms without ``fork`` the pipeline degrades to an in-process loop.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        telemetry: Optional[TelemetryCollector] = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+    ) -> None:
+        super().__init__(telemetry, progress)
+        self.workers = max(1, int(workers))
+
+    @staticmethod
+    def supports_fork() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def map_cells(
+        self, worker: Callable[[_Cell], Any], cells: Sequence[_Cell]
+    ) -> List[Any]:
+        """Apply ``worker`` to every cell; results come back in cell order.
+
+        ``worker`` must be a module-level (picklable) callable; the state it
+        needs beyond the cell itself should be reachable from globals set up
+        before the fork.
+        """
+        items = list(cells)
+        if self.workers <= 1 or len(items) <= 1 or not self.supports_fork():
+            return [worker(cell) for cell in items]
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(self.workers, len(items))) as pool:
+            return pool.map(worker, items)
 
 
 def run_matrix(

@@ -1,8 +1,44 @@
 """Tests for the indexed triple store and its path queries."""
 
+import random
+from collections import deque
+
 import pytest
 
 from repro.kg import KnowledgeGraph, Triple
+
+
+def reference_find_paths(graph, source, target, max_length=3, exclude=None, max_paths=200):
+    """The seed's unidirectional BFS enumeration, kept as the oracle for the
+    pruned meet-in-the-middle implementation."""
+    if source == target:
+        return []
+    excluded_edge = exclude.as_tuple() if exclude is not None else None
+    paths = []
+    queue = deque()
+    queue.append((source, (), frozenset({source})))
+    while queue and len(paths) < max_paths:
+        node, path, visited = queue.popleft()
+        if len(path) >= max_length:
+            continue
+        for predicate, direction, neighbor in graph.neighbors(node):
+            if neighbor in visited:
+                continue
+            if excluded_edge is not None:
+                forward = (node, predicate, neighbor)
+                backward = (neighbor, predicate, node)
+                if direction == +1 and forward == excluded_edge:
+                    continue
+                if direction == -1 and backward == excluded_edge:
+                    continue
+            new_path = path + ((predicate, direction, neighbor),)
+            if neighbor == target:
+                paths.append(new_path)
+                if len(paths) >= max_paths:
+                    break
+                continue
+            queue.append((neighbor, new_path, visited | {neighbor}))
+    return paths
 
 
 @pytest.fixture
@@ -39,6 +75,26 @@ class TestMutation:
         small_graph.remove(Triple("alice", "employer", "acme"))
         assert "acme" not in small_graph.objects("alice", "employer")
         assert ("employer", "acme") not in small_graph.out_edges("alice")
+
+    def test_remove_leaves_no_ghost_predicates(self, small_graph):
+        small_graph.remove(Triple("alice", "spouse", "bob"))
+        assert "spouse" not in small_graph.predicates()
+        assert small_graph.predicates_between("alice", "bob") == []
+
+    def test_remove_leaves_no_ghost_nodes(self, small_graph):
+        # freedonia participates in exactly one triple; removing it must
+        # remove the node from every report.
+        small_graph.remove(Triple("springfield", "locatedIn", "freedonia"))
+        assert "freedonia" not in small_graph.nodes()
+        assert "locatedIn" not in small_graph.predicates()
+        assert small_graph.degree("freedonia") == 0
+
+    def test_readd_after_remove(self, small_graph):
+        triple = Triple("alice", "spouse", "bob")
+        small_graph.remove(triple)
+        assert small_graph.add(triple) is True
+        assert small_graph.contains("alice", "spouse", "bob")
+        assert ("spouse", "bob") in small_graph.out_edges("alice")
 
 
 class TestQueries:
@@ -101,6 +157,68 @@ class TestPaths:
         for path in small_graph.find_paths("alice", "freedonia", max_length=3):
             nodes = [node for __, ___, node in path]
             assert len(nodes) == len(set(nodes))
+
+
+class TestPathEquivalence:
+    """The pruned bidirectional search must reproduce the seed BFS exactly."""
+
+    @pytest.fixture()
+    def random_graph(self):
+        rng = random.Random(83)
+        graph = KnowledgeGraph("random")
+        nodes = [f"n{i}" for i in range(36)]
+        predicates = ["knows", "near", "partOf", "cites"]
+        while len(graph) < 150:
+            graph.add(
+                Triple(rng.choice(nodes), rng.choice(predicates), rng.choice(nodes))
+            )
+        return graph
+
+    def test_matches_reference_on_random_graph(self, random_graph):
+        rng = random.Random(7)
+        nodes = random_graph.nodes()
+        checked = 0
+        for __ in range(40):
+            source, target = rng.sample(nodes, 2)
+            for max_length in (1, 2, 3):
+                expected = reference_find_paths(
+                    random_graph, source, target, max_length=max_length, max_paths=10_000
+                )
+                actual = random_graph.find_paths(
+                    source, target, max_length=max_length, max_paths=10_000
+                )
+                assert actual == expected
+                checked += len(expected)
+        assert checked > 100  # the comparison actually exercised paths
+
+    def test_matches_reference_with_exclusion(self, random_graph):
+        rng = random.Random(11)
+        for triple in list(random_graph)[::17]:
+            expected = reference_find_paths(
+                random_graph,
+                triple.subject,
+                triple.object,
+                max_length=3,
+                exclude=triple,
+                max_paths=10_000,
+            )
+            actual = random_graph.find_paths(
+                triple.subject, triple.object, max_length=3, exclude=triple, max_paths=10_000
+            )
+            assert actual == expected
+
+    def test_matches_reference_under_binding_cap(self, random_graph):
+        # When the cap truncates, the kept prefix (content *and* order) must
+        # still match the seed enumeration.
+        nodes = random_graph.nodes()
+        rng = random.Random(23)
+        for __ in range(20):
+            source, target = rng.sample(nodes, 2)
+            expected = reference_find_paths(
+                random_graph, source, target, max_length=3, max_paths=5
+            )
+            actual = random_graph.find_paths(source, target, max_length=3, max_paths=5)
+            assert actual == expected
 
 
 class TestExports:

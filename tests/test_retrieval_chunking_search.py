@@ -105,6 +105,78 @@ class TestSearchEngine:
         assert scores == sorted(scores, reverse=True)
 
 
+def scalar_bm25_reference(corpus, query, num_results=100, k1=1.5, b=0.75, title_weight=2.5):
+    """The seed's scalar BM25, kept as the oracle for the vectorised engine.
+
+    Returns ``[(doc_id, score), ...]`` ranked by (-score, insertion index).
+    """
+    import math
+    import re
+    from collections import Counter, defaultdict
+
+    word_re = re.compile(r"[a-z0-9]+")
+    tokenize = lambda text: word_re.findall(text.lower())
+
+    doc_ids, doc_lengths = [], []
+    postings, document_frequency = defaultdict(list), Counter()
+    for document in corpus:
+        weighted = Counter(tokenize(document.text))
+        for token in tokenize(document.title):
+            weighted[token] += title_weight
+        index = len(doc_ids)
+        doc_ids.append(document.doc_id)
+        doc_lengths.append(sum(weighted.values()))
+        for term, frequency in weighted.items():
+            postings[term].append((index, frequency))
+            document_frequency[term] += 1
+    avg_length = sum(doc_lengths) / len(doc_lengths) if doc_lengths else 0.0
+
+    scores = defaultdict(float)
+    for term in tokenize(query):
+        n = len(doc_ids)
+        df = document_frequency.get(term, 0)
+        idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        if idf <= 0.0:
+            continue
+        for index, tf in postings.get(term, ()):
+            length_norm = 1.0 - b + b * (doc_lengths[index] / avg_length if avg_length else 1.0)
+            scores[index] += idf * (tf * (k1 + 1.0)) / (tf + k1 * length_norm)
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:num_results]
+    return [(doc_ids[index], score) for index, score in ranked]
+
+
+class TestSearchEquivalence:
+    """The vectorised engine must rank exactly like the scalar reference."""
+
+    def test_matches_scalar_reference_on_seeded_corpus(self, corpus_small):
+        engine = SearchEngine(corpus_small)
+        queries = [doc.title for doc in list(corpus_small)[:40] if doc.title]
+        queries += [
+            "profile and background",
+            "born in",
+            "award ceremony history",
+            "completely unindexed zzzz term",
+        ]
+        compared = 0
+        for query in queries:
+            expected = scalar_bm25_reference(corpus_small, query, num_results=25)
+            actual = engine.search(query, num_results=25)
+            assert [r.document.doc_id for r in actual] == [doc_id for doc_id, __ in expected]
+            for result, (__, score) in zip(actual, expected):
+                assert result.score == pytest.approx(score, abs=1e-9)
+            compared += len(expected)
+        assert compared > 50
+
+    def test_repeated_query_terms_accumulate(self, corpus_small):
+        engine = SearchEngine(corpus_small)
+        doc = next(d for d in corpus_small if d.text)
+        term = doc.title.split()[0]
+        once = engine.search(term, num_results=5)
+        twice = engine.search(f"{term} {term}", num_results=5)
+        if once and twice:
+            assert twice[0].score == pytest.approx(2 * once[0].score, rel=1e-9)
+
+
 class TestWebCorpusGenerator:
     @pytest.fixture(scope="class")
     def generated(self, world, factbench_small):

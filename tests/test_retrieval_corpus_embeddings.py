@@ -99,6 +99,37 @@ class TestEmbeddings:
         assert matrix.shape == (3, 32)
         assert embedder.embed_many([]).shape == (0, 32)
 
+    def test_embed_many_matches_embed(self):
+        embedder = HashingEmbedder(dimensions=64)
+        texts = ["knowledge graphs store facts", "Marie Curie", "", "born in Warsaw"]
+        batch = HashingEmbedder(dimensions=64).embed_many(texts)
+        for row, text in zip(batch, texts):
+            assert np.allclose(row, embedder.embed(text))
+
+    def test_hot_entry_survives_eviction_pressure(self):
+        # Regression: the seed cache *cleared itself* when full, evicting the
+        # hottest entries; the LRU must keep a recently-touched entry alive.
+        embedder = HashingEmbedder(dimensions=16, cache_size=4)
+        hot = embedder.embed("hot text")
+        for index in range(10):
+            embedder.embed(f"filler number {index}")
+            assert embedder.embed("hot text") is hot  # still the cached object
+
+    def test_cold_entry_is_evicted(self):
+        embedder = HashingEmbedder(dimensions=16, cache_size=2)
+        cold = embedder.embed("cold text")
+        embedder.embed("warm text")
+        embedder.embed("newer text")  # evicts "cold text" (least recent)
+        assert embedder.embed("cold text") is not cold
+
+    def test_warm_precomputes_corpus(self):
+        embedder = HashingEmbedder(dimensions=32)
+        corpus = ["alpha beta", "gamma delta", "alpha beta"]
+        assert embedder.warm(corpus) == 2  # duplicates collapse
+        assert embedder.warm(corpus) == 0  # already resident
+        first = embedder.embed("alpha beta")
+        assert embedder.embed("alpha beta") is first
+
     def test_cosine_zero_vectors(self):
         assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
 
