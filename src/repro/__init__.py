@@ -16,7 +16,10 @@ fully offline, simulated substrate:
   PredPath, evidential paths);
 * :mod:`repro.evaluation` — class-wise F1, consensus alignment, efficiency,
   Pareto, UpSet, and error-taxonomy analyses;
-* :mod:`repro.benchmark` — the harness that regenerates every table and figure.
+* :mod:`repro.benchmark` — the harness that regenerates every table and figure;
+* :mod:`repro.service` — the online serving layer: an asyncio micro-batching
+  validation server with a sharded verdict cache, admission control, serving
+  metrics, a TCP JSON-lines front-end, and a closed-loop load generator.
 
 Quickstart::
 
@@ -30,6 +33,14 @@ from .benchmark import BenchmarkRunner, ExperimentConfig
 from .datasets import FactDataset, LabeledFact, build_dbpedia, build_factbench, build_yago
 from .kg import KnowledgeGraph, Triple, Verbalizer
 from .llm import LLMClient, LLMResponse, ModelRegistry, SimulatedLLM
+from .service import (
+    LoadGenerator,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    ValidationService,
+    build_workload,
+)
 from .validation import (
     DirectKnowledgeAssessment,
     GuidedIterativeVerification,
@@ -53,20 +64,26 @@ __all__ = [
     "LLMClient",
     "LLMResponse",
     "LabeledFact",
+    "LoadGenerator",
     "MajorityVoteConsensus",
     "ModelRegistry",
     "RAGValidator",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
     "SimulatedLLM",
     "Triple",
     "ValidationResult",
     "ValidationRun",
     "Verbalizer",
+    "ValidationService",
     "Verdict",
     "World",
     "WorldConfig",
     "__version__",
     "build_dbpedia",
     "build_factbench",
+    "build_workload",
     "build_world",
     "build_yago",
 ]

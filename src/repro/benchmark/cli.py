@@ -1,18 +1,26 @@
-"""Command-line interface for regenerating the paper's tables and figures.
+"""Command-line interface: tables/figures plus the online serving scenario.
 
 Usage (after ``pip install -e .``)::
 
     python -m repro.benchmark.cli --experiment table5 --max-facts 60
     python -m repro.benchmark.cli --experiment all --scale 0.05 --output results.txt
 
+    # Online serving: a TCP fact-validation server and its load generator.
+    python -m repro.benchmark.cli serve --port 8765 --methods dka,giv-z
+    python -m repro.benchmark.cli loadgen --requests 500 --concurrency 32
+
 Each experiment prints the corresponding table/figure in the same text
 format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
-reproduce a single result without running pytest.
+reproduce a single result without running pytest.  ``serve`` exposes the
+:mod:`repro.service` subsystem over newline-delimited JSON; ``loadgen``
+drives an in-process service closed-loop and prints the latency/throughput
+report (the muBench-style deploy-and-measure pair).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Callable, Dict, Optional, TextIO
 
@@ -45,7 +53,18 @@ from .experiments import (
 )
 from .runner import BenchmarkRunner
 
-__all__ = ["build_parser", "run_experiment", "main", "EXPERIMENTS"]
+__all__ = [
+    "build_parser",
+    "build_service_parser",
+    "run_experiment",
+    "main",
+    "EXPERIMENTS",
+    "SERVICE_COMMANDS",
+]
+
+#: Subcommands dispatched to the online-serving path instead of the
+#: table/figure renderers.
+SERVICE_COMMANDS = ("serve", "loadgen")
 
 
 def _render_table2(runner: BenchmarkRunner) -> str:
@@ -183,10 +202,169 @@ EXPERIMENTS: Dict[str, Callable[[BenchmarkRunner], str]] = {
 }
 
 
+# --------------------------------------------------------------- online serving
+
+
+def _csv(value: str) -> tuple:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def build_service_parser() -> argparse.ArgumentParser:
+    """Parser for the ``serve`` / ``loadgen`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-factcheck",
+        description="Online fact-validation serving over the simulated substrate.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", type=float, default=0.03, help="Dataset scale (default 0.03).")
+        sub.add_argument("--max-facts", type=int, default=40, help="Facts per dataset (0 = no cap).")
+        sub.add_argument("--world-scale", type=float, default=0.2, help="Synthetic world scale.")
+        sub.add_argument("--seed", type=int, default=7, help="Master seed.")
+        sub.add_argument("--datasets", type=_csv, default=("factbench",), help="Comma-separated datasets.")
+        sub.add_argument("--methods", type=_csv, default=("dka", "giv-z"), help="Comma-separated methods.")
+        sub.add_argument(
+            "--models", type=_csv, default=("gemma2:9b", "qwen2.5:7b"), help="Comma-separated models."
+        )
+        sub.add_argument("--max-batch-size", type=int, default=16, help="Micro-batch upper bound.")
+        sub.add_argument("--queue-depth", type=int, default=256, help="Admission-control bound.")
+        sub.add_argument(
+            "--time-scale",
+            type=float,
+            default=0.005,
+            help="Real seconds slept per simulated backend second (0 = no sleeping).",
+        )
+        sub.add_argument("--no-cache", action="store_true", help="Disable the verdict cache.")
+
+    serve = commands.add_parser("serve", help="Run the TCP JSON-lines validation server.")
+    add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="Bind address.")
+    serve.add_argument("--port", type=int, default=8765, help="TCP port (0 = ephemeral).")
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        help="Stop after handling N requests (0 = serve until interrupted).",
+    )
+
+    loadgen = commands.add_parser("loadgen", help="Closed-loop load run against an in-process service.")
+    add_common(loadgen)
+    loadgen.add_argument("--requests", type=int, default=500, help="Total requests to issue.")
+    loadgen.add_argument("--concurrency", type=int, default=16, help="Closed-loop virtual clients.")
+    return parser
+
+
+def _validate_service_args(args) -> None:
+    """Fail fast on typos (or empty lists) before any substrate is built."""
+    from ..llm.profiles import ALL_PROFILES
+    from .runner import KNOWN_DATASETS, KNOWN_METHODS
+
+    for name, values in (("methods", args.methods), ("models", args.models),
+                         ("datasets", args.datasets)):
+        if not values:
+            raise SystemExit(f"--{name} must name at least one entry")
+    unknown_methods = [method for method in args.methods if method not in KNOWN_METHODS]
+    if unknown_methods:
+        raise SystemExit(
+            f"unknown method(s) {unknown_methods}; choose from {list(KNOWN_METHODS)}"
+        )
+    unknown_models = [model for model in args.models if model not in ALL_PROFILES]
+    if unknown_models:
+        raise SystemExit(
+            f"unknown model(s) {unknown_models}; choose from {sorted(ALL_PROFILES)}"
+        )
+    unknown_datasets = [name for name in args.datasets if name not in KNOWN_DATASETS]
+    if unknown_datasets:
+        raise SystemExit(
+            f"unknown dataset(s) {unknown_datasets}; choose from {list(KNOWN_DATASETS)}"
+        )
+
+
+def _service_setup(args):
+    """Build the (runner, service, datasets) triple the subcommands share."""
+    from ..service import ServiceConfig, ValidationService
+
+    _validate_service_args(args)
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_facts_per_dataset=args.max_facts or None,
+        world_scale=args.world_scale,
+        methods=tuple(args.methods),
+        datasets=tuple(args.datasets),
+        models=tuple(args.models),
+        include_commercial_in_grid=False,
+        seed=args.seed,
+    )
+    runner = BenchmarkRunner(config)
+    service_config = ServiceConfig(
+        max_batch_size=args.max_batch_size,
+        queue_depth=args.queue_depth,
+        enable_cache=not args.no_cache,
+        time_scale=args.time_scale,
+    )
+    service = ValidationService.from_runner(runner, service_config)
+    datasets = {name: runner.dataset(name) for name in config.datasets}
+    return runner, service, datasets
+
+
+def _run_serve(args, stream: TextIO) -> int:
+    from ..service import TCPValidationFrontend
+
+    _, service, datasets = _service_setup(args)
+
+    async def serve() -> None:
+        async with service:
+            async with TCPValidationFrontend(
+                service,
+                datasets,
+                args.host,
+                args.port,
+                allowed_methods=args.methods,
+                allowed_models=args.models,
+            ) as frontend:
+                stream.write(
+                    f"serving {sorted(datasets)} on {frontend.host}:{frontend.port} "
+                    f"(methods {','.join(args.methods)}; models {','.join(args.models)})\n"
+                )
+                if hasattr(stream, "flush"):
+                    stream.flush()
+                if args.max_requests > 0:
+                    while frontend.requests_handled < args.max_requests:
+                        await asyncio.sleep(0.02)
+                else:
+                    await frontend.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    stream.write(service.metrics.snapshot().format_table() + "\n")
+    return 0
+
+
+def _run_loadgen(args, stream: TextIO) -> int:
+    from ..service import LoadGenerator, build_workload
+
+    _, service, datasets = _service_setup(args)
+    workload = build_workload(
+        list(datasets.values()), args.methods, args.models, args.requests, seed=args.seed
+    )
+    report = LoadGenerator(service, workload, concurrency=args.concurrency).run_sync()
+    stream.write(report.format_table("Closed-loop load run") + "\n\n")
+    stream.write(service.metrics.snapshot().format_table() + "\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-factcheck",
         description="Regenerate the FactCheck paper's tables and figures on the simulated substrate.",
+        epilog=(
+            "Online serving subcommands (own flags; see `serve --help` / "
+            "`loadgen --help`): `serve` runs the TCP JSON-lines validation "
+            "server, `loadgen` drives an in-process service closed-loop."
+        ),
     )
     parser.add_argument(
         "--experiment",
@@ -232,6 +410,12 @@ def run_experiment(name: str, runner: BenchmarkRunner) -> str:
 def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
     """CLI entry point; returns a process exit code."""
     stream = stream or sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        service_args = build_service_parser().parse_args(argv)
+        if service_args.command == "serve":
+            return _run_serve(service_args, stream)
+        return _run_loadgen(service_args, stream)
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(
         scale=args.scale,

@@ -35,13 +35,18 @@ from ..validation.rag import (
 from ..worldmodel.generator import World, build_world
 from .config import ExperimentConfig, QUICK_CONFIG
 
-__all__ = ["BenchmarkRunner"]
+__all__ = ["BenchmarkRunner", "KNOWN_DATASETS", "KNOWN_METHODS"]
 
 _DATASET_BUILDERS = {
     "factbench": build_factbench,
     "yago": build_yago,
     "dbpedia": build_dbpedia,
 }
+
+#: The registries consumers (CLI validation, docs) should derive from —
+#: kept next to the dispatch code so new datasets/methods propagate.
+KNOWN_DATASETS: Tuple[str, ...] = tuple(sorted(_DATASET_BUILDERS))
+KNOWN_METHODS: Tuple[str, ...] = ("dka", "giv-z", "giv-f", "rag")
 
 _DATASET_ENCODINGS: Dict[str, KGEncoding] = {
     "factbench": DBPEDIA_ENCODING,

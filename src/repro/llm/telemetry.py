@@ -9,6 +9,7 @@ Table 8.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
@@ -62,42 +63,78 @@ class UsageSummary:
 
 
 class TelemetryCollector:
-    """Records LLM calls and aggregates usage by model and task."""
+    """Records LLM calls and aggregates usage by model and task.
+
+    The collector is shared widely — strategies record into it during
+    offline runs, and the online validation service records per-request
+    serving records from its asyncio workers (and, in threaded frontends,
+    from multiple threads) — so every mutation holds an internal lock.
+    """
 
     def __init__(self) -> None:
         self._records: List[CallRecord] = []
+        self._lock = threading.Lock()
 
     def record(self, response: LLMResponse, task: str = "generic") -> CallRecord:
         """Record one response under a task label; returns the stored record."""
-        record = CallRecord(
+        return self.record_call(
             model=response.model,
             task=task,
             prompt_tokens=response.prompt_tokens,
             completion_tokens=response.completion_tokens,
             latency_seconds=response.latency_seconds,
         )
-        self._records.append(record)
+
+    def record_call(
+        self,
+        model: str,
+        task: str,
+        prompt_tokens: int = 0,
+        completion_tokens: int = 0,
+        latency_seconds: float = 0.0,
+    ) -> CallRecord:
+        """Record an event that is not backed by an :class:`LLMResponse`.
+
+        The online service uses this to account serving latency (queue wait
+        plus batch execution) under ``serve/*`` task labels alongside the
+        per-method LLM records.
+        """
+        record = CallRecord(
+            model=model,
+            task=task,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            latency_seconds=latency_seconds,
+        )
+        with self._lock:
+            self._records.append(record)
         return record
 
     def extend(self, records: Iterable[CallRecord]) -> None:
         """Append already-built records (e.g. collected in worker processes)."""
-        self._records.extend(records)
+        items = list(records)
+        with self._lock:
+            self._records.extend(items)
 
     def records(
         self, model: Optional[str] = None, task: Optional[str] = None
     ) -> List[CallRecord]:
+        with self._lock:
+            snapshot = list(self._records)
         return [
             record
-            for record in self._records
+            for record in snapshot
             if (model is None or record.model == model)
             and (task is None or record.task == task)
         ]
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def summary(
         self, model: Optional[str] = None, task: Optional[str] = None
@@ -107,12 +144,12 @@ class TelemetryCollector:
     def by_task(self) -> Dict[str, UsageSummary]:
         """Per-task aggregation (the shape of the paper's Table 3)."""
         grouped: Dict[str, List[CallRecord]] = defaultdict(list)
-        for record in self._records:
+        for record in self.records():
             grouped[record.task].append(record)
         return {task: UsageSummary.from_records(items) for task, items in sorted(grouped.items())}
 
     def by_model(self) -> Dict[str, UsageSummary]:
         grouped: Dict[str, List[CallRecord]] = defaultdict(list)
-        for record in self._records:
+        for record in self.records():
             grouped[record.model].append(record)
         return {model: UsageSummary.from_records(items) for model, items in sorted(grouped.items())}

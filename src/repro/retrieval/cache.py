@@ -1,14 +1,21 @@
-"""Bounded LRU cache shared by the retrieval components.
+"""Bounded LRU cache shared by the retrieval components and the service.
 
 The embedder and the cross-encoder both memoize per-text computations
 (embedding vectors, term sets) that recur heavily across facts and models.
 The seed implementation used a dict that was *cleared* whenever it filled
 up, which threw away the hottest entries exactly when the pipeline needed
 them most; this module provides proper least-recently-used eviction instead.
+
+The cache is safe for concurrent use: every operation holds an internal
+lock, so the online validation service's verdict cache and the shared
+embedder/reranker caches can be accessed from multiple worker threads
+without corrupting the underlying ``OrderedDict`` (whose ``move_to_end`` /
+``popitem`` pair is not atomic on its own).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -22,6 +29,7 @@ class LRUCache:
 
     Reads (:meth:`get`) refresh recency; writes insert at the most-recent
     end and evict from the least-recent end once ``capacity`` is exceeded.
+    All operations are atomic with respect to each other.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -29,28 +37,34 @@ class LRUCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            return default
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self.capacity:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self.capacity:
+                data.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         # Membership does not refresh recency; use get() on the hot path.
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

@@ -1,0 +1,63 @@
+"""Online validation service: micro-batching, caching, admission control.
+
+The ROADMAP's north star is a production-scale system serving heavy
+fact-validation traffic; this package is the serving layer over the
+offline substrates:
+
+* :mod:`repro.service.server` — the asyncio :class:`ValidationService`:
+  single-fact requests coalesce into micro-batches per ``(method, model)``
+  strategy worker, with a bounded in-flight budget that sheds overload
+  with an explicit ``REJECTED`` outcome;
+* :mod:`repro.service.cache` — the sharded :class:`VerdictCache` keyed on
+  (fact, method, model) with hit/miss telemetry;
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics` /
+  :class:`MetricsSnapshot` (p50/p95/p99 latency, throughput, queue depth,
+  cache hit rate, shed count), wired into the shared
+  :class:`~repro.llm.telemetry.TelemetryCollector`;
+* :mod:`repro.service.frontend` — a newline-delimited-JSON TCP front-end;
+* :mod:`repro.service.loadgen` — the closed-loop :class:`LoadGenerator`
+  harness with a deterministic arrival mix.
+
+Quickstart::
+
+    from repro.benchmark import BenchmarkRunner, ExperimentConfig
+    from repro.service import LoadGenerator, ServiceConfig, ValidationService, build_workload
+
+    runner = BenchmarkRunner(ExperimentConfig(datasets=("factbench",)))
+    service = ValidationService.from_runner(runner, ServiceConfig(max_batch_size=16))
+    workload = build_workload([runner.dataset("factbench")], ["dka"], ["gemma2:9b"], 200)
+    report = LoadGenerator(service, workload, concurrency=16).run_sync()
+    print(report.format_table())
+"""
+
+from .cache import CacheStats, VerdictCache, verdict_cache_key
+from .config import ServiceConfig
+from .frontend import TCPValidationFrontend
+from .loadgen import LoadGenerator, LoadReport, build_workload
+from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .server import (
+    RequestOutcome,
+    ServiceRequest,
+    ServiceResponse,
+    StrategyProvider,
+    ValidationService,
+)
+
+__all__ = [
+    "CacheStats",
+    "LoadGenerator",
+    "LoadReport",
+    "MetricsSnapshot",
+    "RequestOutcome",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "StrategyProvider",
+    "TCPValidationFrontend",
+    "ValidationService",
+    "VerdictCache",
+    "build_workload",
+    "percentile",
+    "verdict_cache_key",
+]

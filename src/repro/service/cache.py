@@ -1,0 +1,137 @@
+"""Sharded verdict cache for the online validation service.
+
+A verdict is fully determined by the fact and the ``(method, model)``
+strategy that judges it (the simulated models are deterministic, and real
+deployments routinely cache idempotent verdicts for a TTL), so repeat
+requests can be answered without touching a strategy worker.
+
+The cache is built on the thread-safe
+:class:`~repro.retrieval.cache.LRUCache` and split across independent
+shards: each key hashes to one shard, so concurrent frontends contend on
+``1/shards`` of the lock surface, and eviction pressure in one hot shard
+cannot wipe the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from ..datasets.base import LabeledFact
+from ..retrieval.cache import LRUCache
+from ..validation.base import ValidationResult
+
+__all__ = ["CacheStats", "VerdictCache", "verdict_cache_key"]
+
+
+def verdict_cache_key(fact: LabeledFact, method: str, model: str) -> Tuple:
+    """Collision-free cache key for one (fact, method, model) verdict.
+
+    The key carries the owning dataset and the fact id *and* the encoded
+    triple itself: two datasets can contain facts with identical surface
+    text (or even identical ids in adversarial inputs), and the same fact
+    judged by a different method or model must never share an entry —
+    verdicts legitimately differ across all of those axes.
+    """
+    triple = fact.triple
+    return (
+        method,
+        model,
+        fact.dataset,
+        fact.fact_id,
+        triple.subject,
+        triple.predicate,
+        triple.object,
+        fact.label,
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time verdict-cache telemetry."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+    shards: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class VerdictCache:
+    """A sharded LRU mapping ``verdict_cache_key -> ValidationResult``."""
+
+    def __init__(self, capacity: int = 4096, shards: int = 8) -> None:
+        if capacity < 1 or shards < 1:
+            raise ValueError("capacity and shards must be >= 1")
+        shards = min(shards, capacity)
+        per_shard = max(1, capacity // shards)
+        self._shards: List[LRUCache] = [LRUCache(per_shard) for _ in range(shards)]
+        self.capacity = per_shard * shards
+        self._hits = 0
+        self._misses = 0
+        self._stats_lock = threading.Lock()
+
+    def _shard_for(self, key: Hashable) -> LRUCache:
+        # Process-stable digest (not builtin hash(): PYTHONHASHSEED varies)
+        # so shard assignment — and therefore eviction behaviour — is
+        # reproducible across runs.
+        digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+        return self._shards[int.from_bytes(digest, "big") % len(self._shards)]
+
+    def get(
+        self, fact: LabeledFact, method: str, model: str, record: bool = True
+    ) -> Optional[ValidationResult]:
+        """Look up a verdict; ``record=False`` defers the hit/miss counting.
+
+        The service defers miss accounting until admission control has
+        admitted the request — a shed request's lookup must not deflate the
+        served-traffic hit rate.
+        """
+        key = verdict_cache_key(fact, method, model)
+        value = self._shard_for(key).get(key)
+        if record:
+            if value is None:
+                self.record_miss()
+            else:
+                self.record_hit()
+        return value
+
+    def record_hit(self) -> None:
+        with self._stats_lock:
+            self._hits += 1
+
+    def record_miss(self) -> None:
+        with self._stats_lock:
+            self._misses += 1
+
+    def put(self, fact: LabeledFact, method: str, model: str, result: ValidationResult) -> None:
+        key = verdict_cache_key(fact, method, model)
+        self._shard_for(key).put(key, result)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+        with self._stats_lock:
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        with self._stats_lock:
+            hits, misses = self._hits, self._misses
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            size=len(self),
+            capacity=self.capacity,
+            shards=len(self._shards),
+        )

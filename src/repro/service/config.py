@@ -1,0 +1,70 @@
+"""Configuration for the online validation service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of :class:`~repro.service.server.ValidationService`.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on how many queued requests one ``(method, model)``
+        worker coalesces into a single micro-batch.  ``1`` disables
+        batching (the single-request-at-a-time baseline in the benchmark).
+    batch_linger_s:
+        Optional *real* seconds a worker waits after draining the queue for
+        more requests to arrive before dispatching an under-full batch.
+        ``0.0`` dispatches whatever is queued immediately; closed-loop load
+        keeps queues non-empty, so batches form without lingering.
+    queue_depth:
+        Admission-control bound on the number of in-flight (admitted, not
+        yet answered) requests across all workers.  A request arriving at a
+        full service is shed with an explicit ``REJECTED`` outcome rather
+        than buffered without bound — the MSMQ-style backpressure shape.
+    enable_cache:
+        Whether completed verdicts are cached and served on repeat requests.
+    cache_capacity / cache_shards:
+        Total verdict-cache capacity and the number of independent LRU
+        shards it is split across (sharding keeps lock contention low when
+        frontends call in from multiple threads).
+    batch_overhead_s:
+        Fixed *simulated* dispatch cost per backend batch (connection /
+        scheduling / prompt-prefix overhead).  Micro-batching amortizes it
+        across the batch; the single-request baseline pays it per request.
+    time_scale:
+        Real seconds slept per simulated second of backend execution.  The
+        simulated models return latencies without sleeping, so the service
+        converts them into real event-loop time at this scale to exercise
+        genuine concurrency; ``0.0`` disables sleeping (pure accounting).
+    latency_window:
+        Ring-buffer size for the latency percentiles in
+        :class:`~repro.service.metrics.ServiceMetrics`.
+    """
+
+    max_batch_size: int = 16
+    batch_linger_s: float = 0.0
+    queue_depth: int = 256
+    enable_cache: bool = True
+    cache_capacity: int = 4096
+    cache_shards: int = 8
+    batch_overhead_s: float = 0.25
+    time_scale: float = 0.0
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.cache_capacity < 1 or self.cache_shards < 1:
+            raise ValueError("cache capacity and shards must be >= 1")
+        if self.batch_linger_s < 0 or self.batch_overhead_s < 0 or self.time_scale < 0:
+            raise ValueError("durations must be non-negative")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")

@@ -1,0 +1,192 @@
+"""TCP front-end: newline-delimited JSON over an asyncio stream server.
+
+This is the deployable face of the validation service — the piece the
+muBench replication package drives with its load generator.  The protocol
+is one JSON object per line:
+
+Request::
+
+    {"dataset": "factbench", "fact_id": "factbench-000123",
+     "method": "dka", "model": "gemma2:9b", "id": "optional-correlation-id"}
+
+Response::
+
+    {"id": ..., "outcome": "completed", "verdict": "true", "cached": false,
+     "latency_ms": 1.91, "fact_id": "factbench-000123",
+     "method": "dka", "model": "gemma2:9b"}
+
+Control commands: ``{"cmd": "metrics"}`` returns a
+:class:`~repro.service.metrics.MetricsSnapshot` as JSON.  Malformed input
+and unknown facts produce ``{"outcome": "error", "error": ...}`` instead of
+closing the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..datasets.base import FactDataset
+from .server import RequestOutcome, ServiceRequest, ValidationService
+
+__all__ = ["TCPValidationFrontend"]
+
+
+class TCPValidationFrontend:
+    """Serves a :class:`ValidationService` over newline-delimited JSON."""
+
+    def __init__(
+        self,
+        service: ValidationService,
+        datasets: Mapping[str, FactDataset],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allowed_methods: Optional[Sequence[str]] = None,
+        allowed_models: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.service = service
+        self.datasets: Dict[str, FactDataset] = dict(datasets)
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port is set by start()
+        #: When set, requests naming other methods/models get an error reply
+        #: (the ``serve`` CLI advertises exactly what it enforces).  An empty
+        #: allowlist means "deny all", not "unrestricted" — only ``None``
+        #: disables the check.
+        self.allowed_methods = (
+            frozenset(allowed_methods) if allowed_methods is not None else None
+        )
+        self.allowed_models = (
+            frozenset(allowed_models) if allowed_models is not None else None
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Every *answered* request line except control commands — error
+        #: replies included, so ``serve --max-requests N`` terminates even
+        #: when clients send garbage.  Incremented only after the reply is
+        #: flushed, so a max-requests watcher never tears the service down
+        #: while the counted request is still in flight.
+        self.requests_handled = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "TCPValidationFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ---------------------------------------------------------------- protocol
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeds asyncio's stream limit; the buffer cannot
+                    # be resynchronised to the next line, so reply with an
+                    # explicit error and close instead of dying silently.
+                    writer.write(
+                        json.dumps(
+                            {"outcome": "error", "error": "request line too long"}
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    self.requests_handled += 1
+                    break
+                if not line:
+                    break
+                reply, counts = await self._reply_for(line)
+                writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                await writer.drain()
+                if counts:
+                    self.requests_handled += 1
+        except asyncio.CancelledError:
+            # Server shutdown with the connection still open: end the
+            # handler quietly instead of surfacing a cancelled task to the
+            # event loop's exception logger.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _reply_for(self, line: bytes) -> Tuple[dict, bool]:
+        """Produce ``(reply, counts_toward_requests_handled)`` for one line."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"outcome": "error", "error": f"malformed JSON: {exc}"}, True
+        if not isinstance(payload, dict):
+            return {"outcome": "error", "error": "request must be a JSON object"}, True
+        if payload.get("cmd") == "metrics":
+            return dataclasses.asdict(self.service.metrics.snapshot()), False
+        return await self._validate(payload), True
+
+    async def _validate(self, payload: dict) -> dict:
+        correlation = payload.get("id")
+        dataset_name = payload.get("dataset", "")
+        dataset = self.datasets.get(dataset_name)
+        if dataset is None:
+            return {
+                "id": correlation,
+                "outcome": "error",
+                "error": f"unknown dataset {dataset_name!r}; have {sorted(self.datasets)}",
+            }
+        fact = dataset.get(str(payload.get("fact_id", "")))
+        if fact is None:
+            return {
+                "id": correlation,
+                "outcome": "error",
+                "error": f"unknown fact_id {payload.get('fact_id')!r} in {dataset_name!r}",
+            }
+        method = str(payload.get("method", "dka"))
+        model = str(payload.get("model", ""))
+        if self.allowed_methods is not None and method not in self.allowed_methods:
+            return {
+                "id": correlation,
+                "outcome": "error",
+                "error": f"method {method!r} not served; have {sorted(self.allowed_methods)}",
+            }
+        if self.allowed_models is not None and model not in self.allowed_models:
+            return {
+                "id": correlation,
+                "outcome": "error",
+                "error": f"model {model!r} not served; have {sorted(self.allowed_models)}",
+            }
+        try:
+            response = await self.service.submit(ServiceRequest(fact, method, model))
+        except Exception as exc:
+            return {"id": correlation, "outcome": "error", "error": str(exc)}
+        reply = {
+            "id": correlation,
+            "outcome": response.outcome.value,
+            "cached": response.cached,
+            "latency_ms": round(response.latency_seconds * 1000.0, 3),
+            "fact_id": fact.fact_id,
+            "method": method,
+            "model": model,
+        }
+        if response.outcome is RequestOutcome.COMPLETED and response.result is not None:
+            reply["verdict"] = response.result.verdict.value
+            reply["batch_size"] = response.batch_size
+        return reply

@@ -1,0 +1,186 @@
+"""Closed-loop load generator for the online validation service.
+
+The muBench replication package pairs every deployed service with a load
+generator that replays a workload and collects per-run latency/throughput;
+this module is that harness for :class:`ValidationService`.
+
+The generator is *closed-loop*: ``concurrency`` virtual clients each keep
+exactly one request in flight, issuing the next item of a shared schedule
+as soon as the previous answer (or rejection) returns.  The schedule is a
+deterministic arrival mix — seeded weighted draws over the configured
+``(method, model)`` strategies and the facts of the given datasets — so two
+runs over the same spec replay byte-identical workloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..datasets.base import FactDataset
+from .metrics import MetricsSnapshot
+from .server import ServiceRequest, ServiceResponse, ValidationService
+
+__all__ = ["LoadGenerator", "LoadReport", "build_workload"]
+
+
+def build_workload(
+    datasets: Sequence[FactDataset],
+    methods: Sequence[str],
+    models: Sequence[str],
+    total_requests: int,
+    seed: int = 0,
+    method_weights: Optional[Mapping[str, float]] = None,
+) -> List[ServiceRequest]:
+    """Deterministic request schedule with a configurable arrival mix.
+
+    Facts are drawn uniformly from the union of ``datasets``; the judging
+    method follows ``method_weights`` (uniform when omitted) and the model
+    is drawn uniformly.  Repeats are expected and intentional — they are
+    what exercises the verdict cache under load.
+    """
+    if total_requests < 0:
+        raise ValueError("total_requests must be >= 0")
+    if not datasets or not methods or not models:
+        raise ValueError("datasets, methods, and models must be non-empty")
+    facts = [fact for dataset in datasets for fact in dataset]
+    if not facts:
+        raise ValueError("datasets contain no facts")
+    weights = [float((method_weights or {}).get(method, 1.0)) for method in methods]
+    if min(weights) < 0 or sum(weights) <= 0:
+        raise ValueError("method_weights must be non-negative and sum > 0")
+    rng = random.Random(seed)
+    schedule: List[ServiceRequest] = []
+    for _ in range(total_requests):
+        schedule.append(
+            ServiceRequest(
+                fact=rng.choice(facts),
+                method=rng.choices(list(methods), weights=weights)[0],
+                model=rng.choice(list(models)),
+            )
+        )
+    return schedule
+
+
+@dataclass
+class LoadReport:
+    """Everything one closed-loop run measured.
+
+    ``requests`` and ``responses`` are index-aligned: ``responses[i]`` is
+    the answer to ``requests[i]`` (:meth:`verdicts` relies on this).
+    """
+
+    responses: List[ServiceResponse]
+    wall_seconds: float
+    concurrency: int
+    snapshot: MetricsSnapshot = field(repr=False)
+    requests: List[ServiceRequest] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.requests and len(self.requests) != len(self.responses):
+            raise ValueError(
+                f"requests ({len(self.requests)}) and responses "
+                f"({len(self.responses)}) must be index-aligned"
+            )
+
+    @property
+    def total(self) -> int:
+        return len(self.responses)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for response in self.responses if not response.rejected)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for response in self.responses if response.rejected)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for response in self.responses if response.cached)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall second of this run."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def verdicts(self) -> Dict[Tuple[str, str, str, str], str]:
+        """``(method, model, dataset, fact_id) -> verdict`` over completions."""
+        table: Dict[Tuple[str, str, str, str], str] = {}
+        for request, response in zip(self.requests, self.responses):
+            if response.result is not None:
+                key = (request.method, request.model, request.fact.dataset, request.fact.fact_id)
+                table[key] = response.result.verdict.value
+        return table
+
+    def format_table(self, title: str = "Load run") -> str:
+        header = (
+            f"{title}: {self.total} requests, concurrency {self.concurrency}, "
+            f"{self.wall_seconds:.3f} s wall"
+        )
+        lines = [
+            header,
+            "-" * len(header),
+            f"throughput       {self.throughput_rps:.1f} req/s",
+            f"completed        {self.completed}",
+            f"rejected (shed)  {self.rejected}",
+            f"cache hits       {self.cache_hits}",
+            f"p50 latency      {self.snapshot.p50_latency_s * 1000:.2f} ms",
+            f"p95 latency      {self.snapshot.p95_latency_s * 1000:.2f} ms",
+            f"p99 latency      {self.snapshot.p99_latency_s * 1000:.2f} ms",
+            f"mean batch size  {self.snapshot.mean_batch_size:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drives a service with ``concurrency`` closed-loop virtual clients."""
+
+    def __init__(
+        self,
+        service: ValidationService,
+        requests: Sequence[ServiceRequest],
+        concurrency: int = 8,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.service = service
+        self.requests = list(requests)
+        self.concurrency = concurrency
+
+    async def run(self) -> LoadReport:
+        responses: List[Optional[ServiceResponse]] = [None] * len(self.requests)
+        next_index = 0
+
+        async def client() -> None:
+            nonlocal next_index
+            while True:
+                index = next_index
+                if index >= len(self.requests):
+                    return
+                next_index = index + 1
+                responses[index] = await self.service.submit(self.requests[index])
+
+        started = time.perf_counter()
+        clients = min(self.concurrency, max(1, len(self.requests)))
+        await asyncio.gather(*(client() for _ in range(clients)))
+        wall = time.perf_counter() - started
+        return LoadReport(
+            responses=[response for response in responses if response is not None],
+            wall_seconds=wall,
+            concurrency=clients,
+            snapshot=self.service.metrics.snapshot(),
+            requests=self.requests,
+        )
+
+    def run_sync(self) -> LoadReport:
+        """Convenience wrapper: start the service, run, stop, in a fresh loop."""
+
+        async def _go() -> LoadReport:
+            async with self.service:
+                return await self.run()
+
+        return asyncio.run(_go())

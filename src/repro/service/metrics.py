@@ -1,0 +1,210 @@
+"""Serving metrics: tail latency, throughput, queue depth, shed counts.
+
+The muBench-style load experiments this subsystem replicates are judged on
+per-run latency/throughput collection; this module is the service-side
+collector.  It keeps a bounded ring of per-request latencies plus counters,
+and renders an immutable :class:`MetricsSnapshot` on demand (the shape the
+benchmark floors and the ``serve``/``loadgen`` CLI tables consume).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from ..llm.telemetry import TelemetryCollector
+
+__all__ = ["MetricsSnapshot", "ServiceMetrics", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time view of the service's health and performance."""
+
+    completed: int
+    rejected: int
+    errors: int
+    cache_hits: int
+    cache_misses: int
+    batches: int
+    mean_batch_size: float
+    queue_depth: int
+    wall_seconds: float
+    throughput_rps: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+
+    @property
+    def shed_count(self) -> int:
+        """Requests refused by admission control (alias of ``rejected``)."""
+        return self.rejected
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def format_table(self, title: str = "Service metrics") -> str:
+        rows = [
+            ("completed", f"{self.completed}"),
+            ("rejected (shed)", f"{self.rejected}"),
+            ("errors", f"{self.errors}"),
+            ("throughput", f"{self.throughput_rps:.1f} req/s"),
+            ("p50 latency", f"{self.p50_latency_s * 1000:.2f} ms"),
+            ("p95 latency", f"{self.p95_latency_s * 1000:.2f} ms"),
+            ("p99 latency", f"{self.p99_latency_s * 1000:.2f} ms"),
+            ("mean batch size", f"{self.mean_batch_size:.2f}"),
+            ("cache hit rate", f"{self.cache_hit_rate:.1%}"),
+            ("queue depth", f"{self.queue_depth}"),
+            ("wall time", f"{self.wall_seconds:.3f} s"),
+        ]
+        width = max(len(name) for name, _ in rows)
+        lines = [title, "-" * len(title)]
+        lines.extend(f"{name:<{width}}  {value}" for name, value in rows)
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Collects serving telemetry; thread-safe, cheap to update.
+
+    When a :class:`~repro.llm.telemetry.TelemetryCollector` is attached,
+    every completed request is also recorded there under a
+    ``serve/{method}`` task label, so the existing per-task usage summaries
+    (the paper's Table 3 shape) cover online serving alongside the offline
+    strategies.
+    """
+
+    def __init__(
+        self,
+        window: int = 4096,
+        telemetry: Optional[TelemetryCollector] = None,
+    ) -> None:
+        self.telemetry = telemetry
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._completed = 0
+        self._rejected = 0
+        self._errors = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._queue_depth = 0
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------- recording
+
+    def start(self) -> None:
+        """(Re)start the measurement window; called when the service starts.
+
+        Counters and latencies reset together with the throughput clock —
+        a stopped-and-restarted service must not divide the old completion
+        count by the new elapsed time.
+        """
+        with self._lock:
+            self._started_at = time.perf_counter()
+            self._latencies.clear()
+            self._completed = 0
+            self._rejected = 0
+            self._errors = 0
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._batches = 0
+            self._batched_requests = 0
+            self._queue_depth = 0
+
+    def observe_completion(
+        self,
+        latency_seconds: float,
+        *,
+        method: str = "unknown",
+        model: str = "unknown",
+        prompt_tokens: int = 0,
+        completion_tokens: int = 0,
+    ) -> None:
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency_seconds)
+        if self.telemetry is not None:
+            self.telemetry.record_call(
+                model=model,
+                task=f"serve/{method}",
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
+                latency_seconds=latency_seconds,
+            )
+
+    def observe_shed(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def observe_error(self) -> None:
+        """An admitted request whose batch failed (strategy exception).
+
+        Keeps the ``completed + rejected + errors == submitted`` invariant
+        the snapshot consumers rely on.
+        """
+        with self._lock:
+            self._errors += 1
+
+    def observe_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += size
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth = depth
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            latencies: List[float] = list(self._latencies)
+            elapsed = (
+                time.perf_counter() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            )
+            completed = self._completed
+            mean_batch = (
+                self._batched_requests / self._batches if self._batches else 0.0
+            )
+            return MetricsSnapshot(
+                completed=completed,
+                rejected=self._rejected,
+                errors=self._errors,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                batches=self._batches,
+                mean_batch_size=mean_batch,
+                queue_depth=self._queue_depth,
+                wall_seconds=elapsed,
+                throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+                p50_latency_s=percentile(latencies, 50),
+                p95_latency_s=percentile(latencies, 95),
+                p99_latency_s=percentile(latencies, 99),
+            )

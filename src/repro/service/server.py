@@ -1,0 +1,341 @@
+"""Asyncio fact-validation service with micro-batching and admission control.
+
+This is the repo's first *online* serving scenario: instead of iterating a
+whole :class:`~repro.datasets.base.FactDataset` offline, clients submit one
+fact at a time and await a :class:`~repro.validation.base.ValidationResult`.
+
+Architecture (the muBench-style service shape, with MSMQ-style
+backpressure):
+
+* ``submit()`` is the single entry point.  It first consults the sharded
+  :class:`~repro.service.cache.VerdictCache`; on a miss it passes admission
+  control — a bounded in-flight budget that *sheds* excess load with an
+  explicit ``REJECTED`` outcome instead of buffering without bound — and
+  enqueues the request for its ``(method, model)`` strategy worker.
+* Each worker drains its queue into a micro-batch (up to
+  ``max_batch_size``), runs the batch through
+  :meth:`~repro.validation.pipeline.ValidationPipeline.run_facts` — the
+  exact offline code path, so online verdicts are byte-identical to
+  offline ones — and resolves the per-request futures.
+* The simulated backend executes a micro-batch *concurrently*: batch wall
+  time is ``batch_overhead_s`` plus the **maximum** of the items' simulated
+  latencies, converted to real event-loop time via ``time_scale``.  A
+  single-request server pays the overhead plus its own latency per request,
+  which is what the benchmark's >= 2x throughput floor measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..datasets.base import LabeledFact
+from ..llm.telemetry import TelemetryCollector
+from ..validation.base import ValidationResult, ValidationStrategy
+from ..validation.pipeline import ValidationPipeline
+from .cache import VerdictCache
+from .config import ServiceConfig
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "RequestOutcome",
+    "ServiceRequest",
+    "ServiceResponse",
+    "StrategyProvider",
+    "ValidationService",
+]
+
+#: Builds a strategy for ``(method, dataset, model_name)``;
+#: ``BenchmarkRunner.build_strategy`` adapts to this via ``from_runner``.
+StrategyProvider = Callable[[str, str, str], ValidationStrategy]
+
+
+class RequestOutcome(str, Enum):
+    """What the service did with one request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"  # shed by admission control
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One single-fact validation request.
+
+    The owning dataset rides along on ``fact.dataset``; the request only
+    needs to pick the judging strategy.
+    """
+
+    fact: LabeledFact
+    method: str
+    model: str
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The service's answer, with per-request latency accounting.
+
+    ``latency_seconds`` is the *measured* wall time inside the service
+    (queue wait + batch execution + scheduling); the simulated model
+    latency lives on ``result.latency_seconds`` as in the offline pipeline.
+    """
+
+    outcome: RequestOutcome
+    result: Optional[ValidationResult]
+    cached: bool
+    latency_seconds: float
+    batch_size: int = 0
+
+    @property
+    def rejected(self) -> bool:
+        return self.outcome is RequestOutcome.REJECTED
+
+
+_QueueItem = Tuple[ServiceRequest, "asyncio.Future[Tuple[ValidationResult, int]]"]
+
+
+class ValidationService:
+    """Coalesces single-fact requests into per-``(method, model)`` batches."""
+
+    def __init__(
+        self,
+        strategies: StrategyProvider,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[TelemetryCollector] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._strategies_provider = strategies
+        self.cache: Optional[VerdictCache] = (
+            VerdictCache(self.config.cache_capacity, self.config.cache_shards)
+            if self.config.enable_cache
+            else None
+        )
+        self.metrics = ServiceMetrics(self.config.latency_window, telemetry)
+        self._pipeline = ValidationPipeline()
+        self._strategies: Dict[Tuple[str, str, str], ValidationStrategy] = {}
+        self._queues: Dict[Tuple[str, str], asyncio.Queue] = {}
+        self._workers: Dict[Tuple[str, str], asyncio.Task] = {}
+        self._inflight: set = set()
+        self._pending = 0
+        self._closed = False
+
+    @classmethod
+    def from_runner(
+        cls,
+        runner,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[TelemetryCollector] = None,
+    ) -> "ValidationService":
+        """Build a service over a ``BenchmarkRunner``'s substrates.
+
+        Strategies come from ``runner.build_strategy`` (so RAG reuses the
+        runner's corpora/search indexes/evidence caches) and serving records
+        land in the runner's telemetry unless a separate collector is given.
+        """
+
+        def provider(method: str, dataset: str, model_name: str) -> ValidationStrategy:
+            return runner.build_strategy(method, dataset, runner.registry.get(model_name))
+
+        return cls(provider, config, telemetry if telemetry is not None else runner.telemetry)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._closed = False
+        self.metrics.start()
+
+    async def stop(self) -> None:
+        """Stop accepting work and cancel the strategy workers.
+
+        Requests still queued or mid-batch when ``stop`` is called fail
+        with :class:`asyncio.CancelledError` (their futures are cancelled
+        explicitly, so no ``submit`` awaits forever); drain the load first
+        for a graceful shutdown (the load generator does).
+        """
+        self._closed = True
+        for task in self._workers.values():
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers.values(), return_exceptions=True)
+        self._workers.clear()
+        self._queues.clear()
+        for future in list(self._inflight):
+            if not future.done():
+                future.cancel()
+
+    async def __aenter__(self) -> "ValidationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ---------------------------------------------------------------- serving
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet answered (the admission-control gauge)."""
+        return self._pending
+
+    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Validate one fact; never raises for load reasons — it sheds."""
+        if self._closed:
+            raise RuntimeError("service is stopped")
+        started = time.perf_counter()
+        method, model = request.method, request.model
+
+        if self.cache is not None:
+            # Hit/miss accounting is deferred: hits bypass admission control
+            # (absorbing load is the cache's job), but a miss only counts
+            # once the request is actually admitted — shed requests must not
+            # deflate the served-traffic hit rate.
+            hit = self.cache.get(request.fact, method, model, record=False)
+            if hit is not None:
+                self.cache.record_hit()
+                self.metrics.observe_cache(True)
+                latency = time.perf_counter() - started
+                self.metrics.observe_completion(
+                    latency,
+                    method=method,
+                    model=model,
+                    prompt_tokens=hit.prompt_tokens,
+                    completion_tokens=hit.completion_tokens,
+                )
+                return ServiceResponse(RequestOutcome.COMPLETED, hit, True, latency)
+
+        if self._pending >= self.config.queue_depth:
+            self.metrics.observe_shed()
+            return ServiceResponse(
+                RequestOutcome.REJECTED, None, False, time.perf_counter() - started
+            )
+
+        if self.cache is not None:
+            self.cache.record_miss()
+            self.metrics.observe_cache(False)
+        self._pending += 1
+        self.metrics.set_queue_depth(self._pending)
+        future: "asyncio.Future[Tuple[ValidationResult, int]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight.add(future)
+        try:
+            self._queue_for(method, model).put_nowait((request, future))
+            result, batch_size = await future
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # Admitted but the batch failed (strategy exception): account it
+            # so completed + rejected + errors still equals submitted.
+            self.metrics.observe_error()
+            raise
+        finally:
+            self._inflight.discard(future)
+            self._pending -= 1
+            self.metrics.set_queue_depth(self._pending)
+
+        latency = time.perf_counter() - started
+        self.metrics.observe_completion(
+            latency,
+            method=method,
+            model=model,
+            prompt_tokens=result.prompt_tokens,
+            completion_tokens=result.completion_tokens,
+        )
+        if self.cache is not None:
+            self.cache.put(request.fact, method, model, result)
+        return ServiceResponse(RequestOutcome.COMPLETED, result, False, latency, batch_size)
+
+    # ---------------------------------------------------------------- internals
+
+    def _queue_for(self, method: str, model: str) -> asyncio.Queue:
+        key = (method, model)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[key] = queue
+            self._workers[key] = asyncio.get_running_loop().create_task(
+                self._worker(key, queue), name=f"validation-worker-{method}-{model}"
+            )
+        return queue
+
+    def _strategy(self, method: str, dataset: str, model: str) -> ValidationStrategy:
+        key = (method, dataset, model)
+        strategy = self._strategies.get(key)
+        if strategy is None:
+            strategy = self._strategies_provider(method, dataset, model)
+            self._strategies[key] = strategy
+        return strategy
+
+    def _drain_nowait(self, queue: asyncio.Queue, batch: List[_QueueItem]) -> None:
+        while len(batch) < self.config.max_batch_size:
+            try:
+                batch.append(queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+
+    async def _drain_batch(self, queue: asyncio.Queue) -> List[_QueueItem]:
+        """Take one batch: first item blocks, the rest coalesce.
+
+        With ``batch_linger_s > 0`` an under-full batch waits exactly one
+        linger window for more arrivals (not one window per arrival — the
+        first request's dispatch delay is bounded by a single linger).
+        """
+        batch: List[_QueueItem] = [await queue.get()]
+        self._drain_nowait(queue, batch)
+        if len(batch) < self.config.max_batch_size and self.config.batch_linger_s > 0:
+            await asyncio.sleep(self.config.batch_linger_s)
+            self._drain_nowait(queue, batch)
+        return batch
+
+    async def _worker(self, key: Tuple[str, str], queue: asyncio.Queue) -> None:
+        method, model = key
+        while True:
+            batch = await self._drain_batch(queue)
+            self.metrics.observe_batch(len(batch))
+            outcomes = self._execute(method, model, batch)
+            succeeded = [
+                outcome for outcome in outcomes if isinstance(outcome, ValidationResult)
+            ]
+            if succeeded and self.config.time_scale > 0:
+                simulated = self.config.batch_overhead_s + max(
+                    result.latency_seconds for result in succeeded
+                )
+                await asyncio.sleep(simulated * self.config.time_scale)
+            for (_, future), outcome in zip(batch, outcomes):
+                if future.done():
+                    continue
+                if isinstance(outcome, ValidationResult):
+                    future.set_result((outcome, len(batch)))
+                else:
+                    future.set_exception(outcome)
+
+    def _execute(
+        self, method: str, model: str, batch: List[_QueueItem]
+    ) -> List[Any]:
+        """Run one micro-batch through the offline pipeline code path.
+
+        Requests are grouped by owning dataset (strategies such as RAG are
+        dataset-bound through their corpus/search substrates) while the
+        batch's submission order is preserved for the caller.  A failure is
+        isolated to its dataset group: co-batched requests for other
+        datasets still succeed.  Returns, per batch item, either its
+        :class:`ValidationResult` or the exception its group raised.
+        """
+        groups: Dict[str, List[int]] = {}
+        for index, (request, _) in enumerate(batch):
+            groups.setdefault(request.fact.dataset, []).append(index)
+        outcomes: List[Any] = [None] * len(batch)
+        for dataset, indexes in groups.items():
+            try:
+                strategy = self._strategy(method, dataset, model)
+                facts = [batch[i][0].fact for i in indexes]
+                results = self._pipeline.run_facts(strategy, facts, dataset=dataset)
+            except Exception as exc:  # strategy bug: fail this group only
+                for i in indexes:
+                    outcomes[i] = exc
+                continue
+            for i, result in zip(indexes, results):
+                outcomes[i] = result
+        return outcomes

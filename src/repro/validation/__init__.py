@@ -21,6 +21,7 @@ from .pipeline import (
     ParallelValidationPipeline,
     StrategyFactory,
     ValidationPipeline,
+    progress_label,
     run_matrix,
 )
 from .prompts import (
@@ -81,6 +82,7 @@ __all__ = [
     "majority_vote",
     "parse_questions",
     "parse_verdict",
+    "progress_label",
     "question_generation_prompt",
     "rag_prompt",
     "reprompt_suffix",

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro.benchmark import EXPERIMENTS, run_experiment
-from repro.benchmark.cli import build_parser, main
+from repro.benchmark.cli import build_parser, build_service_parser, main
 
 
 class TestParser:
@@ -40,6 +40,53 @@ class TestRunExperiment:
     def test_unknown_experiment_raises(self, runner):
         with pytest.raises(KeyError):
             run_experiment("tableX", runner)
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_service_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8765
+        assert args.methods == ("dka", "giv-z")
+
+    def test_loadgen_parser_parses_mix(self):
+        args = build_service_parser().parse_args(
+            ["loadgen", "--requests", "50", "--concurrency", "4",
+             "--methods", "dka", "--models", "gemma2:9b", "--no-cache"]
+        )
+        assert args.command == "loadgen"
+        assert (args.requests, args.concurrency) == (50, 4)
+        assert args.methods == ("dka",) and args.models == ("gemma2:9b",)
+        assert args.no_cache
+
+    def test_service_args_validated_before_substrate_build(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["loadgen", "--models", "gemma2:9B"], stream=io.StringIO())
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["loadgen", "--methods", "gda"], stream=io.StringIO())
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["serve", "--datasets", "wikidata"], stream=io.StringIO())
+        # Empty CSVs fail fast too, instead of starting an unrestricted
+        # server or crashing mid-run.
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["serve", "--methods", ","], stream=io.StringIO())
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["loadgen", "--models", ""], stream=io.StringIO())
+
+    def test_loadgen_end_to_end(self):
+        stream = io.StringIO()
+        code = main(
+            ["loadgen", "--requests", "40", "--concurrency", "8",
+             "--scale", "0.02", "--max-facts", "10", "--world-scale", "0.12",
+             "--methods", "dka", "--models", "gemma2:9b",
+             "--time-scale", "0.001"],
+            stream=stream,
+        )
+        out = stream.getvalue()
+        assert code == 0
+        assert "Closed-loop load run: 40 requests" in out
+        assert "throughput" in out and "p99 latency" in out
+        assert "Service metrics" in out
 
 
 class TestMain:

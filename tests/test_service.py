@@ -1,0 +1,536 @@
+"""Tests for the online validation service: batching, shedding, parity, TCP."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    LoadGenerator,
+    MetricsSnapshot,
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    TCPValidationFrontend,
+    ValidationService,
+    build_workload,
+    percentile,
+)
+from repro.validation import ValidationPipeline
+
+
+@pytest.fixture(scope="module")
+def service_config():
+    return ExperimentConfig(
+        scale=0.03,
+        max_facts_per_dataset=14,
+        world_scale=0.15,
+        methods=("dka", "giv-z"),
+        datasets=("factbench", "yago"),
+        models=("gemma2:9b", "qwen2.5:7b"),
+        include_commercial_in_grid=False,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def service_runner(service_config):
+    return BenchmarkRunner(service_config)
+
+
+def _drive(service, requests):
+    """Run a list of requests concurrently through a service's lifecycle."""
+
+    async def go():
+        async with service:
+            return await asyncio.gather(*(service.submit(req) for req in requests))
+
+    return asyncio.run(go())
+
+
+class TestVerdictParity:
+    def test_service_results_equal_offline_pipeline(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, max_batch_size=4)
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        responses = _drive(service, requests)
+
+        offline = ValidationPipeline().run(
+            service_runner.build_strategy("dka", "factbench", service_runner.registry.get("gemma2:9b")),
+            dataset,
+        )
+        assert [response.result for response in responses] == offline.results
+        assert all(response.outcome is RequestOutcome.COMPLETED for response in responses)
+
+    def test_mixed_dataset_batches_route_to_right_strategy(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:4] + list(
+            service_runner.dataset("yago")
+        )[:4]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, max_batch_size=8)
+        )
+        responses = _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        for fact, response in zip(facts, responses):
+            assert response.result.fact_id == fact.fact_id
+            assert response.result.gold_label == fact.label
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_coalesce_into_one_batch(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:8]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, max_batch_size=8)
+        )
+        responses = _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        assert [response.batch_size for response in responses] == [8] * 8
+        snapshot = service.metrics.snapshot()
+        assert snapshot.batches == 1
+        assert snapshot.mean_batch_size == pytest.approx(8.0)
+
+    def test_max_batch_size_respected(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:9]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, max_batch_size=3)
+        )
+        responses = _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        assert max(response.batch_size for response in responses) <= 3
+        assert service.metrics.snapshot().batches >= 3
+
+    def test_distinct_strategies_get_distinct_workers(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:4]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, max_batch_size=8)
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts]
+        requests += [ServiceRequest(fact, "giv-z", "qwen2.5:7b") for fact in facts]
+        responses = _drive(service, requests)
+        # Two (method, model) workers -> two batches of four, never merged.
+        assert [response.batch_size for response in responses] == [4] * 8
+        assert {response.result.method for response in responses} == {"dka", "giv-z"}
+
+
+class TestBatchLinger:
+    def test_single_linger_window_coalesces_late_arrivals(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:4]
+        service = ValidationService.from_runner(
+            service_runner,
+            ServiceConfig(enable_cache=False, max_batch_size=8, batch_linger_s=0.08),
+        )
+
+        async def go():
+            async with service:
+                first = asyncio.create_task(
+                    service.submit(ServiceRequest(facts[0], "dka", "gemma2:9b"))
+                )
+                await asyncio.sleep(0.01)  # worker is inside its linger window
+                rest = [
+                    asyncio.create_task(service.submit(ServiceRequest(fact, "dka", "gemma2:9b")))
+                    for fact in facts[1:]
+                ]
+                return await asyncio.gather(first, *rest)
+
+        before = time.perf_counter()
+        responses = asyncio.run(go())
+        elapsed = time.perf_counter() - before
+        # The late arrivals joined the first request's batch...
+        assert [response.batch_size for response in responses] == [4] * 4
+        # ...and the wait was one linger window, not one window per arrival.
+        assert elapsed < 4 * 0.08
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_explicit_rejected_outcome(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:12]
+        service = ValidationService.from_runner(
+            service_runner,
+            ServiceConfig(enable_cache=False, max_batch_size=1, queue_depth=2, time_scale=0.01),
+        )
+        responses = _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        rejected = [response for response in responses if response.rejected]
+        completed = [response for response in responses if not response.rejected]
+        assert len(completed) == 2
+        assert len(rejected) == 10
+        assert all(response.outcome is RequestOutcome.REJECTED for response in rejected)
+        assert all(response.result is None for response in rejected)
+        snapshot = service.metrics.snapshot()
+        assert snapshot.shed_count == 10
+        assert snapshot.completed == 2
+
+    def test_rejection_is_load_shedding_not_an_error(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False, queue_depth=1, time_scale=0.01)
+        )
+
+        async def go():
+            async with service:
+                first, second = await asyncio.gather(
+                    service.submit(ServiceRequest(fact, "dka", "gemma2:9b")),
+                    service.submit(ServiceRequest(fact, "giv-z", "gemma2:9b")),
+                )
+                # Once load drains, the service admits again.
+                third = await service.submit(ServiceRequest(fact, "giv-z", "gemma2:9b"))
+                return first, second, third
+
+        first, second, third = asyncio.run(go())
+        assert not first.rejected
+        assert second.rejected
+        assert not third.rejected
+
+
+class TestVerdictCacheIntegration:
+    def test_repeat_request_is_served_from_cache_with_identical_result(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        service = ValidationService.from_runner(service_runner, ServiceConfig())
+
+        async def go():
+            async with service:
+                first = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                second = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                other_model = await service.submit(ServiceRequest(fact, "dka", "qwen2.5:7b"))
+                return first, second, other_model
+
+        first, second, other_model = asyncio.run(go())
+        assert not first.cached and second.cached
+        assert second.result == first.result  # exact fields, tokens included
+        assert not other_model.cached  # different model must not collide
+        stats = service.cache.stats()
+        assert stats.hits == 1 and stats.misses == 2
+        assert service.metrics.snapshot().cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_shed_requests_do_not_count_as_cache_misses(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(queue_depth=1, time_scale=0.01)
+        )
+
+        async def go():
+            async with service:
+                return await asyncio.gather(
+                    service.submit(ServiceRequest(fact, "dka", "gemma2:9b")),
+                    service.submit(ServiceRequest(fact, "giv-z", "gemma2:9b")),
+                )
+
+        first, second = asyncio.run(go())
+        assert not first.rejected and second.rejected
+        # Only the admitted request registers a miss; the shed one must not
+        # deflate the served-traffic hit rate.
+        stats = service.cache.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+        snapshot = service.metrics.snapshot()
+        assert (snapshot.cache_hits, snapshot.cache_misses) == (0, 1)
+
+    def test_cache_disabled_never_marks_cached(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        service = ValidationService.from_runner(
+            service_runner, ServiceConfig(enable_cache=False)
+        )
+        responses = _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b")] * 3)
+        assert service.cache is None
+        assert all(not response.cached for response in responses)
+
+
+class TestLifecycleAndFailure:
+    def test_submit_after_stop_raises(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        service = ValidationService.from_runner(service_runner, ServiceConfig())
+
+        async def go():
+            async with service:
+                await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+            with pytest.raises(RuntimeError):
+                await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+
+        asyncio.run(go())
+
+    def test_stop_cancels_inflight_requests_instead_of_hanging(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:4]
+        service = ValidationService.from_runner(
+            service_runner,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05),
+        )
+
+        async def go():
+            await service.start()
+            tasks = [
+                asyncio.create_task(service.submit(ServiceRequest(fact, "dka", "gemma2:9b")))
+                for fact in facts
+            ]
+            await asyncio.sleep(0.01)  # first batch mid-sleep, rest still queued
+            await asyncio.wait_for(service.stop(), timeout=2.0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(outcome, asyncio.CancelledError) for outcome in outcomes)
+
+        asyncio.run(go())
+
+    def test_strategy_failure_propagates_and_worker_survives(self, service_runner):
+        fact = service_runner.dataset("factbench")[0]
+        calls = {"count": 0}
+
+        def flaky_provider(method, dataset, model):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise KeyError("no such strategy")
+            return service_runner.build_strategy(method, dataset, service_runner.registry.get(model))
+
+        service = ValidationService(flaky_provider, ServiceConfig(enable_cache=False))
+
+        async def go():
+            async with service:
+                with pytest.raises(KeyError):
+                    await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                # The worker keeps serving after a failed batch.
+                return await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+
+        response = asyncio.run(go())
+        assert response.outcome is RequestOutcome.COMPLETED
+        # The failed batch is accounted as an error, keeping
+        # completed + rejected + errors == submitted.
+        snapshot = service.metrics.snapshot()
+        assert snapshot.errors == 1
+        assert snapshot.completed == 1
+
+    def test_group_failure_does_not_fail_cobatched_datasets(self, service_runner):
+        factbench_fact = service_runner.dataset("factbench")[0]
+        yago_fact = service_runner.dataset("yago")[0]
+
+        def provider(method, dataset, model):
+            if dataset == "yago":
+                raise KeyError("yago substrate unavailable")
+            return service_runner.build_strategy(method, dataset, service_runner.registry.get(model))
+
+        service = ValidationService(provider, ServiceConfig(enable_cache=False, max_batch_size=8))
+
+        async def go():
+            async with service:
+                return await asyncio.gather(
+                    service.submit(ServiceRequest(factbench_fact, "dka", "gemma2:9b")),
+                    service.submit(ServiceRequest(yago_fact, "dka", "gemma2:9b")),
+                    return_exceptions=True,
+                )
+
+        ok, failed = asyncio.run(go())
+        # Both rode the same (dka, gemma2:9b) micro-batch; only the yago
+        # group's failure surfaces, the factbench request still completes.
+        assert ok.outcome is RequestOutcome.COMPLETED and ok.batch_size == 2
+        assert isinstance(failed, KeyError)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([], 95) == 0.0
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            percentile(values, 101)
+
+    def test_snapshot_shape_and_telemetry_wiring(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:6]
+        telemetry = service_runner.telemetry
+        before = len(telemetry.records(task="serve/dka"))
+        service = ValidationService.from_runner(service_runner, ServiceConfig(enable_cache=False))
+        _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        snapshot = service.metrics.snapshot()
+        assert isinstance(snapshot, MetricsSnapshot)
+        assert snapshot.completed == 6
+        assert snapshot.throughput_rps > 0
+        assert 0 < snapshot.p50_latency_s <= snapshot.p95_latency_s <= snapshot.p99_latency_s
+        assert "p95" in snapshot.format_table()
+        # Serving records land in the shared TelemetryCollector by task label.
+        serve_records = telemetry.records(task="serve/dka")
+        assert len(serve_records) - before == 6
+        assert all(record.model == "gemma2:9b" for record in serve_records[-6:])
+
+    def test_restart_resets_the_measurement_window(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:5]
+        service = ValidationService.from_runner(service_runner, ServiceConfig(enable_cache=False))
+        _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts])
+        assert service.metrics.snapshot().completed == 5
+        # A second serving window must not divide the old completion count
+        # by the new elapsed time.
+        _drive(service, [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts[:2]])
+        snapshot = service.metrics.snapshot()
+        assert snapshot.completed == 2
+        assert snapshot.batches >= 1
+
+
+class TestLoadGenerator:
+    def test_closed_loop_run_completes_workload(self, service_runner):
+        datasets = [service_runner.dataset("factbench"), service_runner.dataset("yago")]
+        workload = build_workload(
+            datasets, ["dka", "giv-z"], ["gemma2:9b", "qwen2.5:7b"], 80, seed=5
+        )
+        service = ValidationService.from_runner(service_runner, ServiceConfig(time_scale=0.001))
+        report = LoadGenerator(service, workload, concurrency=8).run_sync()
+        assert report.total == 80
+        assert report.completed == 80
+        assert report.rejected == 0
+        assert report.throughput_rps > 0
+        assert report.cache_hits > 0  # the mix repeats facts by design
+        assert "p95 latency" in report.format_table()
+        verdicts = report.verdicts()
+        assert verdicts  # (method, model, dataset, fact_id) -> verdict
+        assert all(len(key) == 4 for key in verdicts)
+
+    def test_workload_is_deterministic_per_seed(self, service_runner):
+        datasets = [service_runner.dataset("factbench")]
+        first = build_workload(datasets, ["dka"], ["gemma2:9b"], 30, seed=9)
+        second = build_workload(datasets, ["dka"], ["gemma2:9b"], 30, seed=9)
+        different = build_workload(datasets, ["dka"], ["gemma2:9b"], 30, seed=10)
+        assert [(r.fact.fact_id, r.method, r.model) for r in first] == [
+            (r.fact.fact_id, r.method, r.model) for r in second
+        ]
+        assert [(r.fact.fact_id, r.method, r.model) for r in first] != [
+            (r.fact.fact_id, r.method, r.model) for r in different
+        ]
+
+    def test_method_weights_shape_the_mix(self, service_runner):
+        datasets = [service_runner.dataset("factbench")]
+        workload = build_workload(
+            datasets, ["dka", "giv-z"], ["gemma2:9b"], 200, seed=1,
+            method_weights={"dka": 9.0, "giv-z": 1.0},
+        )
+        dka_share = sum(1 for request in workload if request.method == "dka") / len(workload)
+        assert dka_share > 0.75
+
+    def test_invalid_specs_rejected(self, service_runner):
+        datasets = [service_runner.dataset("factbench")]
+        with pytest.raises(ValueError):
+            build_workload([], ["dka"], ["gemma2:9b"], 10)
+        with pytest.raises(ValueError):
+            build_workload(datasets, ["dka"], ["gemma2:9b"], -1)
+        with pytest.raises(ValueError):
+            build_workload(datasets, ["dka"], ["gemma2:9b"], 10, method_weights={"dka": 0.0})
+
+
+class TestTCPFrontend:
+    def test_round_trip_metrics_and_errors(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+
+        async def go():
+            service = ValidationService.from_runner(service_runner, ServiceConfig())
+            async with service:
+                async with TCPValidationFrontend(service, {"factbench": dataset}) as frontend:
+                    assert frontend.port != 0
+                    reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+
+                    async def ask(payload):
+                        writer.write(json.dumps(payload).encode() + b"\n")
+                        await writer.drain()
+                        return json.loads(await reader.readline())
+
+                    good = await ask(
+                        {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                         "method": "dka", "model": "gemma2:9b", "id": "req-1"}
+                    )
+                    repeat = await ask(
+                        {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                         "method": "dka", "model": "gemma2:9b"}
+                    )
+                    missing = await ask({"dataset": "factbench", "fact_id": "nope"})
+                    bad_dataset = await ask({"dataset": "unknown", "fact_id": "x"})
+                    metrics = await ask({"cmd": "metrics"})
+                    malformed_reply = None
+                    writer.write(b"this is not json\n")
+                    await writer.drain()
+                    malformed_reply = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    # Error replies count toward requests_handled (so a
+                    # --max-requests bound terminates even on bad input);
+                    # control commands like metrics do not.
+                    assert frontend.requests_handled == 5
+                    return good, repeat, missing, bad_dataset, metrics, malformed_reply
+
+        good, repeat, missing, bad_dataset, metrics, malformed = asyncio.run(go())
+        assert good["outcome"] == "completed"
+        assert good["id"] == "req-1"
+        assert good["verdict"] in {"true", "false", "invalid", "tie"}
+        assert repeat["cached"] is True
+        assert repeat["verdict"] == good["verdict"]
+        assert missing["outcome"] == "error" and "unknown fact_id" in missing["error"]
+        assert bad_dataset["outcome"] == "error" and "unknown dataset" in bad_dataset["error"]
+        assert metrics["completed"] == 2
+        assert malformed["outcome"] == "error"
+
+    def test_allowed_method_model_restrictions_enforced(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+
+        async def go():
+            service = ValidationService.from_runner(service_runner, ServiceConfig())
+            async with service:
+                frontend = TCPValidationFrontend(
+                    service, {"factbench": dataset},
+                    allowed_methods=("dka",), allowed_models=("gemma2:9b",),
+                )
+                async with frontend:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+
+                    async def ask(payload):
+                        writer.write(json.dumps(payload).encode() + b"\n")
+                        await writer.drain()
+                        return json.loads(await reader.readline())
+
+                    ok = await ask({"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                                    "method": "dka", "model": "gemma2:9b"})
+                    bad_method = await ask({"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                                            "method": "rag", "model": "gemma2:9b"})
+                    bad_model = await ask({"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                                           "method": "dka", "model": "qwen2.5:7b"})
+                    writer.close()
+                    await writer.wait_closed()
+                    return ok, bad_method, bad_model
+
+        ok, bad_method, bad_model = asyncio.run(go())
+        assert ok["outcome"] == "completed"
+        assert bad_method["outcome"] == "error" and "not served" in bad_method["error"]
+        assert bad_model["outcome"] == "error" and "not served" in bad_model["error"]
+
+    def test_empty_allowlist_denies_all_instead_of_unrestricting(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+        frontend = TCPValidationFrontend(
+            ValidationService.from_runner(service_runner, ServiceConfig()),
+            {"factbench": dataset},
+            allowed_methods=[],
+        )
+        assert frontend.allowed_methods == frozenset()
+        assert frontend.allowed_models is None
+
+    def test_oversized_line_gets_error_reply_not_a_dead_handler(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+
+        async def go():
+            service = ValidationService.from_runner(service_runner, ServiceConfig())
+            async with service:
+                async with TCPValidationFrontend(service, {"factbench": dataset}) as frontend:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+                    writer.write(b'{"pad": "' + b"x" * 200_000 + b'"}\n')
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    # The stream cannot be resynchronised; the server closes
+                    # the connection after the error reply (plain EOF, or a
+                    # reset when our oversized line is still unread).
+                    try:
+                        trailing = await reader.readline()
+                    except ConnectionResetError:
+                        trailing = b""
+                    assert trailing == b""
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+                    return reply
+
+        reply = asyncio.run(go())
+        assert reply["outcome"] == "error" and "too long" in reply["error"]

@@ -1,0 +1,168 @@
+"""Verdict-cache keying and LRU thread-safety.
+
+The keying tests pin the satellite requirement: identical fact text under
+different (method, model, dataset) coordinates must never collide, and a
+cache hit must return the exact :class:`ValidationResult` — token
+accounting included — that was stored.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datasets import LabeledFact
+from repro.kg import Triple
+from repro.retrieval.cache import LRUCache
+from repro.service import VerdictCache, verdict_cache_key
+from repro.validation import ValidationResult, Verdict
+
+
+def _fact(fact_id: str = "fb-001", dataset: str = "factbench", label: bool = True) -> LabeledFact:
+    return LabeledFact(
+        fact_id=fact_id,
+        triple=Triple("Alice_Smith", "worksFor", "Acme_Corp"),
+        label=label,
+        dataset=dataset,
+        subject_name="Alice Smith",
+        object_name="Acme Corp",
+        predicate_name="worksFor",
+    )
+
+
+def _result(fact: LabeledFact, method: str, model: str, verdict: Verdict = Verdict.TRUE) -> ValidationResult:
+    return ValidationResult(
+        fact_id=fact.fact_id,
+        verdict=verdict,
+        gold_label=fact.label,
+        model=model,
+        method=method,
+        latency_seconds=0.123,
+        prompt_tokens=57,
+        completion_tokens=21,
+        raw_response="True. Records agree.",
+    )
+
+
+class TestVerdictCacheKeying:
+    def test_identical_fact_text_distinct_coordinates_never_collide(self):
+        cache = VerdictCache(capacity=64, shards=4)
+        fact = _fact()
+        # Same encoded triple text, different dataset and id.
+        twin = _fact(fact_id="yago-001", dataset="yago")
+        coordinates = [
+            (fact, "dka", "gemma2:9b"),
+            (fact, "dka", "qwen2.5:7b"),   # other model
+            (fact, "giv-z", "gemma2:9b"),  # other method
+            (twin, "dka", "gemma2:9b"),    # other dataset, same text
+        ]
+        keys = {verdict_cache_key(f, method, model) for f, method, model in coordinates}
+        assert len(keys) == len(coordinates)
+
+        verdicts = [Verdict.TRUE, Verdict.FALSE, Verdict.INVALID, Verdict.FALSE]
+        for (f, method, model), verdict in zip(coordinates, verdicts):
+            cache.put(f, method, model, _result(f, method, model, verdict))
+        for (f, method, model), verdict in zip(coordinates, verdicts):
+            hit = cache.get(f, method, model)
+            assert hit is not None
+            assert hit.verdict is verdict
+            assert hit.method == method and hit.model == model
+
+    def test_hit_preserves_exact_result_fields_including_tokens(self):
+        cache = VerdictCache(capacity=8, shards=2)
+        fact = _fact()
+        stored = _result(fact, "dka", "gemma2:9b")
+        cache.put(fact, "dka", "gemma2:9b", stored)
+        hit = cache.get(fact, "dka", "gemma2:9b")
+        assert hit == stored  # frozen dataclass: field-by-field equality
+        assert (hit.prompt_tokens, hit.completion_tokens, hit.total_tokens) == (57, 21, 78)
+        assert hit.latency_seconds == pytest.approx(0.123)
+        assert hit.raw_response == stored.raw_response
+
+    def test_miss_returns_none_and_counts(self):
+        cache = VerdictCache(capacity=8, shards=2)
+        fact = _fact()
+        assert cache.get(fact, "dka", "gemma2:9b") is None
+        cache.put(fact, "dka", "gemma2:9b", _result(fact, "dka", "gemma2:9b"))
+        assert cache.get(fact, "dka", "gemma2:9b") is not None
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.size == 1
+
+    def test_capacity_splits_across_shards(self):
+        cache = VerdictCache(capacity=16, shards=4)
+        assert cache.capacity == 16
+        for index in range(200):
+            fact = _fact(fact_id=f"fb-{index:03d}")
+            cache.put(fact, "dka", "gemma2:9b", _result(fact, "dka", "gemma2:9b"))
+        assert len(cache) <= 16
+
+    def test_clear_resets_contents_and_stats(self):
+        cache = VerdictCache(capacity=8, shards=2)
+        fact = _fact()
+        cache.put(fact, "dka", "gemma2:9b", _result(fact, "dka", "gemma2:9b"))
+        cache.get(fact, "dka", "gemma2:9b")
+        cache.clear()
+        stats = cache.stats()
+        assert (len(cache), stats.hits, stats.misses) == (0, 0, 0)
+
+
+class TestLRUCacheThreadSafety:
+    def test_concurrent_mixed_workload_keeps_invariants(self):
+        cache = LRUCache(capacity=64)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for step in range(2000):
+                    key = (worker * 7 + step) % 200
+                    cache.put(key, (worker, step))
+                    value = cache.get(key)
+                    # Another thread may have overwritten or evicted the key,
+                    # but a stored value is always a coherent (worker, step)
+                    # pair, never a torn/corrupted entry.
+                    assert value is None or (isinstance(value, tuple) and len(value) == 2)
+                    if step % 97 == 0:
+                        _ = key in cache
+                        _ = len(cache)
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(worker,)) for worker in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64
+        # The OrderedDict survived: evict-to-capacity still works afterwards.
+        for index in range(100):
+            cache.put(("post", index), index)
+        assert len(cache) <= 64
+
+    def test_concurrent_clear_does_not_corrupt(self):
+        cache = LRUCache(capacity=32)
+        stop = threading.Event()
+
+        def writer() -> None:
+            index = 0
+            while not stop.is_set():
+                cache.put(index % 50, index)
+                index += 1
+
+        def clearer() -> None:
+            while not stop.is_set():
+                cache.clear()
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads.append(threading.Thread(target=clearer))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 32
