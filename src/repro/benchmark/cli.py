@@ -9,12 +9,19 @@ Usage (after ``pip install -e .``)::
     python -m repro.benchmark.cli serve --port 8765 --methods dka,giv-z
     python -m repro.benchmark.cli loadgen --requests 500 --concurrency 32
 
+    # Versioned knowledge store: stream mutations in, compact the log.
+    python -m repro.benchmark.cli ingest --store store.jsonl --mutations ops.jsonl
+    python -m repro.benchmark.cli compact --store store.jsonl
+
 Each experiment prints the corresponding table/figure in the same text
 format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
 reproduce a single result without running pytest.  ``serve`` exposes the
 :mod:`repro.service` subsystem over newline-delimited JSON; ``loadgen``
 drives an in-process service closed-loop and prints the latency/throughput
-report (the muBench-style deploy-and-measure pair).
+report (the muBench-style deploy-and-measure pair).  ``ingest`` replays a
+persisted :mod:`repro.store` log, applies a batch of mutations from a
+plain JSONL file, and writes the grown log back; ``compact`` collapses a
+log's history into one canonical batch at the current epoch.
 """
 
 from __future__ import annotations
@@ -62,9 +69,9 @@ __all__ = [
     "SERVICE_COMMANDS",
 ]
 
-#: Subcommands dispatched to the online-serving path instead of the
-#: table/figure renderers.
-SERVICE_COMMANDS = ("serve", "loadgen")
+#: Subcommands dispatched to the online-serving / store path instead of
+#: the table/figure renderers.
+SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact")
 
 
 def _render_table2(runner: BenchmarkRunner) -> str:
@@ -252,6 +259,26 @@ def build_service_parser() -> argparse.ArgumentParser:
     add_common(loadgen)
     loadgen.add_argument("--requests", type=int, default=500, help="Total requests to issue.")
     loadgen.add_argument("--concurrency", type=int, default=16, help="Closed-loop virtual clients.")
+
+    ingest = commands.add_parser(
+        "ingest", help="Apply a mutations file to a persisted versioned knowledge store."
+    )
+    ingest.add_argument("--store", required=True, help="Store log (JSONL); created when absent.")
+    ingest.add_argument(
+        "--mutations", required=True,
+        help="Plain JSONL mutations file: one add_triple/remove_triple/add_document op per line.",
+    )
+    ingest.add_argument(
+        "--output", default=None, help="Write the grown log here instead of back to --store."
+    )
+
+    compact = commands.add_parser(
+        "compact", help="Collapse a store log's history into one canonical batch."
+    )
+    compact.add_argument("--store", required=True, help="Store log (JSONL) to compact.")
+    compact.add_argument(
+        "--output", default=None, help="Write the compacted log here instead of back to --store."
+    )
     return parser
 
 
@@ -343,6 +370,69 @@ def _run_serve(args, stream: TextIO) -> int:
     return 0
 
 
+def _run_ingest(args, stream: TextIO) -> int:
+    import os
+
+    from ..store import VersionedKnowledgeStore, read_mutations_jsonl
+
+    if os.path.exists(args.store):
+        try:
+            store = VersionedKnowledgeStore.load(args.store)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read store log: {exc}")
+        stream.write(
+            f"loaded {args.store}: epoch {store.epoch}, {len(store.graph)} triples, "
+            f"{len(store.corpus)} documents\n"
+        )
+    else:
+        store = VersionedKnowledgeStore()
+        stream.write(f"{args.store} not found; starting an empty store\n")
+    try:
+        mutations = read_mutations_jsonl(args.mutations)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read mutations: {exc}")
+    if not mutations:
+        raise SystemExit(f"{args.mutations} contains no mutations")
+    try:
+        report = store.apply(mutations)
+    except ValueError as exc:
+        raise SystemExit(f"mutation batch rejected: {exc}")
+    target = args.output or args.store
+    store.save(target)
+    stream.write(
+        f"epoch {report.epoch}: +{report.triples_added} triples, "
+        f"-{report.triples_removed} triples, +{report.documents_added} documents "
+        f"(index: {report.index_strategy}"
+        f"{', graph re-interned' if report.graph_rebuilt else ''}) "
+        f"in {report.seconds:.3f}s\n"
+    )
+    stream.write(f"saved {len(store.log)} log records to {target}\n")
+    # Graph + corpus digest only: hashing the BM25 index would force a
+    # full index build just for a log line.
+    stream.write(f"state digest {store.state_digest(include_index=False)[:16]}\n")
+    return 0
+
+
+def _run_compact(args, stream: TextIO) -> int:
+    from ..store import VersionedKnowledgeStore
+
+    try:
+        store = VersionedKnowledgeStore.load(args.store)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read store log: {exc}")
+    before = len(store.log)
+    dropped = store.compact()
+    target = args.output or args.store
+    store.save(target)
+    stream.write(
+        f"compacted {args.store}: {before} -> {len(store.log)} records "
+        f"({dropped} dropped), epoch {store.epoch} "
+        f"(snapshot floor {store.log.floor_epoch})\n"
+    )
+    stream.write(f"saved to {target}\n")
+    return 0
+
+
 def _run_loadgen(args, stream: TextIO) -> int:
     from ..service import LoadGenerator, build_workload
 
@@ -415,6 +505,10 @@ def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
         service_args = build_service_parser().parse_args(argv)
         if service_args.command == "serve":
             return _run_serve(service_args, stream)
+        if service_args.command == "ingest":
+            return _run_ingest(service_args, stream)
+        if service_args.command == "compact":
+            return _run_compact(service_args, stream)
         return _run_loadgen(service_args, stream)
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(

@@ -16,10 +16,12 @@ from ..kg.verbalization import Verbalizer
 from ..llm.base import LLMClient
 from ..llm.registry import ModelRegistry
 from ..llm.telemetry import TelemetryCollector
+from ..kg.triples import Triple
 from ..retrieval.corpus import Corpus
 from ..retrieval.mock_api import MockSearchAPI
 from ..retrieval.reranker import CrossEncoderReranker
 from ..retrieval.webgen import WebCorpusGenerator
+from ..store import StoreConfig, VersionedKnowledgeStore
 from ..validation.base import ValidationRun, ValidationStrategy
 from ..validation.consensus import ConsensusRun, MajorityVoteConsensus
 from ..validation.dka import DirectKnowledgeAssessment
@@ -88,6 +90,7 @@ class BenchmarkRunner:
         self._reranker = CrossEncoderReranker()
         self._reranker_warmed: set = set()
         self._evidence_caches: Dict[str, dict] = {}
+        self._stores: Dict[str, VersionedKnowledgeStore] = {}
         self._runs: Dict[Tuple[str, str, str], ValidationRun] = {}
         self._consensus_cache: Dict[Tuple[str, str, str], ConsensusRun] = {}
 
@@ -143,6 +146,56 @@ class BenchmarkRunner:
                 default_num_results=self.config.serp_results_per_query,
             )
         return self._search_apis[dataset_name]
+
+    def versioned_store(
+        self, dataset_name: str, store_config: Optional[StoreConfig] = None
+    ) -> VersionedKnowledgeStore:
+        """A :class:`VersionedKnowledgeStore` adopting this dataset's substrates.
+
+        The store wraps the dataset's live corpus, the ``MockSearchAPI``'s
+        BM25 engine, the world-model reference triples, and the shared
+        reranker's embedding cache — all maintained *in place* on ingest,
+        so RAG strategies built by :meth:`build_strategy` observe mutations
+        immediately instead of forcing an index rebuild.  A mutation
+        listener clears the dataset's RAG evidence cache (retrieval results
+        computed against the old corpus must not survive the epoch bump).
+        Built once per dataset; subsequent calls return the same store (a
+        conflicting ``store_config`` on a later call is an error rather
+        than being silently ignored).
+        """
+        if dataset_name in self._stores:
+            store = self._stores[dataset_name]
+            if store_config is not None and store_config != store.config:
+                raise ValueError(
+                    f"store for {dataset_name!r} already built with "
+                    f"{store.config}; cannot reconfigure to {store_config}"
+                )
+            return store
+        corpus = self.corpus(dataset_name)
+        api = self.search_api(dataset_name)
+        self._warm_reranker(dataset_name)
+        world = self.world
+        triples = [
+            Triple(world.name(fact.subject), fact.predicate, world.name(fact.object))
+            for fact in world.facts.all_facts()
+        ]
+        store = VersionedKnowledgeStore.adopt(
+            corpus=corpus,
+            search_engine=api.engine,
+            triples=triples,
+            config=store_config,
+            embedder=self._reranker.embedder,
+            name=f"{dataset_name}-store",
+        )
+
+        def _invalidate_evidence(epoch: int, mutations) -> None:
+            cache = self._evidence_caches.get(dataset_name)
+            if cache:
+                cache.clear()
+
+        store.subscribe(_invalidate_evidence)
+        self._stores[dataset_name] = store
+        return store
 
     # ------------------------------------------------------------- strategies
 

@@ -165,6 +165,10 @@ class KnowledgeGraph:
     def contains(self, subject: str, predicate: str, obj: str) -> bool:
         return Triple(subject, predicate, obj) in self._triples
 
+    def triples(self) -> Set[Triple]:
+        """A copy of the triple set (unordered; iterate the graph for sorted)."""
+        return set(self._triples)
+
     def objects(self, subject: str, predicate: str) -> List[str]:
         return sorted(self._spo.get(subject, {}).get(predicate, ()))
 
@@ -352,6 +356,55 @@ class KnowledgeGraph:
         return graph
 
     def copy(self) -> "KnowledgeGraph":
-        clone = KnowledgeGraph(self.name)
-        clone.add_all(self._triples)
+        """Structure-preserving clone: interning tables and edge order included.
+
+        The clone replicates the interning tables and per-node edge lists
+        instead of re-adding triples one by one, so it is both much cheaper
+        (no re-hashing or re-interning) and *byte-identical* to the source:
+        traversal order — and therefore ``find_paths`` enumeration order —
+        is preserved exactly.  The versioned knowledge store relies on this
+        for cheap point-in-time snapshot views.
+        """
+        clone = KnowledgeGraph.__new__(KnowledgeGraph)
+        clone.name = self.name
+        clone._triples = set(self._triples)
+        clone._spo = {
+            s: {p: set(objs) for p, objs in inner.items()} for s, inner in self._spo.items()
+        }
+        clone._pos = {
+            p: {o: set(subs) for o, subs in inner.items()} for p, inner in self._pos.items()
+        }
+        clone._osp = {
+            o: {s: set(preds) for s, preds in inner.items()} for o, inner in self._osp.items()
+        }
+        clone._node_ids = dict(self._node_ids)
+        clone._node_names = list(self._node_names)
+        clone._pred_ids = dict(self._pred_ids)
+        clone._pred_names = list(self._pred_names)
+        clone._out = [dict(edges) for edges in self._out]
+        clone._in = [dict(edges) for edges in self._in]
+        clone._steps_cache = [
+            None if steps is None else list(steps) for steps in self._steps_cache
+        ]
         return clone
+
+    def state_digest(self) -> str:
+        """Hex digest of the full internal state, edge order included.
+
+        Two graphs share a digest iff their interning tables and per-node
+        edge lists are identical — i.e. every query (including the order of
+        ``find_paths`` results, which depends on edge insertion order)
+        behaves identically.  Used to verify that incremental mutation
+        maintenance matches a deterministic log replay byte-for-byte.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "nodes": self._node_names,
+            "predicates": self._pred_names,
+            "out": [list(edges) for edges in self._out],
+            "in": [list(edges) for edges in self._in],
+        }
+        blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()

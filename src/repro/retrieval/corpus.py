@@ -84,6 +84,18 @@ class Corpus:
     def documents(self) -> List[Document]:
         return list(self._documents.values())
 
+    def copy(self) -> "Corpus":
+        """Cheap snapshot copy: fresh indexes sharing the frozen documents.
+
+        Insertion order is preserved, so an index built over the copy is
+        byte-identical to one built over the source.  Used by the versioned
+        knowledge store's point-in-time snapshot views.
+        """
+        clone = Corpus()
+        clone._documents = dict(self._documents)
+        clone._by_url = dict(self._by_url)
+        return clone
+
     def filter_sources(self, excluded_sources: Sequence[str]) -> List[Document]:
         """Documents whose source is not in ``excluded_sources``.
 

@@ -16,7 +16,14 @@ offline substrates:
   :class:`~repro.llm.telemetry.TelemetryCollector`;
 * :mod:`repro.service.frontend` — a newline-delimited-JSON TCP front-end;
 * :mod:`repro.service.loadgen` — the closed-loop :class:`LoadGenerator`
-  harness with a deterministic arrival mix.
+  harness with a deterministic arrival mix, including a mixed read/write
+  mode (:class:`IngestRequest` items in the schedule apply mutation
+  batches through :meth:`ValidationService.apply_mutations`).
+
+With a :class:`~repro.store.VersionedKnowledgeStore` attached (see
+``BenchmarkRunner.versioned_store``), the service ingests live updates:
+each applied batch advances the store epoch, and because verdict-cache
+keys carry the epoch, stale verdicts invalidate automatically.
 
 Quickstart::
 
@@ -33,7 +40,13 @@ Quickstart::
 from .cache import CacheStats, VerdictCache, verdict_cache_key
 from .config import ServiceConfig
 from .frontend import TCPValidationFrontend
-from .loadgen import LoadGenerator, LoadReport, build_workload
+from .loadgen import (
+    IngestRequest,
+    LoadGenerator,
+    LoadReport,
+    build_mixed_workload,
+    build_workload,
+)
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
 from .server import (
     RequestOutcome,
@@ -45,6 +58,7 @@ from .server import (
 
 __all__ = [
     "CacheStats",
+    "IngestRequest",
     "LoadGenerator",
     "LoadReport",
     "MetricsSnapshot",
@@ -57,6 +71,7 @@ __all__ = [
     "TCPValidationFrontend",
     "ValidationService",
     "VerdictCache",
+    "build_mixed_workload",
     "build_workload",
     "percentile",
     "verdict_cache_key",

@@ -26,17 +26,26 @@ from ..validation.base import ValidationResult
 __all__ = ["CacheStats", "VerdictCache", "verdict_cache_key"]
 
 
-def verdict_cache_key(fact: LabeledFact, method: str, model: str) -> Tuple:
-    """Collision-free cache key for one (fact, method, model) verdict.
+def verdict_cache_key(
+    fact: LabeledFact, method: str, model: str, epoch: int = 0
+) -> Tuple:
+    """Collision-free cache key for one (fact, method, model, epoch) verdict.
 
     The key carries the owning dataset and the fact id *and* the encoded
     triple itself: two datasets can contain facts with identical surface
     text (or even identical ids in adversarial inputs), and the same fact
     judged by a different method or model must never share an entry —
     verdicts legitimately differ across all of those axes.
+
+    ``epoch`` is the version of the knowledge store the verdict was
+    computed against.  When the store ingests a mutation batch the epoch
+    advances, every old key stops matching, and stale verdicts invalidate
+    automatically — no explicit flush, and verdicts for the old epoch
+    remain addressable until LRU pressure evicts them.
     """
     triple = fact.triple
     return (
+        epoch,
         method,
         model,
         fact.dataset,
@@ -86,15 +95,21 @@ class VerdictCache:
         return self._shards[int.from_bytes(digest, "big") % len(self._shards)]
 
     def get(
-        self, fact: LabeledFact, method: str, model: str, record: bool = True
+        self,
+        fact: LabeledFact,
+        method: str,
+        model: str,
+        record: bool = True,
+        epoch: int = 0,
     ) -> Optional[ValidationResult]:
         """Look up a verdict; ``record=False`` defers the hit/miss counting.
 
         The service defers miss accounting until admission control has
         admitted the request — a shed request's lookup must not deflate the
-        served-traffic hit rate.
+        served-traffic hit rate.  ``epoch`` scopes the lookup to one store
+        version; entries written at earlier epochs never match.
         """
-        key = verdict_cache_key(fact, method, model)
+        key = verdict_cache_key(fact, method, model, epoch)
         value = self._shard_for(key).get(key)
         if record:
             if value is None:
@@ -111,8 +126,15 @@ class VerdictCache:
         with self._stats_lock:
             self._misses += 1
 
-    def put(self, fact: LabeledFact, method: str, model: str, result: ValidationResult) -> None:
-        key = verdict_cache_key(fact, method, model)
+    def put(
+        self,
+        fact: LabeledFact,
+        method: str,
+        model: str,
+        result: ValidationResult,
+        epoch: int = 0,
+    ) -> None:
+        key = verdict_cache_key(fact, method, model, epoch)
         self._shard_for(key).put(key, result)
 
     def __len__(self) -> int:

@@ -10,6 +10,13 @@ as soon as the previous answer (or rejection) returns.  The schedule is a
 deterministic arrival mix — seeded weighted draws over the configured
 ``(method, model)`` strategies and the facts of the given datasets — so two
 runs over the same spec replay byte-identical workloads.
+
+The schedule may also carry *writes*: an :class:`IngestRequest` wraps a
+mutation batch that the picking client applies through
+:meth:`ValidationService.apply_mutations`, advancing the store epoch
+mid-load.  :func:`build_mixed_workload` splices ingest batches into a read
+schedule at deterministic, evenly spaced positions, which is how the
+benchmark exercises epoch-fresh verdicts under live-update traffic.
 """
 
 from __future__ import annotations
@@ -18,13 +25,40 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..datasets.base import FactDataset
+from ..store import Mutation
 from .metrics import MetricsSnapshot
-from .server import ServiceRequest, ServiceResponse, ValidationService
+from .server import (
+    RequestOutcome,
+    ServiceRequest,
+    ServiceResponse,
+    ValidationService,
+)
 
-__all__ = ["LoadGenerator", "LoadReport", "build_workload"]
+__all__ = [
+    "IngestRequest",
+    "LoadGenerator",
+    "LoadReport",
+    "build_mixed_workload",
+    "build_workload",
+]
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """A write in the arrival schedule: one mutation batch to apply."""
+
+    mutations: Tuple[Mutation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.mutations:
+            raise ValueError("an IngestRequest needs at least one mutation")
+
+
+#: One schedule item: a single-fact read or a mutation-batch write.
+WorkItem = Union[ServiceRequest, IngestRequest]
 
 
 def build_workload(
@@ -65,6 +99,35 @@ def build_workload(
     return schedule
 
 
+def build_mixed_workload(
+    datasets: Sequence[FactDataset],
+    methods: Sequence[str],
+    models: Sequence[str],
+    total_requests: int,
+    ingest_batches: Sequence[Sequence[Mutation]],
+    seed: int = 0,
+    method_weights: Optional[Mapping[str, float]] = None,
+) -> List[WorkItem]:
+    """A read schedule with ingest batches spliced in at deterministic spots.
+
+    The reads come from :func:`build_workload` (same seed, same mix); the
+    ``k`` ingest batches land at evenly spaced positions ``(i + 1) *
+    total / (k + 1)`` so the load alternates read phases with writes.  The
+    mixed schedule is fully deterministic: two calls with the same inputs
+    produce byte-identical arrival orders.
+    """
+    reads = build_workload(
+        datasets, methods, models, total_requests, seed=seed, method_weights=method_weights
+    )
+    schedule: List[WorkItem] = list(reads)
+    for position, batch in enumerate(ingest_batches):
+        index = (position + 1) * total_requests // (len(ingest_batches) + 1)
+        # Each earlier insertion shifted the tail by one; offset by the
+        # number of batches already spliced in.
+        schedule.insert(min(index + position, len(schedule)), IngestRequest(tuple(batch)))
+    return schedule
+
+
 @dataclass
 class LoadReport:
     """Everything one closed-loop run measured.
@@ -77,7 +140,7 @@ class LoadReport:
     wall_seconds: float
     concurrency: int
     snapshot: MetricsSnapshot = field(repr=False)
-    requests: List[ServiceRequest] = field(default_factory=list, repr=False)
+    requests: List[WorkItem] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.requests and len(self.requests) != len(self.responses):
@@ -92,11 +155,19 @@ class LoadReport:
 
     @property
     def completed(self) -> int:
-        return sum(1 for response in self.responses if not response.rejected)
+        return sum(
+            1 for response in self.responses
+            if response.outcome is RequestOutcome.COMPLETED
+        )
 
     @property
     def rejected(self) -> int:
         return sum(1 for response in self.responses if response.rejected)
+
+    @property
+    def ingests(self) -> int:
+        """Writes in the schedule: applied mutation batches."""
+        return sum(1 for response in self.responses if response.ingested)
 
     @property
     def cache_hits(self) -> int:
@@ -107,13 +178,31 @@ class LoadReport:
         """Completed requests per wall second of this run."""
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
-    def verdicts(self) -> Dict[Tuple[str, str, str, str], str]:
-        """``(method, model, dataset, fact_id) -> verdict`` over completions."""
+    def epochs_served(self) -> List[int]:
+        """The distinct store epochs read responses were answered at."""
+        return sorted({
+            response.epoch
+            for response in self.responses
+            if response.outcome is RequestOutcome.COMPLETED
+        })
+
+    def verdicts(
+        self, epoch: Optional[int] = None
+    ) -> Dict[Tuple[str, str, str, str], str]:
+        """``(method, model, dataset, fact_id) -> verdict`` over completions.
+
+        ``epoch`` restricts the table to responses answered at one store
+        epoch — the handle the mixed read/write benchmark uses to check
+        pre- and post-ingest verdicts independently.
+        """
         table: Dict[Tuple[str, str, str, str], str] = {}
         for request, response in zip(self.requests, self.responses):
-            if response.result is not None:
-                key = (request.method, request.model, request.fact.dataset, request.fact.fact_id)
-                table[key] = response.result.verdict.value
+            if not isinstance(request, ServiceRequest) or response.result is None:
+                continue
+            if epoch is not None and response.epoch != epoch:
+                continue
+            key = (request.method, request.model, request.fact.dataset, request.fact.fact_id)
+            table[key] = response.result.verdict.value
         return table
 
     def format_table(self, title: str = "Load run") -> str:
@@ -127,6 +216,7 @@ class LoadReport:
             f"throughput       {self.throughput_rps:.1f} req/s",
             f"completed        {self.completed}",
             f"rejected (shed)  {self.rejected}",
+            f"ingests          {self.ingests}",
             f"cache hits       {self.cache_hits}",
             f"p50 latency      {self.snapshot.p50_latency_s * 1000:.2f} ms",
             f"p95 latency      {self.snapshot.p95_latency_s * 1000:.2f} ms",
@@ -142,7 +232,7 @@ class LoadGenerator:
     def __init__(
         self,
         service: ValidationService,
-        requests: Sequence[ServiceRequest],
+        requests: Sequence[WorkItem],
         concurrency: int = 8,
     ) -> None:
         if concurrency < 1:
@@ -150,6 +240,20 @@ class LoadGenerator:
         self.service = service
         self.requests = list(requests)
         self.concurrency = concurrency
+
+    async def _issue(self, item: WorkItem) -> ServiceResponse:
+        if isinstance(item, IngestRequest):
+            started = time.perf_counter()
+            report = await self.service.apply_mutations(list(item.mutations))
+            return ServiceResponse(
+                outcome=RequestOutcome.INGESTED,
+                result=None,
+                cached=False,
+                latency_seconds=time.perf_counter() - started,
+                batch_size=report.total_ops,
+                epoch=report.epoch,
+            )
+        return await self.service.submit(item)
 
     async def run(self) -> LoadReport:
         responses: List[Optional[ServiceResponse]] = [None] * len(self.requests)
@@ -162,7 +266,7 @@ class LoadGenerator:
                 if index >= len(self.requests):
                     return
                 next_index = index + 1
-                responses[index] = await self.service.submit(self.requests[index])
+                responses[index] = await self._issue(self.requests[index])
 
         started = time.perf_counter()
         clients = min(self.concurrency, max(1, len(self.requests)))

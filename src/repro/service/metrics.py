@@ -49,6 +49,8 @@ class MetricsSnapshot:
     p50_latency_s: float
     p95_latency_s: float
     p99_latency_s: float
+    ingests: int = 0
+    ingested_ops: int = 0
 
     @property
     def shed_count(self) -> int:
@@ -72,6 +74,7 @@ class MetricsSnapshot:
             ("mean batch size", f"{self.mean_batch_size:.2f}"),
             ("cache hit rate", f"{self.cache_hit_rate:.1%}"),
             ("queue depth", f"{self.queue_depth}"),
+            ("ingests", f"{self.ingests} ({self.ingested_ops} ops)"),
             ("wall time", f"{self.wall_seconds:.3f} s"),
         ]
         width = max(len(name) for name, _ in rows)
@@ -106,6 +109,8 @@ class ServiceMetrics:
         self._batches = 0
         self._batched_requests = 0
         self._queue_depth = 0
+        self._ingests = 0
+        self._ingested_ops = 0
         self._started_at: Optional[float] = None
 
     # ------------------------------------------------------------- recording
@@ -128,6 +133,8 @@ class ServiceMetrics:
             self._batches = 0
             self._batched_requests = 0
             self._queue_depth = 0
+            self._ingests = 0
+            self._ingested_ops = 0
 
     def observe_completion(
         self,
@@ -175,6 +182,12 @@ class ServiceMetrics:
             self._batches += 1
             self._batched_requests += size
 
+    def observe_ingest(self, ops: int) -> None:
+        """One applied mutation batch of ``ops`` operations."""
+        with self._lock:
+            self._ingests += 1
+            self._ingested_ops += ops
+
     def set_queue_depth(self, depth: int) -> None:
         with self._lock:
             self._queue_depth = depth
@@ -207,4 +220,6 @@ class ServiceMetrics:
                 p50_latency_s=percentile(latencies, 50),
                 p95_latency_s=percentile(latencies, 95),
                 p99_latency_s=percentile(latencies, 99),
+                ingests=self._ingests,
+                ingested_ops=self._ingested_ops,
             )

@@ -22,6 +22,13 @@ backpressure):
   latencies, converted to real event-loop time via ``time_scale``.  A
   single-request server pays the overhead plus its own latency per request,
   which is what the benchmark's >= 2x throughput floor measures.
+* With a :class:`~repro.store.VersionedKnowledgeStore` attached, the
+  service also serves *writes*: :meth:`ValidationService.apply_mutations`
+  quiesces admissions, drains the in-flight requests, applies the batch
+  (incremental index maintenance keeps the hot substrates warm), and bumps
+  the store epoch.  Verdict-cache keys carry the epoch, so every verdict
+  cached before the ingest stops matching automatically and post-ingest
+  traffic is re-judged against the fresh knowledge.
 """
 
 from __future__ import annotations
@@ -30,10 +37,11 @@ import asyncio
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datasets.base import LabeledFact
 from ..llm.telemetry import TelemetryCollector
+from ..store import ApplyReport, Mutation, VersionedKnowledgeStore
 from ..validation.base import ValidationResult, ValidationStrategy
 from ..validation.pipeline import ValidationPipeline
 from .cache import VerdictCache
@@ -58,6 +66,7 @@ class RequestOutcome(str, Enum):
 
     COMPLETED = "completed"
     REJECTED = "rejected"  # shed by admission control
+    INGESTED = "ingested"  # a write: a mutation batch applied to the store
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,9 @@ class ServiceResponse:
     ``latency_seconds`` is the *measured* wall time inside the service
     (queue wait + batch execution + scheduling); the simulated model
     latency lives on ``result.latency_seconds`` as in the offline pipeline.
+    ``epoch`` is the knowledge-store version the answer was computed
+    against (0 when no store is attached); for ingest responses it is the
+    *new* epoch the batch created.
     """
 
     outcome: RequestOutcome
@@ -87,10 +99,15 @@ class ServiceResponse:
     cached: bool
     latency_seconds: float
     batch_size: int = 0
+    epoch: int = 0
 
     @property
     def rejected(self) -> bool:
         return self.outcome is RequestOutcome.REJECTED
+
+    @property
+    def ingested(self) -> bool:
+        return self.outcome is RequestOutcome.INGESTED
 
 
 _QueueItem = Tuple[ServiceRequest, "asyncio.Future[Tuple[ValidationResult, int]]"]
@@ -104,9 +121,11 @@ class ValidationService:
         strategies: StrategyProvider,
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[TelemetryCollector] = None,
+        store: Optional[VersionedKnowledgeStore] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._strategies_provider = strategies
+        self.store = store
         self.cache: Optional[VerdictCache] = (
             VerdictCache(self.config.cache_capacity, self.config.cache_shards)
             if self.config.enable_cache
@@ -120,6 +139,12 @@ class ValidationService:
         self._inflight: set = set()
         self._pending = 0
         self._closed = False
+        # Admission gate: cleared while an ingest quiesces the service.
+        # (Re)created in start() so a service reused across event loops
+        # never awaits a primitive bound to a dead loop.
+        self._admission_gate = asyncio.Event()
+        self._admission_gate.set()
+        self._ingest_lock = asyncio.Lock()
 
     @classmethod
     def from_runner(
@@ -127,34 +152,51 @@ class ValidationService:
         runner,
         config: Optional[ServiceConfig] = None,
         telemetry: Optional[TelemetryCollector] = None,
+        store: Optional[VersionedKnowledgeStore] = None,
     ) -> "ValidationService":
         """Build a service over a ``BenchmarkRunner``'s substrates.
 
         Strategies come from ``runner.build_strategy`` (so RAG reuses the
         runner's corpora/search indexes/evidence caches) and serving records
         land in the runner's telemetry unless a separate collector is given.
+        Pass ``store=runner.versioned_store(dataset)`` to enable the
+        :meth:`apply_mutations` write path with in-place substrate updates.
         """
 
         def provider(method: str, dataset: str, model_name: str) -> ValidationStrategy:
             return runner.build_strategy(method, dataset, runner.registry.get(model_name))
 
-        return cls(provider, config, telemetry if telemetry is not None else runner.telemetry)
+        return cls(
+            provider,
+            config,
+            telemetry if telemetry is not None else runner.telemetry,
+            store=store,
+        )
 
     # ---------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
         self._closed = False
+        self._admission_gate = asyncio.Event()
+        self._admission_gate.set()
+        self._ingest_lock = asyncio.Lock()
         self.metrics.start()
 
-    async def stop(self) -> None:
-        """Stop accepting work and cancel the strategy workers.
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; by default *drain* in-flight requests first.
 
-        Requests still queued or mid-batch when ``stop`` is called fail
-        with :class:`asyncio.CancelledError` (their futures are cancelled
-        explicitly, so no ``submit`` awaits forever); drain the load first
-        for a graceful shutdown (the load generator does).
+        With ``drain=True`` every admitted request — queued or mid-batch —
+        is answered before the strategy workers are cancelled, so no
+        accepted request is ever dropped without a response during
+        shutdown.  ``drain=False`` is the hard-stop path: queued and
+        mid-batch requests fail with :class:`asyncio.CancelledError`
+        (their futures are cancelled explicitly, so no ``submit`` awaits
+        forever).
         """
         self._closed = True
+        if drain:
+            while self._pending:
+                await asyncio.sleep(0.001)
         for task in self._workers.values():
             task.cancel()
         if self._workers:
@@ -179,19 +221,33 @@ class ValidationService:
         """Admitted requests not yet answered (the admission-control gauge)."""
         return self._pending
 
+    @property
+    def epoch(self) -> int:
+        """The attached store's current epoch (0 when no store is attached)."""
+        return self.store.epoch if self.store is not None else 0
+
     async def submit(self, request: ServiceRequest) -> ServiceResponse:
         """Validate one fact; never raises for load reasons — it sheds."""
         if self._closed:
             raise RuntimeError("service is stopped")
         started = time.perf_counter()
+        if not self._admission_gate.is_set():
+            # An ingest is quiescing the service; hold the request (reads
+            # are paused, not shed) until the new epoch is live.  The
+            # latency clock is already running: the quiesce stall is part
+            # of the client-observed tail.
+            await self._admission_gate.wait()
+            if self._closed:
+                raise RuntimeError("service is stopped")
         method, model = request.method, request.model
+        epoch = self.epoch
 
         if self.cache is not None:
             # Hit/miss accounting is deferred: hits bypass admission control
             # (absorbing load is the cache's job), but a miss only counts
             # once the request is actually admitted — shed requests must not
             # deflate the served-traffic hit rate.
-            hit = self.cache.get(request.fact, method, model, record=False)
+            hit = self.cache.get(request.fact, method, model, record=False, epoch=epoch)
             if hit is not None:
                 self.cache.record_hit()
                 self.metrics.observe_cache(True)
@@ -203,12 +259,18 @@ class ValidationService:
                     prompt_tokens=hit.prompt_tokens,
                     completion_tokens=hit.completion_tokens,
                 )
-                return ServiceResponse(RequestOutcome.COMPLETED, hit, True, latency)
+                return ServiceResponse(
+                    RequestOutcome.COMPLETED, hit, True, latency, epoch=epoch
+                )
 
         if self._pending >= self.config.queue_depth:
             self.metrics.observe_shed()
             return ServiceResponse(
-                RequestOutcome.REJECTED, None, False, time.perf_counter() - started
+                RequestOutcome.REJECTED,
+                None,
+                False,
+                time.perf_counter() - started,
+                epoch=epoch,
             )
 
         if self.cache is not None:
@@ -244,8 +306,51 @@ class ValidationService:
             completion_tokens=result.completion_tokens,
         )
         if self.cache is not None:
-            self.cache.put(request.fact, method, model, result)
-        return ServiceResponse(RequestOutcome.COMPLETED, result, False, latency, batch_size)
+            # Keyed under the admission-time epoch: apply_mutations drains
+            # every in-flight request before mutating, so the substrates
+            # this verdict was computed against are exactly that epoch's.
+            self.cache.put(request.fact, method, model, result, epoch=epoch)
+        return ServiceResponse(
+            RequestOutcome.COMPLETED, result, False, latency, batch_size, epoch=epoch
+        )
+
+    # ---------------------------------------------------------------- ingestion
+
+    async def apply_mutations(self, mutations: Sequence[Mutation]) -> ApplyReport:
+        """Apply a mutation batch to the attached store at a safe point.
+
+        Writers serialise on an ingest lock; each ingest closes the
+        admission gate (new reads pause — they are *not* shed), waits for
+        the in-flight requests to drain, applies the batch (incremental
+        index maintenance keeps the warm substrates hot), and reopens the
+        gate.  The store epoch advance makes every previously cached
+        verdict key stale automatically, and the cached per-``(method,
+        dataset, model)`` strategies are dropped so the next batch rebuilds
+        them over the mutated substrates.
+        """
+        if self.store is None:
+            raise RuntimeError("no VersionedKnowledgeStore attached to this service")
+        if self._closed:
+            raise RuntimeError("service is stopped")
+        async with self._ingest_lock:
+            self._admission_gate.clear()
+            try:
+                while self._pending:
+                    await asyncio.sleep(0.001)
+                report = self.store.apply(mutations)
+                # Retrieval-bearing strategies must not reuse evidence
+                # gathered against the old corpus, wherever their caches
+                # live (store listeners cover runner-owned caches; this
+                # covers caches private to provider-built strategies).
+                for strategy in self._strategies.values():
+                    invalidate = getattr(strategy, "invalidate_evidence", None)
+                    if invalidate is not None:
+                        invalidate()
+                self._strategies.clear()
+                self.metrics.observe_ingest(report.total_ops)
+            finally:
+                self._admission_gate.set()
+        return report
 
     # ---------------------------------------------------------------- internals
 

@@ -1,0 +1,50 @@
+"""Versioned knowledge store: streaming ingestion over the KG + corpus.
+
+The offline substrates (knowledge graph, retrieval corpus, BM25 index,
+embedding caches) are frozen at load time everywhere else in the repo;
+this package makes them *mutable with history*:
+
+* :mod:`repro.store.log` — :class:`Mutation` records
+  (``add_triple`` / ``remove_triple`` / ``add_document``) in an
+  append-only :class:`MutationLog` with JSON-lines persistence;
+* :mod:`repro.store.store` — :class:`VersionedKnowledgeStore`: monotonic
+  epochs, point-in-time :meth:`snapshot` views, deterministic
+  :meth:`replay` from disk, :meth:`compact`-ion, and **incremental index
+  maintenance** (posting arrays/IDF/length norms patched in place, the
+  embedder warm cache extended, the interned graph mutated in place, with
+  dirty-fraction rebuild fallbacks) verified byte-identical to a
+  from-scratch rebuild.
+
+Quickstart::
+
+    from repro.store import Mutation, VersionedKnowledgeStore
+
+    store = VersionedKnowledgeStore.bootstrap(triples=kg_triples, documents=docs)
+    store.apply([Mutation.add_triple("Ada", "worksFor", "Acme"),
+                 Mutation.add_document(new_document)])
+    offline_view = store.snapshot(store.epoch - 1)   # reproducible past state
+    store.save("store.jsonl")                        # replayable history
+"""
+
+from .log import (
+    ADD_DOCUMENT,
+    ADD_TRIPLE,
+    REMOVE_TRIPLE,
+    Mutation,
+    MutationLog,
+    read_mutations_jsonl,
+)
+from .store import ApplyReport, StoreConfig, StoreSnapshot, VersionedKnowledgeStore
+
+__all__ = [
+    "ADD_DOCUMENT",
+    "ADD_TRIPLE",
+    "ApplyReport",
+    "Mutation",
+    "MutationLog",
+    "REMOVE_TRIPLE",
+    "StoreConfig",
+    "StoreSnapshot",
+    "VersionedKnowledgeStore",
+    "read_mutations_jsonl",
+]

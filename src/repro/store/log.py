@@ -1,0 +1,218 @@
+"""Append-only mutation log with JSON-lines persistence.
+
+The versioned knowledge store records every state change as a
+:class:`Mutation` stamped with the monotonic epoch it was applied at.  The
+log is the store's source of truth: replaying it into a fresh store is
+deterministic down to the byte (same interning order, same posting-array
+layout), which is what makes on-disk persistence, point-in-time snapshots,
+and the incremental-vs-rebuild equivalence checks possible.
+
+On disk the log is newline-delimited JSON: a header line carrying the
+format version and the store configuration knobs that influence replay
+(the dirty-fraction rebuild thresholds), followed by one record per
+mutation with its epoch.  Compaction (performed by the store, which owns
+the current state) rewrites the log as a single batch reproducing the
+live state at the current epoch and raises the log's *floor*: epochs below
+the floor are no longer reconstructible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..kg.triples import Triple
+from ..retrieval.corpus import Document
+
+__all__ = [
+    "Mutation",
+    "MutationLog",
+    "read_mutations_jsonl",
+    "ADD_TRIPLE",
+    "REMOVE_TRIPLE",
+    "ADD_DOCUMENT",
+]
+
+ADD_TRIPLE = "add_triple"
+REMOVE_TRIPLE = "remove_triple"
+ADD_DOCUMENT = "add_document"
+
+_OPS = frozenset({ADD_TRIPLE, REMOVE_TRIPLE, ADD_DOCUMENT})
+
+#: Document fields serialised into ``add_document`` records, in order.
+_DOC_FIELDS = ("doc_id", "url", "title", "text", "source", "fact_id", "kind")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One state change: a triple add/remove or a document add.
+
+    Exactly one of ``triple`` / ``document`` is set, matching ``op``.
+    Instances are immutable and JSON round-trippable, so a log of them can
+    be persisted and replayed without loss.
+    """
+
+    op: str
+    triple: Optional[Triple] = None
+    document: Optional[Document] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"Unknown mutation op {self.op!r}; expected one of {sorted(_OPS)}")
+        if self.op == ADD_DOCUMENT:
+            if self.document is None or self.triple is not None:
+                raise ValueError(f"{self.op} requires a document payload")
+        else:
+            if self.triple is None or self.document is not None:
+                raise ValueError(f"{self.op} requires a triple payload")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def add_triple(subject: str, predicate: str, obj: str) -> "Mutation":
+        return Mutation(ADD_TRIPLE, triple=Triple(subject, predicate, obj))
+
+    @staticmethod
+    def remove_triple(subject: str, predicate: str, obj: str) -> "Mutation":
+        return Mutation(REMOVE_TRIPLE, triple=Triple(subject, predicate, obj))
+
+    @staticmethod
+    def add_document(document: Document) -> "Mutation":
+        return Mutation(ADD_DOCUMENT, document=document)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        if self.op == ADD_DOCUMENT:
+            payload = {name: getattr(self.document, name) for name in _DOC_FIELDS}
+            return {"op": self.op, "document": payload}
+        return {
+            "op": self.op,
+            "subject": self.triple.subject,
+            "predicate": self.triple.predicate,
+            "object": self.triple.object,
+        }
+
+    @staticmethod
+    def from_json(record: Dict[str, object]) -> "Mutation":
+        op = record.get("op")
+        if op == ADD_DOCUMENT:
+            payload = record.get("document")
+            if not isinstance(payload, dict):
+                raise ValueError("add_document record requires a 'document' object")
+            fields = {name: payload.get(name, "") for name in _DOC_FIELDS[:-1]}
+            fields["kind"] = payload.get("kind", "generic")
+            return Mutation(ADD_DOCUMENT, document=Document(**fields))
+        if op in (ADD_TRIPLE, REMOVE_TRIPLE):
+            try:
+                triple = Triple(record["subject"], record["predicate"], record["object"])
+            except KeyError as exc:
+                raise ValueError(f"{op} record missing field {exc}") from exc
+            return Mutation(op, triple=triple)
+        raise ValueError(f"Unknown mutation op {op!r}")
+
+
+class MutationLog:
+    """Ordered ``(epoch, Mutation)`` records plus JSONL persistence.
+
+    ``floor_epoch`` is the earliest epoch the log can reconstruct: ``0``
+    for a full-history log (replaying nothing yields the empty store at
+    epoch 0), or the compaction epoch after :meth:`MutationLog` has been
+    rewritten by ``VersionedKnowledgeStore.compact``.
+    """
+
+    def __init__(self, floor_epoch: int = 0) -> None:
+        if floor_epoch < 0:
+            raise ValueError("floor_epoch must be >= 0")
+        self.floor_epoch = floor_epoch
+        self._records: List[Tuple[int, Mutation]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Tuple[int, Mutation]]:
+        return iter(self._records)
+
+    @property
+    def max_epoch(self) -> int:
+        """The epoch the fully replayed log lands on."""
+        return self._records[-1][0] if self._records else self.floor_epoch
+
+    def append_batch(self, epoch: int, mutations: Sequence[Mutation]) -> None:
+        if epoch <= self.max_epoch:
+            raise ValueError(
+                f"epoch {epoch} is not monotonic (log already at {self.max_epoch})"
+            )
+        self._records.extend((epoch, mutation) for mutation in mutations)
+
+    def batches(self, upto: Optional[int] = None) -> List[Tuple[int, List[Mutation]]]:
+        """Records grouped by epoch, in epoch order, optionally bounded."""
+        grouped: List[Tuple[int, List[Mutation]]] = []
+        for epoch, mutation in self._records:
+            if upto is not None and epoch > upto:
+                break
+            if grouped and grouped[-1][0] == epoch:
+                grouped[-1][1].append(mutation)
+            else:
+                grouped.append((epoch, [mutation]))
+        return grouped
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str, config_payload: Optional[Dict[str, object]] = None) -> None:
+        """Write the log as JSONL: one header line, then one line per record."""
+        header: Dict[str, object] = {
+            "kind": "header",
+            "version": 1,
+            "floor_epoch": self.floor_epoch,
+        }
+        if config_payload:
+            header["config"] = config_payload
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for epoch, mutation in self._records:
+                record = mutation.to_json()
+                record["epoch"] = epoch
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> Tuple["MutationLog", Dict[str, object]]:
+        """Read a JSONL log; returns ``(log, header config payload)``."""
+        log = cls()
+        config_payload: Dict[str, object] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("kind") == "header":
+                    log.floor_epoch = int(record.get("floor_epoch", 0))
+                    payload = record.get("config")
+                    if isinstance(payload, dict):
+                        config_payload = payload
+                    continue
+                epoch = record.get("epoch")
+                if not isinstance(epoch, int):
+                    raise ValueError(f"{path}:{line_number}: record missing integer 'epoch'")
+                log._records.append((epoch, Mutation.from_json(record)))
+        return log, config_payload
+
+
+def read_mutations_jsonl(path: str) -> List[Mutation]:
+    """Parse a plain mutations file (one op per line, no epochs) for ingestion."""
+    mutations: List[Mutation] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not valid JSON ({exc})") from exc
+            if record.get("kind") == "header":
+                continue
+            mutations.append(Mutation.from_json(record))
+    return mutations

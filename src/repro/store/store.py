@@ -1,0 +1,470 @@
+"""Versioned knowledge store: epochs, snapshots, incremental index upkeep.
+
+:class:`VersionedKnowledgeStore` wraps the :class:`~repro.kg.graph.KnowledgeGraph`
+and the retrieval :class:`~repro.retrieval.corpus.Corpus` behind an
+append-only mutation log.  Every applied batch advances a monotonic epoch,
+and the store's invariant is::
+
+    store  ==  replay(store.log)      (byte-identical internal state)
+
+which makes three things fall out for free:
+
+* **persistence** — saving/loading the JSONL log reconstructs the store
+  deterministically, down to interning order and posting-array layout;
+* **point-in-time snapshots** — ``snapshot(epoch)`` replays the log up to
+  an epoch (or, for the current epoch, takes the cheap structure-preserving
+  copies) and hands back an immutable view for reproducible offline runs;
+* **verifiable incremental maintenance** — applying a mutation batch
+  updates the BM25 posting arrays/IDF/length norms, the embedder warm
+  cache, and the interned graph *in place*, and the state digests prove
+  the result identical to a from-scratch rebuild.
+
+The dirty-fraction thresholds in :class:`StoreConfig` bound the cost of
+incrementality: a batch that adds a large fraction of the corpus falls
+back to a full index rebuild (same bytes either way), and a graph that has
+accumulated too many removals is re-interned from its sorted triples (a
+decision that is a pure function of the log, so replay takes the same
+branch at the same batch and byte-identity is preserved).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.triples import Triple
+from ..retrieval.corpus import Corpus, Document
+from ..retrieval.embeddings import HashingEmbedder
+from ..retrieval.search import SearchEngine
+from .log import ADD_DOCUMENT, ADD_TRIPLE, REMOVE_TRIPLE, Mutation, MutationLog
+
+__all__ = ["StoreConfig", "ApplyReport", "StoreSnapshot", "VersionedKnowledgeStore"]
+
+#: Called after every applied batch: ``listener(epoch, mutations)``.
+MutationListener = Callable[[int, Sequence[Mutation]], None]
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Tuning knobs of :class:`VersionedKnowledgeStore`.
+
+    Attributes
+    ----------
+    index_rebuild_fraction:
+        When one batch adds more than this fraction of the post-batch
+        corpus, the BM25 index is rebuilt from scratch instead of patched
+        incrementally (the concatenation work would exceed a clean build).
+        Incremental and rebuilt indexes are byte-identical, so this is a
+        pure performance trade-off.
+    graph_rebuild_fraction:
+        When the removals accumulated since the last re-interning exceed
+        this fraction of the live graph, the graph is rebuilt from its
+        sorted triples to shed ghost interning entries.  The decision is a
+        deterministic function of the log, so replay rebuilds at the same
+        epochs and stays byte-identical.
+    """
+
+    index_rebuild_fraction: float = 0.5
+    graph_rebuild_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.index_rebuild_fraction <= 1.0:
+            raise ValueError("index_rebuild_fraction must be in (0, 1]")
+        if not 0.0 < self.graph_rebuild_fraction <= 1.0:
+            raise ValueError("graph_rebuild_fraction must be in (0, 1]")
+
+    def as_payload(self) -> Dict[str, float]:
+        return {
+            "index_rebuild_fraction": self.index_rebuild_fraction,
+            "graph_rebuild_fraction": self.graph_rebuild_fraction,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "StoreConfig":
+        return StoreConfig(
+            index_rebuild_fraction=float(payload.get("index_rebuild_fraction", 0.5)),
+            graph_rebuild_fraction=float(payload.get("graph_rebuild_fraction", 0.5)),
+        )
+
+
+@dataclass(frozen=True)
+class ApplyReport:
+    """What one mutation batch did to the store."""
+
+    epoch: int
+    triples_added: int
+    triples_removed: int
+    documents_added: int
+    index_strategy: str  # "incremental" | "rebuild" | "untouched"
+    graph_rebuilt: bool
+    seconds: float
+
+    @property
+    def total_ops(self) -> int:
+        return self.triples_added + self.triples_removed + self.documents_added
+
+
+class StoreSnapshot:
+    """An immutable point-in-time view of graph + corpus at one epoch.
+
+    Snapshots of the *current* epoch are cheap: the graph clone preserves
+    interning tables and edge order (no re-hashing), the corpus copy shares
+    the frozen documents.  Historical epochs are reconstructed by replaying
+    the log, which is slower but exactly reproducible.  The search engine
+    is materialised lazily on first use.
+    """
+
+    def __init__(self, epoch: int, graph: KnowledgeGraph, corpus: Corpus) -> None:
+        self.epoch = epoch
+        self.graph = graph
+        self.corpus = corpus
+        self._engine: Optional[SearchEngine] = None
+
+    def search_engine(self) -> SearchEngine:
+        if self._engine is None:
+            self._engine = SearchEngine(self.corpus)
+        return self._engine
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoreSnapshot(epoch={self.epoch}, triples={len(self.graph)}, "
+            f"documents={len(self.corpus)})"
+        )
+
+
+class VersionedKnowledgeStore:
+    """Mutable, versioned wrapper over the KG and retrieval substrates."""
+
+    def __init__(self, config: Optional[StoreConfig] = None, name: str = "store") -> None:
+        self.config = config or StoreConfig()
+        self.name = name
+        self.graph = KnowledgeGraph(name=f"{name}-kg")
+        self.corpus = Corpus()
+        self.log = MutationLog()
+        self.embedder: Optional[HashingEmbedder] = None
+        self._engine: Optional[SearchEngine] = None
+        self._epoch = 0
+        self._removed_since_reintern = 0
+        self._listeners: List[MutationListener] = []
+
+    # ------------------------------------------------------------- construction
+
+    @classmethod
+    def bootstrap(
+        cls,
+        triples: Iterable[Triple] = (),
+        documents: Iterable[Document] = (),
+        config: Optional[StoreConfig] = None,
+        embedder: Optional[HashingEmbedder] = None,
+        name: str = "store",
+    ) -> "VersionedKnowledgeStore":
+        """A fresh store seeded with one genesis batch (epoch 1 if non-empty)."""
+        store = cls(config, name=name)
+        store.embedder = embedder
+        genesis = [Mutation(ADD_TRIPLE, triple=triple) for triple in triples]
+        genesis.extend(Mutation(ADD_DOCUMENT, document=document) for document in documents)
+        if genesis:
+            store.apply(genesis)
+        return store
+
+    @classmethod
+    def adopt(
+        cls,
+        corpus: Corpus,
+        search_engine: Optional[SearchEngine] = None,
+        triples: Sequence[Triple] = (),
+        config: Optional[StoreConfig] = None,
+        embedder: Optional[HashingEmbedder] = None,
+        name: str = "store",
+    ) -> "VersionedKnowledgeStore":
+        """Wrap *existing* retrieval substrates without rebuilding them.
+
+        The given corpus (and, when provided, the search engine already
+        built over it — e.g. a ``MockSearchAPI.engine``) become the store's
+        live substrates, maintained in place by subsequent ``apply`` calls,
+        so strategies holding references to them observe mutations
+        immediately.  A genesis batch recording the adopted documents (in
+        corpus order) and the given triples is written to the log, keeping
+        the ``store == replay(log)`` invariant intact.
+        """
+        store = cls(config, name=name)
+        store.embedder = embedder
+        store.corpus = corpus
+        if search_engine is not None and search_engine.corpus is not corpus:
+            raise ValueError("search_engine must be built over the adopted corpus")
+        store._engine = search_engine
+        genesis: List[Mutation] = [
+            Mutation(ADD_TRIPLE, triple=triple) for triple in triples
+        ]
+        genesis.extend(
+            Mutation(ADD_DOCUMENT, document=document) for document in corpus
+        )
+        if genesis:
+            # The documents are already in the corpus (and indexed); only the
+            # triples need applying.  The log records the full genesis batch
+            # so replay rebuilds the identical corpus in the identical order.
+            store._epoch = 1
+            store.log.append_batch(1, genesis)
+            for triple in triples:
+                store.graph.add(triple)
+        return store
+
+    @classmethod
+    def replay(
+        cls,
+        log: MutationLog,
+        config: Optional[StoreConfig] = None,
+        embedder: Optional[HashingEmbedder] = None,
+        upto: Optional[int] = None,
+        name: str = "store",
+    ) -> "VersionedKnowledgeStore":
+        """Rebuild a store deterministically from a mutation log.
+
+        ``upto`` bounds the replay at an epoch (inclusive); the result's
+        epoch is the last replayed batch's epoch (or the log floor when no
+        batch qualifies).  Replaying the full log of a live store yields a
+        byte-identical twin (``state_digest`` matches).
+        """
+        store = cls(config, name=name)
+        store.embedder = embedder
+        store._epoch = log.floor_epoch
+        for epoch, mutations in log.batches(upto=upto):
+            store._apply_batch(epoch, mutations, record=True)
+        store.log.floor_epoch = log.floor_epoch
+        return store
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def epoch(self) -> int:
+        """The monotonic version: bumped by one per applied mutation batch."""
+        return self._epoch
+
+    @property
+    def search_engine(self) -> SearchEngine:
+        """The BM25 index over the store's corpus, maintained incrementally."""
+        if self._engine is None:
+            self._engine = SearchEngine(self.corpus)
+        return self._engine
+
+    def subscribe(self, listener: MutationListener) -> None:
+        """Register a callback invoked after every applied batch.
+
+        The online service and the benchmark runner use this to invalidate
+        derived caches (RAG evidence, cached strategies) on ingest.
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------- mutation
+
+    def add_triple(self, subject: str, predicate: str, obj: str) -> ApplyReport:
+        return self.apply([Mutation.add_triple(subject, predicate, obj)])
+
+    def remove_triple(self, subject: str, predicate: str, obj: str) -> ApplyReport:
+        return self.apply([Mutation.remove_triple(subject, predicate, obj)])
+
+    def add_document(self, document: Document) -> ApplyReport:
+        return self.apply([Mutation.add_document(document)])
+
+    def apply(self, mutations: Sequence[Mutation]) -> ApplyReport:
+        """Apply one mutation batch atomically; returns what changed.
+
+        The whole batch is validated against the current state first (a
+        remove of an absent triple or a duplicate document id rejects the
+        batch before anything is touched), then applied, logged at
+        ``epoch + 1``, and pushed through the incremental index
+        maintenance.  Duplicate triple adds are permitted no-ops, matching
+        :meth:`KnowledgeGraph.add`.
+        """
+        batch = list(mutations)
+        if not batch:
+            raise ValueError("mutation batch must not be empty")
+        self._validate(batch)
+        epoch = self._epoch + 1
+        report = self._apply_batch(epoch, batch, record=True)
+        for listener in self._listeners:
+            listener(epoch, batch)
+        return report
+
+    def _validate(self, batch: Sequence[Mutation]) -> None:
+        triples = self.graph.triples()
+        doc_ids = {document.doc_id for document in self.corpus}
+        for position, mutation in enumerate(batch):
+            if mutation.op == ADD_TRIPLE:
+                triples.add(mutation.triple)
+            elif mutation.op == REMOVE_TRIPLE:
+                if mutation.triple not in triples:
+                    raise ValueError(
+                        f"batch[{position}]: cannot remove absent triple {mutation.triple}"
+                    )
+                triples.discard(mutation.triple)
+            else:  # ADD_DOCUMENT
+                doc_id = mutation.document.doc_id
+                if doc_id in doc_ids:
+                    raise ValueError(f"batch[{position}]: duplicate document id {doc_id!r}")
+                doc_ids.add(doc_id)
+
+    def _apply_batch(
+        self, epoch: int, batch: Sequence[Mutation], record: bool
+    ) -> ApplyReport:
+        started = time.perf_counter()
+        triples_added = 0
+        triples_removed = 0
+        new_documents: List[Document] = []
+        for mutation in batch:
+            if mutation.op == ADD_TRIPLE:
+                if self.graph.add(mutation.triple):
+                    triples_added += 1
+            elif mutation.op == REMOVE_TRIPLE:
+                self.graph.remove(mutation.triple)
+                triples_removed += 1
+            else:
+                self.corpus.add(mutation.document)
+                new_documents.append(mutation.document)
+
+        index_strategy = self._maintain_index(new_documents)
+        graph_rebuilt = self._maybe_reintern_graph(triples_removed)
+        self._warm_embedder(new_documents)
+
+        self._epoch = epoch
+        if record:
+            self.log.append_batch(epoch, batch)
+        return ApplyReport(
+            epoch=epoch,
+            triples_added=triples_added,
+            triples_removed=triples_removed,
+            documents_added=len(new_documents),
+            index_strategy=index_strategy,
+            graph_rebuilt=graph_rebuilt,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _maintain_index(self, new_documents: Sequence[Document]) -> str:
+        """Keep the BM25 index consistent with the corpus; returns the path taken."""
+        if self._engine is None or not new_documents:
+            return "untouched"
+        dirty = len(new_documents) / max(1, len(self.corpus))
+        if dirty > self.config.index_rebuild_fraction:
+            self._engine.rebuild()
+            return "rebuild"
+        self._engine.add_documents(new_documents)
+        return "incremental"
+
+    def _maybe_reintern_graph(self, removed: int) -> bool:
+        """Shed ghost interning entries once removals pile up.
+
+        Deterministic from the log: the counter evolves identically during
+        replay, so both stores re-intern at the same epochs and the interned
+        layouts (and hence ``find_paths`` order) stay byte-identical.
+        """
+        self._removed_since_reintern += removed
+        live = len(self.graph)
+        if self._removed_since_reintern <= self.config.graph_rebuild_fraction * max(1, live):
+            return False
+        rebuilt = KnowledgeGraph(name=self.graph.name)
+        for triple in self.graph:
+            rebuilt.add(triple)
+        self.graph = rebuilt
+        self._removed_since_reintern = 0
+        return True
+
+    def _warm_embedder(self, new_documents: Sequence[Document]) -> None:
+        if self.embedder is None or not new_documents:
+            return
+        texts = [document.text for document in new_documents if document.text.strip()]
+        if texts:
+            self.embedder.warm(texts)
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot(self, epoch: Optional[int] = None) -> StoreSnapshot:
+        """An immutable view of the store at ``epoch`` (default: current).
+
+        The current epoch is served from cheap structure-preserving copies;
+        historical epochs replay the log (and are unavailable below the
+        log's compaction floor).
+        """
+        if epoch is None or epoch == self._epoch:
+            return StoreSnapshot(self._epoch, self.graph.copy(), self.corpus.copy())
+        if epoch > self._epoch:
+            raise ValueError(f"epoch {epoch} is in the future (store at {self._epoch})")
+        if epoch < self.log.floor_epoch:
+            raise ValueError(
+                f"epoch {epoch} predates the log's compaction floor {self.log.floor_epoch}"
+            )
+        replayed = VersionedKnowledgeStore.replay(
+            self.log, config=self.config, upto=epoch, name=self.name
+        )
+        return StoreSnapshot(epoch, replayed.graph, replayed.corpus)
+
+    # ------------------------------------------------------------- persistence
+
+    def save(self, path: str) -> None:
+        """Persist the mutation log (with replay-relevant config) as JSONL."""
+        self.log.save(path, config_payload=self.config.as_payload())
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        embedder: Optional[HashingEmbedder] = None,
+        name: str = "store",
+    ) -> "VersionedKnowledgeStore":
+        """Rebuild a store from a saved log, honouring the persisted config."""
+        log, config_payload = MutationLog.load(path)
+        config = StoreConfig.from_payload(config_payload) if config_payload else None
+        return cls.replay(log, config=config, embedder=embedder, name=name)
+
+    def compact(self) -> int:
+        """Collapse history into one canonical batch at the current epoch.
+
+        The live state is re-expressed as sorted triple adds followed by
+        document adds in corpus order, the log floor rises to the current
+        epoch (earlier snapshots become unavailable), and the in-memory
+        substrates are canonicalised to match — so ``store == replay(log)``
+        still holds afterwards.  Returns the number of log records dropped.
+        """
+        before = len(self.log)
+        canonical: List[Mutation] = [
+            Mutation(ADD_TRIPLE, triple=triple) for triple in self.graph
+        ]
+        canonical.extend(
+            Mutation(ADD_DOCUMENT, document=document) for document in self.corpus
+        )
+        compacted = MutationLog()
+        if canonical:
+            compacted.append_batch(self._epoch, canonical)
+        compacted.floor_epoch = self._epoch
+        self.log = compacted
+        # Canonicalise the live substrates so the invariant keeps holding.
+        rebuilt = KnowledgeGraph(name=self.graph.name)
+        for triple in self.graph:
+            rebuilt.add(triple)
+        self.graph = rebuilt
+        self._removed_since_reintern = 0
+        if self._engine is not None:
+            self._engine.rebuild()
+        return before - len(self.log)
+
+    # ------------------------------------------------------------- verification
+
+    def state_digest(self, include_index: bool = True) -> str:
+        """Combined digest of graph, corpus, and (optionally) the BM25 index.
+
+        Two stores share a digest iff their observable behaviour is
+        identical — including traversal and ranking order.  ``include_index``
+        materialises the search engine when it has not been used yet.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.graph.state_digest().encode("ascii"))
+        for document in self.corpus:
+            digest.update(document.doc_id.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(document.text.encode("utf-8"))
+            digest.update(b"\x00")
+        if include_index:
+            digest.update(self.search_engine.state_digest().encode("ascii"))
+        return digest.hexdigest()

@@ -254,6 +254,27 @@ class RAGValidator(ValidationStrategy):
             self.evidence_cache[fact.fact_id] = (evidence, llm_latency)
         return evidence, llm_latency
 
+    def invalidate_evidence(self, fact_ids: Optional[Sequence[str]] = None) -> int:
+        """Drop cached phase 1–4 evidence; returns how many entries went.
+
+        Called when the underlying corpus mutates (the versioned knowledge
+        store ingesting documents): retrieval results computed against the
+        old corpus must not be reused at the new epoch.  ``fact_ids``
+        narrows the invalidation; by default everything goes — retrieval
+        is corpus-global, so any document add can change any fact's SERP.
+        """
+        if self.evidence_cache is None:
+            return 0
+        if fact_ids is None:
+            dropped = len(self.evidence_cache)
+            self.evidence_cache.clear()
+            return dropped
+        dropped = 0
+        for fact_id in fact_ids:
+            if self.evidence_cache.pop(fact_id, None) is not None:
+                dropped += 1
+        return dropped
+
     def _retrieve_uncached(self, fact: LabeledFact) -> Tuple[RetrievedEvidence, float]:
         llm_latency = 0.0
         statement, transform_latency = self.transformer.transform(fact)

@@ -15,6 +15,7 @@ from repro.service import (
     RequestOutcome,
     ServiceConfig,
     ServiceRequest,
+    ServiceResponse,
     TCPValidationFrontend,
     ValidationService,
     build_workload,
@@ -249,7 +250,7 @@ class TestLifecycleAndFailure:
 
         asyncio.run(go())
 
-    def test_stop_cancels_inflight_requests_instead_of_hanging(self, service_runner):
+    def test_stop_drains_inflight_requests_before_cancelling_workers(self, service_runner):
         facts = list(service_runner.dataset("factbench"))[:4]
         service = ValidationService.from_runner(
             service_runner,
@@ -263,7 +264,31 @@ class TestLifecycleAndFailure:
                 for fact in facts
             ]
             await asyncio.sleep(0.01)  # first batch mid-sleep, rest still queued
-            await asyncio.wait_for(service.stop(), timeout=2.0)
+            await asyncio.wait_for(service.stop(), timeout=5.0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            # Every accepted request gets a real response: nothing queued or
+            # mid-batch is dropped by a graceful shutdown.
+            assert all(isinstance(outcome, ServiceResponse) for outcome in outcomes)
+            assert all(outcome.outcome is RequestOutcome.COMPLETED for outcome in outcomes)
+            assert service.metrics.snapshot().completed == len(facts)
+
+        asyncio.run(go())
+
+    def test_stop_without_drain_cancels_inflight_requests(self, service_runner):
+        facts = list(service_runner.dataset("factbench"))[:4]
+        service = ValidationService.from_runner(
+            service_runner,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05),
+        )
+
+        async def go():
+            await service.start()
+            tasks = [
+                asyncio.create_task(service.submit(ServiceRequest(fact, "dka", "gemma2:9b")))
+                for fact in facts
+            ]
+            await asyncio.sleep(0.01)  # first batch mid-sleep, rest still queued
+            await asyncio.wait_for(service.stop(drain=False), timeout=2.0)
             outcomes = await asyncio.gather(*tasks, return_exceptions=True)
             assert all(isinstance(outcome, asyncio.CancelledError) for outcome in outcomes)
 

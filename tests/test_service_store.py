@@ -1,0 +1,287 @@
+"""Epoch wiring through the online service: ingest, cache invalidation, mixes.
+
+Covers the PR 3 service-side contract:
+
+* ``verdict_cache_key`` / ``VerdictCache`` carry the store epoch, so a
+  verdict cached before an ingest never answers a post-ingest request;
+* ``ValidationService.apply_mutations`` quiesces in-flight work, applies
+  the batch, and advances the epoch visible on every subsequent response;
+* the mixed read/write load-generator schedule applies ingest batches
+  mid-run and the report splits verdicts by the epoch they were served at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.datasets import LabeledFact
+from repro.kg import Triple
+from repro.retrieval.corpus import Document
+from repro.service import (
+    IngestRequest,
+    LoadGenerator,
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ValidationService,
+    VerdictCache,
+    build_mixed_workload,
+    verdict_cache_key,
+)
+from repro.store import Mutation
+from repro.validation import ValidationResult, Verdict
+
+
+@pytest.fixture(scope="module")
+def store_service_config():
+    return ExperimentConfig(
+        scale=0.03,
+        max_facts_per_dataset=12,
+        world_scale=0.15,
+        methods=("dka", "rag"),
+        datasets=("factbench",),
+        models=("gemma2:9b",),
+        include_commercial_in_grid=False,
+        seed=11,
+    )
+
+
+@pytest.fixture()
+def runner(store_service_config):
+    # Function-scoped: each test gets a fresh store epoch counter.
+    return BenchmarkRunner(store_service_config)
+
+
+def _fact(fact_id: str = "fb-1") -> LabeledFact:
+    return LabeledFact(
+        fact_id=fact_id,
+        triple=Triple("Alice", "worksFor", "Acme"),
+        label=True,
+        dataset="factbench",
+        subject_name="Alice",
+        object_name="Acme",
+        predicate_name="worksFor",
+    )
+
+
+def _result(fact: LabeledFact, verdict: Verdict) -> ValidationResult:
+    return ValidationResult(
+        fact_id=fact.fact_id,
+        verdict=verdict,
+        gold_label=fact.label,
+        model="m",
+        method="dka",
+        latency_seconds=0.1,
+        prompt_tokens=1,
+        completion_tokens=1,
+        raw_response="",
+    )
+
+
+def _news_doc(index: int, fact: LabeledFact) -> Document:
+    return Document(
+        doc_id=f"ingest-{index}",
+        url=f"https://newswire.example/{index}",
+        title=f"{fact.subject_name} update",
+        text=(
+            f"Breaking: {fact.subject_name} {fact.predicate_name} "
+            f"{fact.object_name}. Sources confirm the link between "
+            f"{fact.subject_name} and {fact.object_name}."
+        ),
+        source="newswire.example",
+        fact_id=fact.fact_id,
+        kind="news",
+    )
+
+
+class TestEpochKeyedCache:
+    def test_same_fact_different_epochs_never_collide(self):
+        fact = _fact()
+        keys = {verdict_cache_key(fact, "dka", "m", epoch) for epoch in (0, 1, 2)}
+        assert len(keys) == 3
+
+    def test_cache_entries_are_epoch_scoped(self):
+        cache = VerdictCache(capacity=64, shards=4)
+        fact = _fact()
+        old = _result(fact, Verdict.TRUE)
+        cache.put(fact, "dka", "m", old, epoch=1)
+        assert cache.get(fact, "dka", "m", epoch=1) == old
+        assert cache.get(fact, "dka", "m", epoch=2) is None
+        new = _result(fact, Verdict.FALSE)
+        cache.put(fact, "dka", "m", new, epoch=2)
+        # Both epochs stay addressable until LRU pressure evicts them.
+        assert cache.get(fact, "dka", "m", epoch=1) == old
+        assert cache.get(fact, "dka", "m", epoch=2) == new
+
+
+class TestApplyMutations:
+    def test_apply_requires_a_store(self, runner):
+        service = ValidationService.from_runner(runner, ServiceConfig())
+
+        async def go():
+            async with service:
+                with pytest.raises(RuntimeError, match="no VersionedKnowledgeStore"):
+                    await service.apply_mutations([Mutation.add_triple("a", "p", "b")])
+
+        asyncio.run(go())
+
+    def test_ingest_bumps_epoch_and_invalidates_cached_verdicts(self, runner):
+        store = runner.versioned_store("factbench")
+        service = ValidationService.from_runner(runner, ServiceConfig(), store=store)
+        fact = runner.dataset("factbench")[0]
+
+        async def go():
+            async with service:
+                first = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                repeat = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                report = await service.apply_mutations(
+                    [Mutation.add_triple("Ingested", "worksFor", "Org")]
+                )
+                after = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                again = await service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                return first, repeat, report, after, again
+
+        first, repeat, report, after, again = asyncio.run(go())
+        assert not first.cached and repeat.cached
+        assert report.epoch == first.epoch + 1
+        # The epoch bump makes the pre-ingest entry stale: a fresh judgement
+        # runs, then repeat traffic at the new epoch hits again.
+        assert not after.cached and after.epoch == report.epoch
+        assert again.cached and again.epoch == report.epoch
+        snapshot = service.metrics.snapshot()
+        assert snapshot.ingests == 1 and snapshot.ingested_ops == 1
+
+    def test_ingest_waits_for_inflight_requests_to_drain(self, runner):
+        store = runner.versioned_store("factbench")
+        service = ValidationService.from_runner(
+            runner,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.02),
+            store=store,
+        )
+        facts = list(runner.dataset("factbench"))[:3]
+
+        async def go():
+            async with service:
+                reads = [
+                    asyncio.create_task(
+                        service.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                    )
+                    for fact in facts
+                ]
+                await asyncio.sleep(0.005)  # reads admitted, batches in flight
+                report = await service.apply_mutations(
+                    [Mutation.add_triple("Mid", "worksFor", "Load")]
+                )
+                responses = await asyncio.gather(*reads)
+                return report, responses
+
+        report, responses = asyncio.run(go())
+        # Every read admitted before the ingest completed at the old epoch —
+        # the write waited for the drain instead of mutating under them.
+        assert all(response.epoch == report.epoch - 1 for response in responses)
+        assert all(response.outcome is RequestOutcome.COMPLETED for response in responses)
+
+    def test_rag_verdicts_refresh_against_ingested_evidence(self, runner):
+        store = runner.versioned_store("factbench")
+        service = ValidationService.from_runner(
+            runner, ServiceConfig(), store=store
+        )
+        dataset = runner.dataset("factbench")
+        facts = dataset.facts()[:4]
+
+        async def go():
+            async with service:
+                before = [
+                    await service.submit(ServiceRequest(fact, "rag", "gemma2:9b"))
+                    for fact in facts
+                ]
+                await service.apply_mutations(
+                    [Mutation.add_document(_news_doc(i, fact)) for i, fact in enumerate(facts)]
+                )
+                after = [
+                    await service.submit(ServiceRequest(fact, "rag", "gemma2:9b"))
+                    for fact in facts
+                ]
+                return before, after
+
+        before, after = asyncio.run(go())
+        # Post-ingest responses were all re-judged (epoch miss), with more
+        # evidence available than before.
+        assert all(not response.cached for response in after)
+        assert all(b.epoch + 1 == a.epoch for b, a in zip(before, after))
+        assert all(
+            a.result.num_evidence_chunks >= b.result.num_evidence_chunks
+            for b, a in zip(before, after)
+        )
+
+
+class TestRunnerStore:
+    def test_versioned_store_is_cached_per_dataset(self, runner):
+        assert runner.versioned_store("factbench") is runner.versioned_store("factbench")
+
+    def test_conflicting_reconfiguration_is_an_error_not_silence(self, runner):
+        from repro.store import StoreConfig
+
+        runner.versioned_store("factbench")
+        with pytest.raises(ValueError, match="already built"):
+            runner.versioned_store(
+                "factbench", StoreConfig(index_rebuild_fraction=0.1)
+            )
+
+    def test_rag_validator_invalidate_evidence(self, runner):
+        strategy = runner.build_strategy(
+            "rag", "factbench", runner.registry.get("gemma2:9b")
+        )
+        fact = runner.dataset("factbench")[0]
+        strategy.retrieve(fact)
+        assert fact.fact_id in strategy.evidence_cache
+        assert strategy.invalidate_evidence(["not-present"]) == 0
+        assert strategy.invalidate_evidence([fact.fact_id]) == 1
+        strategy.retrieve(fact)
+        assert strategy.invalidate_evidence() == 1
+        assert strategy.evidence_cache == {}
+
+
+class TestMixedWorkload:
+    def test_mixed_schedule_is_deterministic_with_spliced_writes(self, runner):
+        dataset = runner.dataset("factbench")
+        batches = [[Mutation.add_triple("a", "p", "b")], [Mutation.add_triple("c", "p", "d")]]
+        first = build_mixed_workload([dataset], ["dka"], ["gemma2:9b"], 30, batches, seed=5)
+        second = build_mixed_workload([dataset], ["dka"], ["gemma2:9b"], 30, batches, seed=5)
+        assert len(first) == 32
+        positions = [i for i, item in enumerate(first) if isinstance(item, IngestRequest)]
+        assert positions == [10, 21]  # evenly spaced, shifted by prior splices
+        assert [type(item) for item in first] == [type(item) for item in second]
+
+    def test_ingest_request_requires_mutations(self):
+        with pytest.raises(ValueError):
+            IngestRequest(())
+
+    def test_loadgen_applies_writes_and_reports_epochs(self, runner):
+        store = runner.versioned_store("factbench")
+        service = ValidationService.from_runner(
+            runner, ServiceConfig(time_scale=0.001), store=store
+        )
+        dataset = runner.dataset("factbench")
+        base_epoch = store.epoch
+        batches = [
+            [Mutation.add_document(_news_doc(i, dataset[0]))] for i in range(2)
+        ]
+        workload = build_mixed_workload(
+            [dataset], ["dka"], ["gemma2:9b"], 40, batches, seed=2
+        )
+        report = LoadGenerator(service, workload, concurrency=6).run_sync()
+        assert report.total == 42
+        assert report.ingests == 2
+        assert report.completed == 40
+        assert store.epoch == base_epoch + 2
+        served = report.epochs_served()
+        assert served[0] == base_epoch and served[-1] == base_epoch + 2
+        # Per-epoch verdict tables partition the completed reads.
+        assert sum(len(report.verdicts(epoch=epoch)) for epoch in served) >= len(
+            report.verdicts()
+        )
+        assert report.snapshot.ingests == 2

@@ -1,0 +1,352 @@
+"""Versioned knowledge store: log replay determinism, snapshots, maintenance.
+
+The load-bearing properties pinned here:
+
+* **replay determinism** — ``log -> replay -> byte-identical graph /
+  corpus / indexes`` (state digests cover interning order, per-node edge
+  order, and posting-array bytes);
+* **incremental == rebuild** — applying a mutation batch in place yields
+  the same search results, paths, and index bytes as building everything
+  from scratch over the final state;
+* the dirty-fraction fallbacks take the rebuild path without changing
+  observable behaviour;
+* snapshots are immutable point-in-time views, cheap at the current epoch;
+* compaction preserves state, raises the snapshot floor, and keeps the
+  ``store == replay(log)`` invariant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kg import KnowledgeGraph, Triple
+from repro.retrieval import Corpus, SearchEngine
+from repro.retrieval.corpus import Document
+from repro.retrieval.embeddings import HashingEmbedder
+from repro.store import (
+    Mutation,
+    MutationLog,
+    StoreConfig,
+    VersionedKnowledgeStore,
+    read_mutations_jsonl,
+)
+
+
+def _triples(count: int, seed: int = 0) -> list:
+    rng = random.Random(seed)
+    triples = []
+    seen = set()
+    while len(triples) < count:
+        triple = Triple(
+            f"e{rng.randrange(count // 2)}",
+            f"p{rng.randrange(10)}",
+            f"e{rng.randrange(count // 2)}",
+        )
+        if triple not in seen:
+            seen.add(triple)
+            triples.append(triple)
+    return triples
+
+
+def _documents(count: int, prefix: str = "d") -> list:
+    return [
+        Document(
+            doc_id=f"{prefix}{i}",
+            url=f"https://corpus.example/{prefix}{i}",
+            title=f"entity e{i % 40} profile",
+            text=f"entity e{i % 40} relates p{i % 10} to entity e{(i + 7) % 40} item {i}",
+            source="corpus.example",
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture()
+def store() -> VersionedKnowledgeStore:
+    return VersionedKnowledgeStore.bootstrap(
+        triples=_triples(300), documents=_documents(80)
+    )
+
+
+class TestMutationSerialisation:
+    def test_triple_ops_round_trip(self):
+        for factory in (Mutation.add_triple, Mutation.remove_triple):
+            mutation = factory("Ada Lovelace", "worksFor", "Analytical Engines")
+            assert Mutation.from_json(mutation.to_json()) == mutation
+
+    def test_document_op_round_trips_all_fields(self):
+        document = Document(
+            doc_id="d1", url="https://x.org/1", title="t", text="body",
+            source="x.org", fact_id="fb-1", kind="news",
+        )
+        mutation = Mutation.add_document(document)
+        assert Mutation.from_json(mutation.to_json()).document == document
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(ValueError):
+            Mutation.from_json({"op": "drop_table"})
+        with pytest.raises(ValueError):
+            Mutation.from_json({"op": "add_triple", "subject": "s"})
+        with pytest.raises(ValueError):
+            Mutation.from_json({"op": "add_document"})
+        with pytest.raises(ValueError):
+            Mutation("add_triple")  # missing payload
+
+    def test_log_epochs_must_be_monotonic(self):
+        log = MutationLog()
+        log.append_batch(1, [Mutation.add_triple("a", "p", "b")])
+        with pytest.raises(ValueError):
+            log.append_batch(1, [Mutation.add_triple("c", "p", "d")])
+
+
+class TestApply:
+    def test_epoch_advances_once_per_batch(self, store):
+        assert store.epoch == 1  # genesis
+        report = store.apply(
+            [Mutation.add_triple("x", "p0", "y"), Mutation.add_triple("y", "p0", "z")]
+        )
+        assert report.epoch == store.epoch == 2
+        assert report.triples_added == 2
+
+    def test_batch_validated_before_any_mutation_lands(self, store):
+        digest = store.state_digest()
+        bad = [
+            Mutation.add_triple("new", "p0", "node"),
+            Mutation.remove_triple("absent", "p9", "nothing"),
+        ]
+        with pytest.raises(ValueError, match="absent"):
+            store.apply(bad)
+        assert store.state_digest() == digest  # atomic: nothing applied
+        assert store.epoch == 1
+
+    def test_duplicate_document_id_rejected(self, store):
+        with pytest.raises(ValueError, match="duplicate document id"):
+            store.apply([Mutation.add_document(_documents(1)[0])])
+
+    def test_duplicate_triple_add_is_a_counted_noop(self, store):
+        existing = list(store.graph)[0]
+        report = store.apply([Mutation(op="add_triple", triple=existing)])
+        assert report.triples_added == 0
+        assert store.epoch == 2
+
+    def test_empty_batch_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.apply([])
+
+    def test_listeners_fire_with_epoch_and_batch(self, store):
+        seen = []
+        store.subscribe(lambda epoch, batch: seen.append((epoch, len(batch))))
+        store.apply([Mutation.add_triple("a", "p0", "b")])
+        assert seen == [(2, 1)]
+
+
+class TestReplayDeterminism:
+    def test_replay_is_byte_identical_across_mixed_batches(self, store):
+        live = list(store.graph)
+        _ = store.search_engine  # materialise so incremental paths run
+        store.apply(
+            [Mutation.remove_triple(*t.as_tuple()) for t in live[:10]]
+            + [Mutation.add_triple(f"fresh{i}", "p1", f"e{i}") for i in range(5)]
+            + [Mutation.add_document(d) for d in _documents(6, prefix="n")]
+        )
+        store.apply([Mutation.add_document(d) for d in _documents(4, prefix="m")])
+        twin = VersionedKnowledgeStore.replay(store.log, config=store.config)
+        assert twin.epoch == store.epoch
+        assert twin.state_digest() == store.state_digest()
+        assert twin.graph.state_digest() == store.graph.state_digest()
+
+    def test_save_load_round_trip_preserves_state_and_config(self, store, tmp_path):
+        store.apply([Mutation.add_document(d) for d in _documents(3, prefix="x")])
+        path = str(tmp_path / "store.jsonl")
+        store.save(path)
+        loaded = VersionedKnowledgeStore.load(path)
+        assert loaded.epoch == store.epoch
+        assert loaded.state_digest() == store.state_digest()
+        assert loaded.config == store.config
+
+    def test_replay_honours_graph_rebuild_threshold_deterministically(self):
+        config = StoreConfig(graph_rebuild_fraction=0.05)
+        store = VersionedKnowledgeStore.bootstrap(triples=_triples(200), config=config)
+        live = list(store.graph)
+        report = store.apply([Mutation.remove_triple(*t.as_tuple()) for t in live[:40]])
+        assert report.graph_rebuilt  # 40/160 > 5%
+        twin = VersionedKnowledgeStore.replay(store.log, config=config)
+        assert twin.graph.state_digest() == store.graph.state_digest()
+
+    def test_mutations_jsonl_reader(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        path.write_text(
+            '{"op": "add_triple", "subject": "a", "predicate": "p", "object": "b"}\n'
+            "\n"
+            '{"op": "add_document", "document": {"doc_id": "d", "url": "u", '
+            '"title": "t", "text": "x", "source": "s"}}\n'
+        )
+        mutations = read_mutations_jsonl(str(path))
+        assert [m.op for m in mutations] == ["add_triple", "add_document"]
+
+
+class TestIncrementalEqualsRebuild:
+    def test_search_engine_add_documents_matches_full_rebuild(self):
+        documents = _documents(120)
+        corpus = Corpus(documents[:100])
+        engine = SearchEngine(corpus)
+        for document in documents[100:]:
+            corpus.add(document)
+        engine.add_documents(documents[100:])
+        rebuilt = SearchEngine(corpus)
+        assert engine.state_digest() == rebuilt.state_digest()
+        for query in ("entity e3 profile", "relates p7 item", "entity e11"):
+            fast = [(r.document.doc_id, r.score) for r in engine.search(query, 20)]
+            slow = [(r.document.doc_id, r.score) for r in rebuilt.search(query, 20)]
+            assert fast == slow
+
+    def test_store_incremental_index_matches_scratch_rebuild(self, store):
+        _ = store.search_engine
+        report = store.apply([Mutation.add_document(d) for d in _documents(9, prefix="z")])
+        assert report.index_strategy == "incremental"
+        assert store.search_engine.state_digest() == SearchEngine(store.corpus).state_digest()
+
+    def test_index_rebuild_fallback_above_dirty_fraction(self):
+        store = VersionedKnowledgeStore.bootstrap(
+            documents=_documents(20), config=StoreConfig(index_rebuild_fraction=0.1)
+        )
+        _ = store.search_engine
+        report = store.apply([Mutation.add_document(d) for d in _documents(10, prefix="big")])
+        assert report.index_strategy == "rebuild"
+        assert store.search_engine.state_digest() == SearchEngine(store.corpus).state_digest()
+
+    def test_incremental_paths_match_scratch_rebuild(self, store):
+        live = list(store.graph)
+        store.apply(
+            [Mutation.remove_triple(*t.as_tuple()) for t in live[:15]]
+            + [Mutation.add_triple(f"e{i}", "p2", f"e{i + 3}") for i in range(10)]
+        )
+        scratch = VersionedKnowledgeStore.replay(store.log, config=store.config)
+        nodes = store.graph.nodes()
+        assert nodes == scratch.graph.nodes()
+        rng = random.Random(7)
+        pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(25)]
+        for source, target in pairs:
+            assert store.graph.find_paths(source, target, max_length=3) == (
+                scratch.graph.find_paths(source, target, max_length=3)
+            )
+
+    def test_embedder_warm_cache_extended_on_ingest(self):
+        embedder = HashingEmbedder()
+        store = VersionedKnowledgeStore.bootstrap(
+            documents=_documents(10), embedder=embedder
+        )
+        new_doc = _documents(1, prefix="warm")[0]
+        store.apply([Mutation.add_document(new_doc)])
+        assert new_doc.text in embedder._cache  # already embedded, no recompute
+
+
+class TestSnapshots:
+    def test_current_snapshot_is_cheap_and_immutable(self, store):
+        snapshot = store.snapshot()
+        assert snapshot.epoch == 1
+        graph_digest = snapshot.graph.state_digest()
+        store.apply([Mutation.add_triple("later", "p0", "thing")])
+        # The live store moved on; the snapshot did not.
+        assert snapshot.graph.state_digest() == graph_digest
+        assert len(snapshot.corpus) == 80
+        assert not snapshot.graph.contains("later", "p0", "thing")
+
+    def test_historical_snapshot_replays_the_log(self, store):
+        store.apply([Mutation.add_document(d) for d in _documents(5, prefix="h")])
+        store.apply([Mutation.add_triple("latest", "p0", "node")])
+        old = store.snapshot(1)
+        assert len(old.corpus) == 80
+        assert not old.graph.contains("latest", "p0", "node")
+        mid = store.snapshot(2)
+        assert len(mid.corpus) == 85
+        assert not mid.graph.contains("latest", "p0", "node")
+
+    def test_snapshot_search_engine_reflects_its_epoch(self, store):
+        _ = store.search_engine
+        store.apply([Mutation.add_document(d) for d in _documents(5, prefix="s")])
+        old = store.snapshot(1)
+        assert len(old.search_engine()) == 80
+        assert len(store.search_engine) == 85
+
+    def test_future_epoch_rejected(self, store):
+        with pytest.raises(ValueError, match="future"):
+            store.snapshot(99)
+
+
+class TestCompaction:
+    def test_compaction_preserves_state_and_raises_floor(self, store, tmp_path):
+        live = list(store.graph)
+        store.apply([Mutation.remove_triple(*t.as_tuple()) for t in live[:5]])
+        store.apply([Mutation.add_document(d) for d in _documents(3, prefix="c")])
+        _ = store.search_engine
+        epoch = store.epoch
+        dropped = store.compact()
+        assert dropped > 0
+        assert store.epoch == epoch  # epochs stay monotonic across compaction
+        assert store.log.floor_epoch == epoch
+        # The invariant store == replay(log) still holds post-compaction.
+        twin = VersionedKnowledgeStore.replay(store.log, config=store.config)
+        assert twin.state_digest() == store.state_digest()
+        # And it round-trips through disk.
+        path = str(tmp_path / "compacted.jsonl")
+        store.save(path)
+        assert VersionedKnowledgeStore.load(path).state_digest() == store.state_digest()
+
+    def test_snapshots_below_the_floor_are_gone(self, store):
+        store.apply([Mutation.add_triple("x", "p0", "y")])
+        store.compact()
+        with pytest.raises(ValueError, match="floor"):
+            store.snapshot(1)
+
+
+class TestAdoption:
+    def test_adopted_substrates_are_maintained_in_place(self):
+        corpus = Corpus(_documents(30))
+        engine = SearchEngine(corpus)
+        store = VersionedKnowledgeStore.adopt(
+            corpus=corpus, search_engine=engine, triples=_triples(40)
+        )
+        assert store.epoch == 1
+        new_doc = _documents(1, prefix="adopted")[0]
+        store.apply([Mutation.add_document(new_doc)])
+        # The adopted objects themselves grew — no rebuild, no copies.
+        assert store.corpus is corpus and store.search_engine is engine
+        assert len(engine) == 31
+        twin = VersionedKnowledgeStore.replay(store.log, config=store.config)
+        assert twin.state_digest() == store.state_digest()
+
+    def test_adopt_rejects_foreign_engine(self):
+        corpus = Corpus(_documents(5))
+        other = Corpus(_documents(5, prefix="o"))
+        with pytest.raises(ValueError):
+            VersionedKnowledgeStore.adopt(corpus=corpus, search_engine=SearchEngine(other))
+
+
+class TestGraphCopy:
+    def test_copy_preserves_interning_and_traversal_order(self):
+        graph = KnowledgeGraph("orig")
+        for triple in _triples(150, seed=3):
+            graph.add(triple)
+        graph.remove(list(graph)[0])  # leave a ghost entry
+        clone = graph.copy()
+        assert clone.state_digest() == graph.state_digest()
+        assert clone._node_ids == graph._node_ids  # interning tables intact
+        nodes = graph.nodes()
+        rng = random.Random(1)
+        for _ in range(15):
+            s, t = rng.choice(nodes), rng.choice(nodes)
+            assert clone.find_paths(s, t, max_length=3) == graph.find_paths(s, t, max_length=3)
+
+    def test_copy_is_independent_of_the_source(self):
+        graph = KnowledgeGraph("orig")
+        graph.add(Triple("a", "p", "b"))
+        clone = graph.copy()
+        clone.add(Triple("c", "p", "d"))
+        graph.remove(Triple("a", "p", "b"))
+        assert graph.state_digest() != clone.state_digest()
+        assert clone.contains("a", "p", "b")
+        assert not graph.contains("c", "p", "d")
+        assert len(graph) == 0 and len(clone) == 2
