@@ -1,0 +1,239 @@
+"""Sharded serving-tier benchmark: scale-out throughput, routing correctness.
+
+Three floors, mirroring the PR 4 acceptance criteria:
+
+1. **>= 1.5x throughput at 4 shards vs 1** on a multi-worker closed-loop
+   run.  One hot ``(method, model)`` strategy is driven by 64 closed-loop
+   clients; the single-shard service serialises its micro-batches through
+   one worker, while the 4-shard router keeps four shard workers'
+   batches in flight concurrently (the simulated backend sleeps overlap
+   on the event loop, so the win is the genuine serving-architecture
+   effect, not multi-core luck — measured ~2.5-3.5x on one core).
+
+2. **Scatter-gather verdicts byte-identical to the unsharded service.**
+   The same workload replayed through the 4-shard router and the plain
+   :class:`ValidationService` must produce identical verdict tables, and
+   a direct :meth:`submit_many` scatter-gather must answer in submission
+   order with the same verdicts.
+
+3. **Per-shard cache invalidation.**  With a 4-way
+   :class:`~repro.store.ShardedStore` attached, an ingest routed to one
+   shard must invalidate *only* that shard's cached verdicts: on the next
+   pass, facts owned by the mutated shard miss (they are re-judged at the
+   shard's new epoch, with unchanged verdicts for corpus-independent
+   methods) while every other shard's facts still hit — their hit rate is
+   unchanged.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shards.py -q -s \
+        --benchmark-json=benchmarks/out/shards.json
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from conftest import run_once
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    LoadGenerator,
+    ServiceConfig,
+    ServiceRequest,
+    ShardedValidationService,
+    ValidationService,
+    build_workload,
+)
+from repro.store import Mutation
+
+TOTAL_REQUESTS = 400
+METHODS = ("dka",)
+MODELS = ("gemma2:9b",)
+NUM_SHARDS = 4
+#: Enough clients that every shard's queue stays full (full micro-batches
+#: per shard worker); the single-shard baseline is capped by its one worker
+#: regardless.
+CONCURRENCY = 64
+MAX_BATCH = 8
+#: Real seconds per simulated backend second: high enough that the batch
+#: sleeps (which overlap across shard workers) dominate the serialised
+#: per-verdict CPU, low enough that the whole module stays CI-friendly.
+TIME_SCALE = 0.006
+
+
+@pytest.fixture(scope="module")
+def shard_bench_runner() -> BenchmarkRunner:
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.05,
+            max_facts_per_dataset=60,
+            world_scale=0.2,
+            methods=METHODS,
+            datasets=("factbench",),
+            models=MODELS,
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(shard_bench_runner):
+    return build_workload(
+        [shard_bench_runner.dataset("factbench")], METHODS, MODELS, TOTAL_REQUESTS, seed=3
+    )
+
+
+def _closed_loop(runner, workload, *, num_shards, concurrency=CONCURRENCY):
+    config = ServiceConfig(
+        max_batch_size=MAX_BATCH,
+        queue_depth=4096,
+        enable_cache=False,
+        time_scale=TIME_SCALE,
+    )
+    service = ShardedValidationService.from_runner(runner, num_shards, config)
+    return LoadGenerator(service, workload, concurrency=concurrency).run_sync()
+
+
+def _canonical(verdicts: dict) -> bytes:
+    return json.dumps(
+        {"|".join(key): value for key, value in verdicts.items()}, sort_keys=True
+    ).encode("utf-8")
+
+
+def test_benchmark_sharded_throughput_floor(benchmark, shard_bench_runner, workload):
+    single = _closed_loop(shard_bench_runner, workload, num_shards=1)
+    sharded = run_once(
+        benchmark,
+        lambda: _closed_loop(shard_bench_runner, workload, num_shards=NUM_SHARDS),
+    )
+    speedup = sharded.throughput_rps / single.throughput_rps
+
+    print()
+    print(single.format_table("single shard (1 worker, closed loop)"))
+    print()
+    print(sharded.format_table(f"{NUM_SHARDS}-shard router (scatter-gather)"))
+    print(f"\nshard scale-out speedup: {speedup:.2f}x "
+          f"(mean shard batch {sharded.snapshot.mean_batch_size:.1f})")
+
+    # Floors: every request answered on both topologies, nothing shed or
+    # failed, and the 4-shard fleet sustains >= 1.5x the 1-shard throughput.
+    assert single.completed == TOTAL_REQUESTS and sharded.completed == TOTAL_REQUESTS
+    assert single.rejected == 0 and sharded.rejected == 0
+    assert single.failures == 0 and sharded.failures == 0
+    assert speedup >= 1.5, (
+        f"{NUM_SHARDS}-shard router sustained only {speedup:.2f}x the "
+        f"single-shard throughput (floor: 1.5x)"
+    )
+
+    # Floor: scatter-gathered verdicts byte-identical to the unsharded run.
+    assert _canonical(sharded.verdicts()) == _canonical(single.verdicts()), (
+        "sharded verdicts diverged from the single-shard service"
+    )
+
+
+def test_benchmark_scatter_gather_matches_unsharded_service(
+    benchmark, shard_bench_runner
+):
+    runner = shard_bench_runner
+    dataset = runner.dataset("factbench")
+    requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+    config = ServiceConfig(max_batch_size=MAX_BATCH, enable_cache=False)
+
+    async def both():
+        router = ShardedValidationService.from_runner(runner, NUM_SHARDS, config)
+        async with router:
+            gathered = await router.submit_many(requests)
+        plain = ValidationService.from_runner(runner, config)
+        async with plain:
+            flat = await asyncio.gather(*(plain.submit(req) for req in requests))
+        return gathered, flat
+
+    gathered, flat = run_once(benchmark, lambda: asyncio.run(both()))
+
+    # Deterministic merge: response i answers request i, and the verdicts —
+    # full ValidationResult fields included — equal the unsharded service's.
+    assert len(gathered) == len(requests)
+    for request, sharded_response, plain_response in zip(requests, gathered, flat):
+        assert sharded_response.result.fact_id == request.fact.fact_id
+        assert sharded_response.result == plain_response.result
+    # Every response carries the composite epoch vector (no store: all zeros).
+    assert all(len(r.epoch_vector) == NUM_SHARDS for r in gathered)
+    print(f"\nscatter-gather over {NUM_SHARDS} shards: {len(gathered)} verdicts "
+          f"byte-identical to the unsharded service")
+
+
+def test_benchmark_ingest_invalidates_only_owning_shard(benchmark, shard_bench_runner):
+    runner = shard_bench_runner
+    dataset = runner.dataset("factbench")
+    store = runner.sharded_store("factbench", NUM_SHARDS)
+    router = ShardedValidationService.from_runner(
+        runner,
+        NUM_SHARDS,
+        ServiceConfig(max_batch_size=MAX_BATCH, queue_depth=4096),
+        store=store,
+    )
+    requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+    target = dataset[0]
+    owner = store.shard_for(target.triple.subject)
+    batch = [
+        Mutation.add_triple(target.triple.subject, "updatedBy", "Newswire_Feed"),
+    ]
+
+    async def warm_ingest_repeat():
+        async with router:
+            cold = await router.submit_many(requests)
+            warm = await router.submit_many(requests)
+            report = await router.apply_mutations(batch)
+            after = await router.submit_many(requests)
+            return cold, warm, report, after
+
+    cold, warm, report, after = run_once(
+        benchmark, lambda: asyncio.run(warm_ingest_repeat())
+    )
+
+    owned = [i for i, req in enumerate(requests)
+             if store.shard_for(req.fact.triple.subject) == owner]
+    others = [i for i in range(len(requests)) if i not in owned]
+    print(f"\n{len(requests)} facts across {NUM_SHARDS} shards; ingest routed to "
+          f"shard {owner} ({len(owned)} facts owned, {len(others)} elsewhere)")
+
+    # The ingest touched exactly the owning shard and bumped only its epoch.
+    assert report.shards_touched == (owner,)
+    assert report.epoch_vector[owner] == 2
+    assert all(epoch == 1 for i, epoch in enumerate(report.epoch_vector) if i != owner)
+
+    # Warm pass before the ingest: every fact served from cache.
+    assert all(response.cached for response in warm)
+    # Floor: after the ingest, only the mutated shard's verdicts went stale.
+    assert all(not after[i].cached for i in owned), (
+        "mutated shard served stale cached verdicts across its epoch bump"
+    )
+    assert all(after[i].cached for i in others), (
+        "ingest to one shard evicted other shards' cached verdicts"
+    )
+    # Other shards' hit rate is untouched: their caches served every pass.
+    for index, shard_service in enumerate(router.shards):
+        stats = shard_service.cache.stats()
+        shard_requests = sum(
+            1 for req in requests
+            if store.shard_for(req.fact.triple.subject) == index
+        )
+        if index == owner:
+            # cold misses + post-ingest re-judge misses; warm pass hits.
+            assert stats.misses == 2 * shard_requests
+            assert stats.hits == shard_requests
+        else:
+            assert stats.misses == shard_requests
+            assert stats.hits == 2 * shard_requests
+
+    # Re-judged verdicts are unchanged (DKA never reads the corpus): the
+    # invalidation is about freshness bookkeeping, not verdict churn.
+    assert [r.result.verdict for r in after] == [r.result.verdict for r in cold]
+    # Responses after the ingest carry the bumped composite epoch vector.
+    assert all(r.epoch_vector[owner] == 2 for r in after)
+    print(f"post-ingest: {len(owned)} re-judged on shard {owner}, "
+          f"{len(others)} still cache-hot elsewhere")

@@ -9,6 +9,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.benchmark.cli serve --port 8765 --methods dka,giv-z
     python -m repro.benchmark.cli loadgen --requests 500 --concurrency 32
 
+    # Sharded serving tier: N shard workers behind a scatter-gather router.
+    python -m repro.benchmark.cli serve --shards 4 --methods dka
+    python -m repro.benchmark.cli loadgen --shards 4 --requests 500
+
     # Versioned knowledge store: stream mutations in, compact the log.
     python -m repro.benchmark.cli ingest --store store.jsonl --mutations ops.jsonl
     python -m repro.benchmark.cli compact --store store.jsonl
@@ -237,6 +241,24 @@ def build_service_parser() -> argparse.ArgumentParser:
         sub.add_argument("--max-batch-size", type=int, default=16, help="Micro-batch upper bound.")
         sub.add_argument("--queue-depth", type=int, default=256, help="Admission-control bound.")
         sub.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help=(
+                "Partition serving across N shard workers routed by consistent "
+                "hash of the subject entity (1 = the unsharded service)."
+            ),
+        )
+        sub.add_argument(
+            "--request-timeout",
+            type=float,
+            default=0.0,
+            help=(
+                "Sharded only: seconds before a stalled shard request is "
+                "abandoned with an explicit FAILED outcome (0 = no timeout)."
+            ),
+        )
+        sub.add_argument(
             "--time-scale",
             type=float,
             default=0.005,
@@ -270,6 +292,15 @@ def build_service_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument(
         "--output", default=None, help="Write the grown log here instead of back to --store."
+    )
+    ingest.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "Route the mutations across N per-shard logs ({store}.shard{i}); "
+            "1 = the single-log store."
+        ),
     )
 
     compact = commands.add_parser(
@@ -309,10 +340,18 @@ def _validate_service_args(args) -> None:
 
 
 def _service_setup(args):
-    """Build the (runner, service, datasets) triple the subcommands share."""
-    from ..service import ServiceConfig, ValidationService
+    """Build the (runner, service, datasets) triple the subcommands share.
+
+    With ``--shards N > 1`` the service is a
+    :class:`~repro.service.ShardedValidationService` routing over N shard
+    workers (same submit/metrics surface, so the front-end and load
+    generator drive it unchanged).
+    """
+    from ..service import ServiceConfig, ShardedValidationService, ValidationService
 
     _validate_service_args(args)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     config = ExperimentConfig(
         scale=args.scale,
         max_facts_per_dataset=args.max_facts or None,
@@ -330,7 +369,15 @@ def _service_setup(args):
         enable_cache=not args.no_cache,
         time_scale=args.time_scale,
     )
-    service = ValidationService.from_runner(runner, service_config)
+    if args.shards > 1:
+        service = ShardedValidationService.from_runner(
+            runner,
+            args.shards,
+            service_config,
+            request_timeout_s=args.request_timeout or None,
+        )
+    else:
+        service = ValidationService.from_runner(runner, service_config)
     datasets = {name: runner.dataset(name) for name in config.datasets}
     return runner, service, datasets
 
@@ -350,9 +397,11 @@ def _run_serve(args, stream: TextIO) -> int:
                 allowed_methods=args.methods,
                 allowed_models=args.models,
             ) as frontend:
+                shard_note = f"; {args.shards} shards" if args.shards > 1 else ""
                 stream.write(
                     f"serving {sorted(datasets)} on {frontend.host}:{frontend.port} "
-                    f"(methods {','.join(args.methods)}; models {','.join(args.models)})\n"
+                    f"(methods {','.join(args.methods)}; models "
+                    f"{','.join(args.models)}{shard_note})\n"
                 )
                 if hasattr(stream, "flush"):
                     stream.flush()
@@ -367,6 +416,71 @@ def _run_serve(args, stream: TextIO) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     stream.write(service.metrics.snapshot().format_table() + "\n")
+    if hasattr(service.metrics, "format_shard_table"):
+        stream.write("\n" + service.metrics.format_shard_table() + "\n")
+    return 0
+
+
+def _run_sharded_ingest(args, stream: TextIO) -> int:
+    """Route a mutations file across N per-shard logs (``{store}.shard{i}``)."""
+    import os
+
+    from ..store import (
+        HashRing,
+        ShardedStore,
+        VersionedKnowledgeStore,
+        read_mutations_jsonl,
+    )
+
+    if os.path.exists(f"{args.store}.shard0"):
+        # A smaller --shards than the fleet was saved with would silently
+        # orphan the higher-numbered shards and misroute every key on a
+        # wrong-sized ring; refuse instead.  (A larger --shards fails in
+        # load() on the first missing shard file.)
+        if os.path.exists(f"{args.store}.shard{args.shards}"):
+            raise SystemExit(
+                f"{args.store}.shard{args.shards} exists: the fleet was saved "
+                f"with more than --shards {args.shards} shards"
+            )
+        try:
+            fleet = ShardedStore.load(args.store, args.shards)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read sharded store logs: {exc}")
+        stream.write(
+            f"loaded {args.store}.shard0..{args.shards - 1}: epochs "
+            f"{list(fleet.epoch_vector)}, {fleet.total_triples} triples, "
+            f"{fleet.total_documents} documents\n"
+        )
+    else:
+        fleet = ShardedStore(
+            [VersionedKnowledgeStore(name=f"store-shard{i}") for i in range(args.shards)],
+            HashRing(args.shards),
+        )
+        stream.write(f"{args.store}.shard0 not found; starting an empty fleet\n")
+    try:
+        mutations = read_mutations_jsonl(args.mutations)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read mutations: {exc}")
+    if not mutations:
+        raise SystemExit(f"{args.mutations} contains no mutations")
+    try:
+        report = fleet.apply(mutations)
+    except ValueError as exc:
+        raise SystemExit(f"mutation batch rejected: {exc}")
+    target = args.output or args.store
+    paths = fleet.save(target)
+    for index, shard_report in report.shard_reports:
+        stream.write(
+            f"shard {index} -> epoch {shard_report.epoch}: "
+            f"+{shard_report.triples_added} triples, "
+            f"-{shard_report.triples_removed} triples, "
+            f"+{shard_report.documents_added} documents\n"
+        )
+    stream.write(
+        f"saved {len(paths)} shard logs under {target}.shard*; "
+        f"epoch vector {list(fleet.epoch_vector)}\n"
+    )
+    stream.write(f"fleet digest {fleet.state_digest(include_index=False)[:16]}\n")
     return 0
 
 
@@ -375,6 +489,8 @@ def _run_ingest(args, stream: TextIO) -> int:
 
     from ..store import VersionedKnowledgeStore, read_mutations_jsonl
 
+    if args.shards > 1:
+        return _run_sharded_ingest(args, stream)
     if os.path.exists(args.store):
         try:
             store = VersionedKnowledgeStore.load(args.store)
@@ -443,6 +559,8 @@ def _run_loadgen(args, stream: TextIO) -> int:
     report = LoadGenerator(service, workload, concurrency=args.concurrency).run_sync()
     stream.write(report.format_table("Closed-loop load run") + "\n\n")
     stream.write(service.metrics.snapshot().format_table() + "\n")
+    if hasattr(service.metrics, "format_shard_table"):
+        stream.write("\n" + service.metrics.format_shard_table() + "\n")
     return 0
 
 

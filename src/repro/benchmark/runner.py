@@ -21,7 +21,7 @@ from ..retrieval.corpus import Corpus
 from ..retrieval.mock_api import MockSearchAPI
 from ..retrieval.reranker import CrossEncoderReranker
 from ..retrieval.webgen import WebCorpusGenerator
-from ..store import StoreConfig, VersionedKnowledgeStore
+from ..store import ShardedStore, StoreConfig, VersionedKnowledgeStore
 from ..validation.base import ValidationRun, ValidationStrategy
 from ..validation.consensus import ConsensusRun, MajorityVoteConsensus
 from ..validation.dka import DirectKnowledgeAssessment
@@ -91,6 +91,7 @@ class BenchmarkRunner:
         self._reranker_warmed: set = set()
         self._evidence_caches: Dict[str, dict] = {}
         self._stores: Dict[str, VersionedKnowledgeStore] = {}
+        self._sharded_stores: Dict[Tuple[str, int], ShardedStore] = {}
         self._runs: Dict[Tuple[str, str, str], ValidationRun] = {}
         self._consensus_cache: Dict[Tuple[str, str, str], ConsensusRun] = {}
 
@@ -196,6 +197,51 @@ class BenchmarkRunner:
         store.subscribe(_invalidate_evidence)
         self._stores[dataset_name] = store
         return store
+
+    def sharded_store(
+        self,
+        dataset_name: str,
+        num_shards: int,
+        store_config: Optional[StoreConfig] = None,
+    ) -> ShardedStore:
+        """Partition this dataset's graph + corpus across ``num_shards`` stores.
+
+        Unlike :meth:`versioned_store`, the shards do *not* adopt the live
+        retrieval substrates — each shard owns its slice of the world
+        triples and the dataset corpus (partitioned by consistent hash of
+        the subject entity / evidenced fact), with its own mutation log and
+        epoch.  Strategies built by :meth:`build_strategy` keep reading the
+        runner's full substrates; the sharded store is the serving tier's
+        versioning and routing substrate
+        (see :class:`~repro.service.ShardedValidationService`).
+        Built once per ``(dataset, num_shards)``; later calls return the
+        same fleet (a conflicting ``store_config`` is an error).
+        """
+        key = (dataset_name, num_shards)
+        if key in self._sharded_stores:
+            fleet = self._sharded_stores[key]
+            if store_config is not None and any(
+                store_config != shard.config for shard in fleet.shards
+            ):
+                raise ValueError(
+                    f"sharded store for {key!r} already built; cannot "
+                    f"reconfigure to {store_config}"
+                )
+            return fleet
+        world = self.world
+        triples = [
+            Triple(world.name(fact.subject), fact.predicate, world.name(fact.object))
+            for fact in world.facts.all_facts()
+        ]
+        fleet = ShardedStore.partition(
+            triples=triples,
+            documents=list(self.corpus(dataset_name)),
+            num_shards=num_shards,
+            config=store_config,
+            name=f"{dataset_name}-store",
+        )
+        self._sharded_stores[key] = fleet
+        return fleet
 
     # ------------------------------------------------------------- strategies
 

@@ -18,7 +18,13 @@ offline substrates:
 * :mod:`repro.service.loadgen` — the closed-loop :class:`LoadGenerator`
   harness with a deterministic arrival mix, including a mixed read/write
   mode (:class:`IngestRequest` items in the schedule apply mutation
-  batches through :meth:`ValidationService.apply_mutations`).
+  batches through :meth:`ValidationService.apply_mutations`);
+* :mod:`repro.service.router` — :class:`ShardedValidationService`: the
+  scale-out tier routing reads and writes to N shard services by
+  consistent hash of the subject entity, scatter-gathering multi-fact
+  batches with a deterministic merge, surfacing shard faults as explicit
+  ``FAILED`` outcomes, and rolling per-shard metrics up into one
+  :class:`MetricsSnapshot`.
 
 With a :class:`~repro.store.VersionedKnowledgeStore` attached (see
 ``BenchmarkRunner.versioned_store``), the service ingests live updates:
@@ -48,6 +54,7 @@ from .loadgen import (
     build_workload,
 )
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .router import RouterMetrics, ShardedValidationService
 from .server import (
     RequestOutcome,
     ServiceRequest,
@@ -63,10 +70,12 @@ __all__ = [
     "LoadReport",
     "MetricsSnapshot",
     "RequestOutcome",
+    "RouterMetrics",
     "ServiceConfig",
     "ServiceMetrics",
     "ServiceRequest",
     "ServiceResponse",
+    "ShardedValidationService",
     "StrategyProvider",
     "TCPValidationFrontend",
     "ValidationService",

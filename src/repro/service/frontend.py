@@ -123,6 +123,11 @@ class TCPValidationFrontend:
             # handler quietly instead of surfacing a cancelled task to the
             # event loop's exception logger.
             pass
+        except (ConnectionError, OSError):
+            # The client vanished mid-request (reset while reading, or the
+            # reply could not be flushed).  Close this connection quietly;
+            # the accept loop and every other connection keep serving.
+            pass
         finally:
             writer.close()
             try:
@@ -189,4 +194,8 @@ class TCPValidationFrontend:
         if response.outcome is RequestOutcome.COMPLETED and response.result is not None:
             reply["verdict"] = response.result.verdict.value
             reply["batch_size"] = response.batch_size
+        if response.outcome is RequestOutcome.FAILED and response.error:
+            reply["error"] = response.error
+        if response.epoch_vector:
+            reply["epoch_vector"] = list(response.epoch_vector)
         return reply

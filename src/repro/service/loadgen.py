@@ -165,6 +165,11 @@ class LoadReport:
         return sum(1 for response in self.responses if response.rejected)
 
     @property
+    def failures(self) -> int:
+        """Requests a shard failed or stalled on (explicit ``FAILED`` outcomes)."""
+        return sum(1 for response in self.responses if response.failed)
+
+    @property
     def ingests(self) -> int:
         """Writes in the schedule: applied mutation batches."""
         return sum(1 for response in self.responses if response.ingested)
@@ -216,6 +221,7 @@ class LoadReport:
             f"throughput       {self.throughput_rps:.1f} req/s",
             f"completed        {self.completed}",
             f"rejected (shed)  {self.rejected}",
+            f"failures         {self.failures}",
             f"ingests          {self.ingests}",
             f"cache hits       {self.cache_hits}",
             f"p50 latency      {self.snapshot.p50_latency_s * 1000:.2f} ms",

@@ -192,6 +192,15 @@ class ServiceMetrics:
         with self._lock:
             self._queue_depth = depth
 
+    def latencies(self) -> List[float]:
+        """A copy of the latency ring, for cross-shard percentile roll-ups.
+
+        Per-shard percentiles cannot be averaged into fleet percentiles;
+        the sharded router aggregates the raw windows instead.
+        """
+        with self._lock:
+            return list(self._latencies)
+
     # ------------------------------------------------------------- snapshot
 
     def snapshot(self) -> MetricsSnapshot:

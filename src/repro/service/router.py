@@ -1,0 +1,387 @@
+"""Sharded multi-worker serving tier: scatter-gather routing over N shards.
+
+:class:`ShardedValidationService` fronts N independent
+:class:`~repro.service.server.ValidationService` workers, one per
+:class:`~repro.store.sharding.ShardedStore` shard, and exposes the same
+surface the unsharded service does (``submit`` / ``apply_mutations`` /
+``metrics`` / async context manager), so the TCP front-end, the load
+generator, and the CLI drive either interchangeably.
+
+Routing and consistency:
+
+* **Reads** route by consistent hash of the fact's subject entity — the
+  same :class:`~repro.store.sharding.HashRing` the store partition uses —
+  so a fact is always judged (and its verdict cached) on its owning shard.
+* **Batches** scatter-gather: :meth:`submit_many` fans a multi-fact batch
+  out to the owning shards concurrently and merges the responses back in
+  submission order — a deterministic merge, so the gathered verdicts are
+  byte-identical to the unsharded service (and to the offline pipeline)
+  for the same coordinates.
+* **Writes** route by the same key (:func:`mutation_shard_key`).  Each
+  owning shard quiesces, applies, and bumps *its own* epoch while the
+  other shards keep serving — ingest never pauses the whole fleet, and
+  because verdict-cache keys carry the per-shard epoch, an ingest
+  invalidates only the owning shard's cached verdicts.
+* **Faults surface, never hang**: a shard whose strategy raises produces
+  an explicit ``FAILED`` response (the co-routed requests on other shards
+  are unaffected), and a shard that stalls past ``request_timeout_s``
+  is abandoned with a ``FAILED`` response instead of blocking the client.
+
+Every response is stamped with the composite epoch vector
+(``ServiceResponse.epoch_vector``) and its scalar sum, so clients can
+reason about which shard versions an answer reflects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..llm.telemetry import TelemetryCollector
+from ..store import Mutation, ShardApplyReport, ShardedStore
+from ..store.sharding import HashRing
+from .config import ServiceConfig
+from .metrics import MetricsSnapshot, percentile
+from .server import RequestOutcome, ServiceRequest, ServiceResponse, ValidationService
+
+__all__ = ["RouterMetrics", "ShardedValidationService"]
+
+
+class RouterMetrics:
+    """Aggregating view over the per-shard :class:`ServiceMetrics`.
+
+    Counters sum across shards; latency percentiles are computed over the
+    *concatenated* per-shard windows (per-shard percentiles cannot be
+    averaged); wall time is the longest shard window and fleet throughput
+    is total completions over that wall.  ``failures`` counts every
+    ``FAILED`` response the router produced; only the *timeout* subset is
+    folded into the snapshot's ``errors`` counter — a shard whose strategy
+    raised has already counted that request in its own ``errors`` (see
+    ``ValidationService.submit``), so ``completed + rejected + errors``
+    accounts for every non-ingest request exactly once.
+    """
+
+    def __init__(self, services: Sequence[ValidationService]) -> None:
+        self._services = list(services)
+        self._failures = 0
+        self._timeout_failures = 0
+        self._lock = threading.Lock()
+
+    def observe_failure(self, timeout: bool = False) -> None:
+        """One ``FAILED`` response; ``timeout=True`` when the shard never
+        answered (those are invisible to the shard's own error counter)."""
+        with self._lock:
+            self._failures += 1
+            if timeout:
+                self._timeout_failures += 1
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    @property
+    def timeout_failures(self) -> int:
+        with self._lock:
+            return self._timeout_failures
+
+    def per_shard(self) -> List[MetricsSnapshot]:
+        return [service.metrics.snapshot() for service in self._services]
+
+    def snapshot(self) -> MetricsSnapshot:
+        snapshots = self.per_shard()
+        latencies: List[float] = []
+        for service in self._services:
+            latencies.extend(service.metrics.latencies())
+        completed = sum(snapshot.completed for snapshot in snapshots)
+        batches = sum(snapshot.batches for snapshot in snapshots)
+        batched_requests = sum(
+            round(snapshot.mean_batch_size * snapshot.batches) for snapshot in snapshots
+        )
+        wall = max((snapshot.wall_seconds for snapshot in snapshots), default=0.0)
+        return MetricsSnapshot(
+            completed=completed,
+            rejected=sum(snapshot.rejected for snapshot in snapshots),
+            errors=sum(snapshot.errors for snapshot in snapshots)
+            + self.timeout_failures,
+            cache_hits=sum(snapshot.cache_hits for snapshot in snapshots),
+            cache_misses=sum(snapshot.cache_misses for snapshot in snapshots),
+            batches=batches,
+            mean_batch_size=batched_requests / batches if batches else 0.0,
+            queue_depth=sum(snapshot.queue_depth for snapshot in snapshots),
+            wall_seconds=wall,
+            throughput_rps=completed / wall if wall > 0 else 0.0,
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            p99_latency_s=percentile(latencies, 99),
+            ingests=sum(snapshot.ingests for snapshot in snapshots),
+            ingested_ops=sum(snapshot.ingested_ops for snapshot in snapshots),
+        )
+
+    def format_shard_table(self, title: str = "Per-shard metrics") -> str:
+        """One row per shard: the tail-latency/queue/shed roll-up inputs."""
+        lines = [title, "-" * len(title)]
+        header = (
+            f"{'shard':>5}  {'completed':>9}  {'shed':>5}  {'errors':>6}  "
+            f"{'p50 ms':>8}  {'p95 ms':>8}  {'p99 ms':>8}  {'queue':>5}  {'hit rate':>8}"
+        )
+        lines.append(header)
+        for index, snapshot in enumerate(self.per_shard()):
+            lines.append(
+                f"{index:>5}  {snapshot.completed:>9}  {snapshot.rejected:>5}  "
+                f"{snapshot.errors:>6}  {snapshot.p50_latency_s * 1000:>8.2f}  "
+                f"{snapshot.p95_latency_s * 1000:>8.2f}  "
+                f"{snapshot.p99_latency_s * 1000:>8.2f}  {snapshot.queue_depth:>5}  "
+                f"{snapshot.cache_hit_rate:>8.1%}"
+            )
+        return "\n".join(lines)
+
+
+class ShardedValidationService:
+    """Routes single-fact requests and mutations to their owning shard."""
+
+    def __init__(
+        self,
+        shards: Sequence[ValidationService],
+        ring: Optional[HashRing] = None,
+        store: Optional[ShardedStore] = None,
+        request_timeout_s: Optional[float] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a ShardedValidationService needs at least one shard")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive when set")
+        self.shards: List[ValidationService] = list(shards)
+        self.store = store
+        if store is not None:
+            if store.num_shards != len(self.shards):
+                raise ValueError(
+                    f"store partitions {store.num_shards} ways but "
+                    f"{len(self.shards)} shard services were given"
+                )
+            # One ring routes both reads and writes; a divergent ring would
+            # judge facts on one shard and invalidate another.
+            if ring is not None and ring != store.ring:
+                raise ValueError("ring must match the attached store's ring")
+            ring = store.ring
+        self.ring = ring or HashRing(len(self.shards))
+        if self.ring.num_shards != len(self.shards):
+            raise ValueError(
+                f"ring routes over {self.ring.num_shards} shards but "
+                f"{len(self.shards)} shard services were given"
+            )
+        self.request_timeout_s = request_timeout_s
+        self.metrics = RouterMetrics(self.shards)
+        self._closed = False
+        # Serialises cross-shard ingests so the pre-validation below stays
+        # true until the fan-out applies; (re)created in start() so a
+        # router reused across event loops never holds a dead-loop lock.
+        self._ingest_lock = asyncio.Lock()
+
+    @classmethod
+    def from_runner(
+        cls,
+        runner,
+        num_shards: int,
+        config: Optional[ServiceConfig] = None,
+        telemetry: Optional[TelemetryCollector] = None,
+        store: Optional[ShardedStore] = None,
+        request_timeout_s: Optional[float] = None,
+    ) -> "ShardedValidationService":
+        """N shard services over one ``BenchmarkRunner``'s substrates.
+
+        Each shard gets its own :class:`ValidationService` (own queues,
+        workers, verdict cache, admission budget) built from the runner's
+        strategy provider, plus its slice of ``store`` when a
+        :class:`~repro.store.ShardedStore` (e.g.
+        ``runner.sharded_store(dataset, num_shards)``) is attached.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if store is not None and store.num_shards != num_shards:
+            raise ValueError(
+                f"store partitions {store.num_shards} ways; asked for {num_shards}"
+            )
+        shards = [
+            ValidationService.from_runner(
+                runner,
+                config,
+                telemetry,
+                store=store.shards[index] if store is not None else None,
+            )
+            for index in range(num_shards)
+        ]
+        return cls(shards, store=store, request_timeout_s=request_timeout_s)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._closed = False
+        self._ingest_lock = asyncio.Lock()
+        for shard in self.shards:
+            await shard.start()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop every shard; ``drain=True`` answers all admitted requests first.
+
+        Shards stop concurrently, so the drain wall time is the slowest
+        shard's, not the sum.
+        """
+        self._closed = True
+        await asyncio.gather(*(shard.stop(drain=drain) for shard in self.shards))
+
+    async def __aenter__(self) -> "ShardedValidationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ---------------------------------------------------------------- properties
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def pending(self) -> int:
+        """Admitted-not-answered requests across the fleet."""
+        return sum(shard.pending for shard in self.shards)
+
+    @property
+    def epoch_vector(self) -> Tuple[int, ...]:
+        return tuple(shard.epoch for shard in self.shards)
+
+    @property
+    def epoch(self) -> int:
+        """Composite scalar epoch (sum of the per-shard epochs)."""
+        return sum(self.epoch_vector)
+
+    def shard_for(self, request: ServiceRequest) -> int:
+        """The index of the shard owning one request's subject entity."""
+        return self.ring.shard_for(request.fact.triple.subject)
+
+    # ---------------------------------------------------------------- serving
+
+    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Route one request to its owning shard; faults surface as ``FAILED``.
+
+        Load shedding still surfaces as ``REJECTED`` (that is the owning
+        shard's admission control speaking); a shard that raises — or
+        stalls past ``request_timeout_s`` — produces a ``FAILED`` response
+        with the error detail instead of an exception or a hang.
+        """
+        if self._closed:
+            raise RuntimeError("service is stopped")
+        index = self.shard_for(request)
+        shard = self.shards[index]
+        started = time.perf_counter()
+        try:
+            if self.request_timeout_s is not None:
+                response = await asyncio.wait_for(
+                    shard.submit(request), timeout=self.request_timeout_s
+                )
+            else:
+                response = await shard.submit(request)
+        except asyncio.TimeoutError:
+            self.metrics.observe_failure(timeout=True)
+            return self._failed_response(
+                started,
+                index,
+                f"shard {index} stalled past {self.request_timeout_s:.3f}s",
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # The shard's own metrics already counted admitted-but-failed
+            # batches; the router only converts the exception into an
+            # explicit outcome so scatter-gather callers never lose a slot.
+            self.metrics.observe_failure()
+            return self._failed_response(
+                started, index, f"shard {index} failed: {exc!r}"
+            )
+        return self._stamp(response, index)
+
+    async def submit_many(
+        self, requests: Sequence[ServiceRequest]
+    ) -> List[ServiceResponse]:
+        """Scatter a multi-fact batch across shards, gather in submission order.
+
+        The fan-out is concurrent per shard; the merge is deterministic —
+        ``responses[i]`` answers ``requests[i]`` regardless of shard
+        completion order, so gathered verdicts are byte-identical to the
+        unsharded service's for the same coordinates.  A failing request
+        occupies its slot with a ``FAILED`` response; it never silently
+        drops or fails its neighbours.
+        """
+        responses: List[Optional[ServiceResponse]] = [None] * len(requests)
+
+        async def issue(position: int, request: ServiceRequest) -> None:
+            responses[position] = await self.submit(request)
+
+        await asyncio.gather(
+            *(issue(position, request) for position, request in enumerate(requests))
+        )
+        return [response for response in responses if response is not None]
+
+    # ---------------------------------------------------------------- ingestion
+
+    async def apply_mutations(self, mutations: Sequence[Mutation]) -> ShardApplyReport:
+        """Route a mutation batch to its owning shards and apply concurrently.
+
+        Each owning shard quiesces *itself* (drains its in-flight reads,
+        applies, bumps its epoch) while the rest of the fleet keeps
+        serving — the per-shard invalidation contract: only the mutated
+        shard's cached verdicts go stale.
+
+        The all-or-nothing contract of :meth:`ShardedStore.apply` extends
+        to this path: every sub-batch is validated against its shard
+        *before* any shard applies (cross-shard ingests serialise on a
+        router lock so the validation stays true through the fan-out), so
+        a rejected batch raises without mutating or epoch-bumping any
+        shard.  In-flight reads cannot invalidate the pre-validation —
+        only ingests mutate, and they all pass through this lock.
+        """
+        if self._closed:
+            raise RuntimeError("service is stopped")
+        if self.store is None:
+            raise RuntimeError("no ShardedStore attached to this service")
+        batch = list(mutations)
+        if not batch:
+            raise ValueError("mutation batch must not be empty")
+        groups = self.store.route(batch)
+        indexes = sorted(groups)
+        async with self._ingest_lock:
+            for index in indexes:
+                self.store.shards[index]._validate(groups[index])
+            reports = await asyncio.gather(
+                *(self.shards[index].apply_mutations(groups[index]) for index in indexes)
+            )
+        return ShardApplyReport(tuple(zip(indexes, reports)), self.epoch_vector)
+
+    # ---------------------------------------------------------------- internals
+
+    def _stamp(self, response: ServiceResponse, index: int) -> ServiceResponse:
+        """Attach the composite epoch vector; the owning shard's component is
+        the per-shard epoch the response was actually served at."""
+        vector = list(self.epoch_vector)
+        vector[index] = response.epoch
+        return dataclasses.replace(
+            response, epoch=sum(vector), epoch_vector=tuple(vector)
+        )
+
+    def _failed_response(
+        self, started: float, index: int, error: str
+    ) -> ServiceResponse:
+        return ServiceResponse(
+            outcome=RequestOutcome.FAILED,
+            result=None,
+            cached=False,
+            latency_seconds=time.perf_counter() - started,
+            epoch=self.epoch,
+            epoch_vector=self.epoch_vector,
+            error=error,
+        )

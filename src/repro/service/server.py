@@ -67,6 +67,7 @@ class RequestOutcome(str, Enum):
     COMPLETED = "completed"
     REJECTED = "rejected"  # shed by admission control
     INGESTED = "ingested"  # a write: a mutation batch applied to the store
+    FAILED = "failed"  # a shard raised or stalled; explicit, never a hang
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,12 @@ class ServiceResponse:
     latency lives on ``result.latency_seconds`` as in the offline pipeline.
     ``epoch`` is the knowledge-store version the answer was computed
     against (0 when no store is attached); for ingest responses it is the
-    *new* epoch the batch created.
+    *new* epoch the batch created.  Behind a
+    :class:`~repro.service.router.ShardedValidationService` the router
+    stamps ``epoch_vector`` with the per-shard epochs (the owning shard's
+    component is the epoch this answer was admitted at) and rewrites
+    ``epoch`` to their composite sum; ``error`` carries the failure detail
+    of a ``FAILED`` outcome.
     """
 
     outcome: RequestOutcome
@@ -100,6 +106,8 @@ class ServiceResponse:
     latency_seconds: float
     batch_size: int = 0
     epoch: int = 0
+    epoch_vector: Tuple[int, ...] = ()
+    error: Optional[str] = None
 
     @property
     def rejected(self) -> bool:
@@ -108,6 +116,10 @@ class ServiceResponse:
     @property
     def ingested(self) -> bool:
         return self.outcome is RequestOutcome.INGESTED
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is RequestOutcome.FAILED
 
 
 _QueueItem = Tuple[ServiceRequest, "asyncio.Future[Tuple[ValidationResult, int]]"]

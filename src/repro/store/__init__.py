@@ -13,7 +13,12 @@ this package makes them *mutable with history*:
   maintenance** (posting arrays/IDF/length norms patched in place, the
   embedder warm cache extended, the interned graph mutated in place, with
   dirty-fraction rebuild fallbacks) verified byte-identical to a
-  from-scratch rebuild.
+  from-scratch rebuild;
+* :mod:`repro.store.sharding` — :class:`ShardedStore`: the corpus and
+  graph partitioned across N store shards by a consistent-hash
+  :class:`HashRing` on the subject entity, each shard with its own
+  monotonic epoch and mutation log (the scale-out substrate behind
+  :class:`~repro.service.router.ShardedValidationService`).
 
 Quickstart::
 
@@ -34,17 +39,22 @@ from .log import (
     MutationLog,
     read_mutations_jsonl,
 )
+from .sharding import HashRing, ShardApplyReport, ShardedStore, mutation_shard_key
 from .store import ApplyReport, StoreConfig, StoreSnapshot, VersionedKnowledgeStore
 
 __all__ = [
     "ADD_DOCUMENT",
     "ADD_TRIPLE",
     "ApplyReport",
+    "HashRing",
     "Mutation",
     "MutationLog",
     "REMOVE_TRIPLE",
+    "ShardApplyReport",
+    "ShardedStore",
     "StoreConfig",
     "StoreSnapshot",
     "VersionedKnowledgeStore",
+    "mutation_shard_key",
     "read_mutations_jsonl",
 ]

@@ -1,0 +1,320 @@
+"""Horizontal partitioning of the versioned knowledge store.
+
+The single-process :class:`~repro.store.store.VersionedKnowledgeStore` caps
+out at one mutation stream and one set of warm substrates; this module is
+the scale-out axis the ROADMAP names next: the corpus and knowledge graph
+are partitioned across N independent store shards by **consistent hashing
+on the subject entity**, so
+
+* every fact (and every mutation touching it) has exactly one *owning*
+  shard, computable by any router from the key alone;
+* each shard keeps its **own monotonic epoch** and its own mutation log —
+  an ingest routed to one shard advances only that shard's version, which
+  is what keeps verdict-cache invalidation per-shard rather than global;
+* growing the fleet from N to N+1 shards remaps only ~1/(N+1) of the key
+  space (the consistent-hashing property), not everything.
+
+Routing keys: triples route by their subject; documents route by the fact
+they evidence (``fact_id``) when known, falling back to ``doc_id`` for
+free-floating documents.  The same key function is used for reads and
+writes, so a fact's verdicts and the mutations that would invalidate them
+always land on the same shard.
+
+Cross-shard batches are validated per shard *before* any shard applies, so
+a rejected sub-batch (e.g. removing an absent triple) leaves every shard
+untouched; per-shard application itself is atomic as in the unsharded
+store.  There is deliberately no cross-shard transaction beyond that — the
+multi-branch-synchronisation literature (PAPERS.md) and this repo's own
+benchmarks treat partition-local epochs as the consistency unit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..kg.triples import Triple
+from ..retrieval.corpus import Document
+from ..retrieval.embeddings import HashingEmbedder
+from .log import ADD_DOCUMENT, Mutation
+from .store import ApplyReport, StoreConfig, VersionedKnowledgeStore
+
+__all__ = [
+    "HashRing",
+    "ShardApplyReport",
+    "ShardedStore",
+    "mutation_shard_key",
+]
+
+
+def _point(key: str) -> int:
+    """Process-stable 64-bit hash (builtin ``hash`` varies with PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to shard indexes.
+
+    Each shard owns ``replicas`` virtual points on a 64-bit ring; a key is
+    owned by the first point at or after its own hash (wrapping).  The
+    assignment is a pure function of ``(key, num_shards, replicas)`` —
+    stable across processes and runs — and adding a shard moves only the
+    keys that fall between the new shard's points and their predecessors.
+    """
+
+    def __init__(self, num_shards: int, replicas: int = 64) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(replicas):
+                points.append((_point(f"shard-{shard}:{replica}"), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        if self.num_shards == 1:
+            return 0
+        index = bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HashRing)
+            and other.num_shards == self.num_shards
+            and other.replicas == self.replicas
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashRing(num_shards={self.num_shards}, replicas={self.replicas})"
+
+
+def mutation_shard_key(mutation: Mutation) -> str:
+    """The routing key of one mutation: triple subject, or the document's fact.
+
+    Documents evidence a fact: keying them by ``fact_id`` co-locates a
+    fact's evidence with the fact's own mutations so a targeted ingest
+    invalidates exactly the owning shard.  Documents without a fact id
+    route by ``doc_id`` (still deterministic, just not fact-aligned).
+    """
+    if mutation.op == ADD_DOCUMENT:
+        document = mutation.document
+        return document.fact_id or document.doc_id
+    return mutation.triple.subject
+
+
+@dataclass(frozen=True)
+class ShardApplyReport:
+    """What one cross-shard mutation batch did, per owning shard.
+
+    Duck-type compatible with :class:`~repro.store.store.ApplyReport`
+    where the serving layer needs it: ``total_ops`` sums the per-shard
+    work and ``epoch`` is the *composite* epoch (the sum of the post-batch
+    epoch vector — monotonic under any single- or multi-shard ingest).
+    """
+
+    shard_reports: Tuple[Tuple[int, ApplyReport], ...]
+    epoch_vector: Tuple[int, ...]
+
+    @property
+    def epoch(self) -> int:
+        return sum(self.epoch_vector)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(report.total_ops for _, report in self.shard_reports)
+
+    @property
+    def shards_touched(self) -> Tuple[int, ...]:
+        return tuple(index for index, _ in self.shard_reports)
+
+
+class ShardedStore:
+    """N :class:`VersionedKnowledgeStore` shards behind one routing ring."""
+
+    def __init__(
+        self, shards: Sequence[VersionedKnowledgeStore], ring: Optional[HashRing] = None
+    ) -> None:
+        if not shards:
+            raise ValueError("a ShardedStore needs at least one shard")
+        self.shards: List[VersionedKnowledgeStore] = list(shards)
+        self.ring = ring or HashRing(len(self.shards))
+        if self.ring.num_shards != len(self.shards):
+            raise ValueError(
+                f"ring routes over {self.ring.num_shards} shards but "
+                f"{len(self.shards)} were given"
+            )
+
+    # ------------------------------------------------------------- construction
+
+    @classmethod
+    def partition(
+        cls,
+        triples: Iterable[Triple] = (),
+        documents: Iterable[Document] = (),
+        num_shards: int = 4,
+        config: Optional[StoreConfig] = None,
+        embedder: Optional[HashingEmbedder] = None,
+        name: str = "store",
+        replicas: int = 64,
+    ) -> "ShardedStore":
+        """Partition a corpus + graph across ``num_shards`` fresh shards.
+
+        Each shard is bootstrapped with its slice as a genesis batch, so
+        every shard independently satisfies ``shard == replay(shard.log)``.
+        """
+        ring = HashRing(num_shards, replicas)
+        shard_triples: List[List[Triple]] = [[] for _ in range(num_shards)]
+        shard_documents: List[List[Document]] = [[] for _ in range(num_shards)]
+        for triple in triples:
+            shard_triples[ring.shard_for(triple.subject)].append(triple)
+        for document in documents:
+            shard_documents[ring.shard_for(document.fact_id or document.doc_id)].append(
+                document
+            )
+        shards = [
+            VersionedKnowledgeStore.bootstrap(
+                triples=shard_triples[index],
+                documents=shard_documents[index],
+                config=config,
+                embedder=embedder,
+                name=f"{name}-shard{index}",
+            )
+            for index in range(num_shards)
+        ]
+        return cls(shards, ring)
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def epoch_vector(self) -> Tuple[int, ...]:
+        """Per-shard monotonic epochs, in shard order."""
+        return tuple(shard.epoch for shard in self.shards)
+
+    @property
+    def epoch(self) -> int:
+        """Composite scalar epoch: the sum of the per-shard epochs.
+
+        Any applied batch strictly increases it (each owning shard bumps by
+        one), so consumers that tracked the unsharded scalar epoch — the
+        verdict-table slicing in :class:`~repro.service.loadgen.LoadReport`,
+        for instance — keep working unchanged.
+        """
+        return sum(shard.epoch for shard in self.shards)
+
+    @property
+    def total_triples(self) -> int:
+        return sum(len(shard.graph) for shard in self.shards)
+
+    @property
+    def total_documents(self) -> int:
+        return sum(len(shard.corpus) for shard in self.shards)
+
+    def shard_for(self, key: str) -> int:
+        return self.ring.shard_for(key)
+
+    def shard_of(self, mutation: Mutation) -> int:
+        return self.ring.shard_for(mutation_shard_key(mutation))
+
+    # ------------------------------------------------------------- mutation
+
+    def route(self, mutations: Sequence[Mutation]) -> Dict[int, List[Mutation]]:
+        """Group a batch by owning shard, preserving in-shard order."""
+        groups: Dict[int, List[Mutation]] = {}
+        for mutation in mutations:
+            groups.setdefault(self.shard_of(mutation), []).append(mutation)
+        return groups
+
+    def apply(self, mutations: Sequence[Mutation]) -> ShardApplyReport:
+        """Apply one batch across the owning shards.
+
+        All sub-batches are validated against their shards first; only when
+        every shard accepts does any shard apply, so a rejected batch
+        leaves the whole fleet untouched (the unsharded all-or-nothing
+        contract, extended across the partition).
+        """
+        batch = list(mutations)
+        if not batch:
+            raise ValueError("mutation batch must not be empty")
+        groups = self.route(batch)
+        for index in sorted(groups):
+            self.shards[index]._validate(groups[index])
+        reports: List[Tuple[int, ApplyReport]] = []
+        for index in sorted(groups):
+            reports.append((index, self.shards[index].apply(groups[index])))
+        return ShardApplyReport(tuple(reports), self.epoch_vector)
+
+    # ------------------------------------------------------------- verification
+
+    def state_digests(self, include_index: bool = True) -> List[str]:
+        return [shard.state_digest(include_index=include_index) for shard in self.shards]
+
+    def state_digest(self, include_index: bool = True) -> str:
+        """One digest over the whole fleet (order-sensitive over shards)."""
+        digest = hashlib.sha256()
+        for shard_digest in self.state_digests(include_index=include_index):
+            digest.update(shard_digest.encode("ascii"))
+        return digest.hexdigest()
+
+    def replay_twin(self) -> "ShardedStore":
+        """Rebuild every shard from its own mutation log (byte-identical)."""
+        twins = [
+            VersionedKnowledgeStore.replay(
+                shard.log, config=shard.config, embedder=shard.embedder, name=shard.name
+            )
+            for shard in self.shards
+        ]
+        return ShardedStore(twins, HashRing(self.ring.num_shards, self.ring.replicas))
+
+    # ------------------------------------------------------------- persistence
+
+    def shard_path(self, prefix: str, index: int) -> str:
+        return f"{prefix}.shard{index}"
+
+    def save(self, prefix: str) -> List[str]:
+        """Persist each shard's log to ``{prefix}.shard{i}``; returns the paths."""
+        paths = []
+        for index, shard in enumerate(self.shards):
+            path = self.shard_path(prefix, index)
+            shard.save(path)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(
+        cls,
+        prefix: str,
+        num_shards: int,
+        embedder: Optional[HashingEmbedder] = None,
+        name: str = "store",
+        replicas: int = 64,
+    ) -> "ShardedStore":
+        """Rebuild a fleet from ``{prefix}.shard{i}`` logs (all must exist)."""
+        shards = [
+            VersionedKnowledgeStore.load(
+                f"{prefix}.shard{index}", embedder=embedder, name=f"{name}-shard{index}"
+            )
+            for index in range(num_shards)
+        ]
+        return cls(shards, HashRing(num_shards, replicas))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStore(shards={self.num_shards}, epochs={list(self.epoch_vector)}, "
+            f"triples={self.total_triples}, documents={self.total_documents})"
+        )

@@ -531,6 +531,104 @@ class TestTCPFrontend:
         assert frontend.allowed_methods == frozenset()
         assert frontend.allowed_models is None
 
+    def test_mid_request_disconnect_does_not_kill_the_accept_loop(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+
+        async def go():
+            service = ValidationService.from_runner(service_runner, ServiceConfig())
+            async with service:
+                async with TCPValidationFrontend(service, {"factbench": dataset}) as frontend:
+                    # Client 1 vanishes mid-request: a partial line with no
+                    # newline, then an abortive close (RST via SO_LINGER 0
+                    # where supported; plain close otherwise).
+                    reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+                    writer.write(b'{"dataset": "factbench", "fact_id": ')
+                    await writer.drain()
+                    sock = writer.get_extra_info("socket")
+                    if sock is not None:
+                        import socket as socket_module
+                        import struct
+
+                        sock.setsockopt(
+                            socket_module.SOL_SOCKET,
+                            socket_module.SO_LINGER,
+                            struct.pack("ii", 1, 0),
+                        )
+                    writer.close()
+
+                    # Client 2 disconnects right after a full request, before
+                    # reading the reply (the server's write/drain may fail).
+                    reader2, writer2 = await asyncio.open_connection(
+                        "127.0.0.1", frontend.port
+                    )
+                    writer2.write(
+                        json.dumps(
+                            {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                             "method": "dka", "model": "gemma2:9b"}
+                        ).encode() + b"\n"
+                    )
+                    await writer2.drain()
+                    writer2.close()
+
+                    await asyncio.sleep(0.05)  # let both handlers run their course
+
+                    # The accept loop survived both: a fresh connection is
+                    # served normally.
+                    reader3, writer3 = await asyncio.open_connection(
+                        "127.0.0.1", frontend.port
+                    )
+                    writer3.write(
+                        json.dumps(
+                            {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                             "method": "dka", "model": "gemma2:9b"}
+                        ).encode() + b"\n"
+                    )
+                    await writer3.drain()
+                    reply = json.loads(await reader3.readline())
+                    writer3.close()
+                    await writer3.wait_closed()
+                    return reply
+
+        reply = asyncio.run(go())
+        assert reply["outcome"] == "completed"
+
+    def test_truncated_json_line_gets_structured_error_reply(self, service_runner):
+        dataset = service_runner.dataset("factbench")
+
+        async def go():
+            service = ValidationService.from_runner(service_runner, ServiceConfig())
+            async with service:
+                async with TCPValidationFrontend(service, {"factbench": dataset}) as frontend:
+                    reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+                    # A line that ends mid-object: terminated, but truncated.
+                    writer.write(b'{"dataset": "factbench", "fact_id"\n')
+                    await writer.drain()
+                    truncated = json.loads(await reader.readline())
+                    # The connection stays usable for well-formed follow-ups.
+                    writer.write(
+                        json.dumps(
+                            {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                             "method": "dka", "model": "gemma2:9b"}
+                        ).encode() + b"\n"
+                    )
+                    await writer.drain()
+                    follow_up = json.loads(await reader.readline())
+                    # EOF mid-line (no trailing newline at close): the server
+                    # answers with a structured error, never dies silently.
+                    writer.write(b'{"dataset": "fact')
+                    await writer.drain()
+                    writer.write_eof()
+                    trailing = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    assert frontend.requests_handled == 3
+                    return truncated, follow_up, trailing
+
+        truncated, follow_up, trailing = asyncio.run(go())
+        assert truncated["outcome"] == "error" and "malformed JSON" in truncated["error"]
+        assert follow_up["outcome"] == "completed"
+        assert trailing["outcome"] == "error" and "malformed JSON" in trailing["error"]
+
     def test_oversized_line_gets_error_reply_not_a_dead_handler(self, service_runner):
         dataset = service_runner.dataset("factbench")
 

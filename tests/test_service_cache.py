@@ -110,6 +110,126 @@ class TestVerdictCacheKeying:
         assert (len(cache), stats.hits, stats.misses) == (0, 0, 0)
 
 
+class TestVerdictCacheConcurrencyStress:
+    """Hammer gets/puts/epoch-bumps from threads: no lost updates, no
+    stale-epoch hits, stats that add up."""
+
+    def test_epoch_bumps_under_concurrency_never_serve_stale_hits(self):
+        # Capacity comfortably above the live key count so a vanished entry
+        # could only mean a lost update, not LRU pressure.
+        cache = VerdictCache(capacity=4096, shards=8)
+        facts = [_fact(fact_id=f"fb-{index:03d}") for index in range(40)]
+        epoch_box = [0]  # current epoch, bumped mid-run by the ingest thread
+        gets_issued = []
+        errors = []
+
+        def tagged(fact: LabeledFact, epoch: int) -> ValidationResult:
+            # The epoch rides in raw_response so a reader can prove the
+            # value it got back was written at the epoch it asked for.
+            result = _result(fact, "dka", "gemma2:9b")
+            return ValidationResult(
+                **{**result.__dict__, "raw_response": f"epoch={epoch}"}
+            )
+
+        def hammer(worker: int) -> None:
+            rng_state = worker * 7919
+            count = 0
+            try:
+                for step in range(1500):
+                    fact = facts[(rng_state + step) % len(facts)]
+                    epoch = epoch_box[0]
+                    cache.put(fact, "dka", "gemma2:9b", tagged(fact, epoch), epoch=epoch)
+                    hit = cache.get(fact, "dka", "gemma2:9b", epoch=epoch)
+                    count += 1
+                    # The key carries the epoch: a lookup at epoch e can only
+                    # ever see a value written at epoch e.
+                    if hit is not None:
+                        assert hit.raw_response == f"epoch={epoch}", (
+                            f"stale-epoch hit: asked {epoch}, got {hit.raw_response}"
+                        )
+                    # A lookup at the *current* epoch (possibly just bumped by
+                    # the ingest thread) must likewise never surface an older
+                    # generation's value.
+                    fresh = epoch_box[0]
+                    other = facts[(rng_state + step * 3) % len(facts)]
+                    stale_check = cache.get(other, "dka", "gemma2:9b", epoch=fresh)
+                    count += 1
+                    if stale_check is not None:
+                        assert stale_check.raw_response == f"epoch={fresh}", (
+                            f"stale-epoch hit: asked {fresh}, "
+                            f"got {stale_check.raw_response}"
+                        )
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+            finally:
+                gets_issued.append(count)
+
+        def bumper() -> None:
+            for _ in range(5):
+                time.sleep(0.01)
+                epoch_box[0] += 1
+
+        threads = [threading.Thread(target=hammer, args=(worker,)) for worker in range(8)]
+        threads.append(threading.Thread(target=bumper))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        # Stats consistency: every recorded lookup is exactly one hit or one
+        # miss — concurrency must not lose or double-count observations.
+        stats = cache.stats()
+        assert stats.hits + stats.misses == sum(gets_issued)
+        assert stats.hits > 0
+        # A deterministic generation that nobody wrote: all misses, and the
+        # counters keep adding up exactly.
+        unwritten = epoch_box[0] + 1000
+        for fact in facts:
+            assert cache.get(fact, "dka", "gemma2:9b", epoch=unwritten) is None
+        stats = cache.stats()
+        assert stats.misses >= len(facts)
+        assert stats.hits + stats.misses == sum(gets_issued) + len(facts)
+
+        # No lost updates: quiesced, a final write at the final epoch is
+        # visible for every key, and pre-bump epochs still resolve their own
+        # (never another epoch's) values.
+        final_epoch = epoch_box[0]
+        for fact in facts:
+            cache.put(
+                fact, "dka", "gemma2:9b", tagged(fact, final_epoch), epoch=final_epoch
+            )
+        for fact in facts:
+            hit = cache.get(fact, "dka", "gemma2:9b", epoch=final_epoch)
+            assert hit is not None and hit.raw_response == f"epoch={final_epoch}"
+
+    def test_concurrent_puts_across_epochs_keep_entries_addressable(self):
+        cache = VerdictCache(capacity=2048, shards=4)
+        facts = [_fact(fact_id=f"fb-{index:03d}") for index in range(20)]
+        epochs = range(4)
+        errors = []
+
+        def writer(epoch: int) -> None:
+            try:
+                for _ in range(300):
+                    for fact in facts:
+                        cache.put(fact, "dka", "gemma2:9b", _result(fact, "dka", "gemma2:9b"), epoch=epoch)
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(epoch,)) for epoch in epochs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Epoch-distinct keys never collide: all four generations coexist.
+        assert len(cache) == len(facts) * len(epochs)
+        for epoch in epochs:
+            for fact in facts:
+                assert cache.get(fact, "dka", "gemma2:9b", record=False, epoch=epoch) is not None
+
+
 class TestLRUCacheThreadSafety:
     def test_concurrent_mixed_workload_keeps_invariants(self):
         cache = LRUCache(capacity=64)

@@ -1,0 +1,254 @@
+"""Fault injection for the sharded router: failures surface, nothing hangs.
+
+The router's contract under faults:
+
+* a shard whose strategy *raises* mid-batch answers with an explicit
+  ``FAILED`` outcome (error detail attached) — the co-scattered requests
+  on healthy shards are unaffected;
+* a shard that *stalls* mid-batch is abandoned after ``request_timeout_s``
+  with a ``FAILED`` outcome instead of blocking the caller forever;
+* every scatter-gather slot is filled: no silent drops, no hangs;
+* ``stop(drain=True)`` answers every admitted request on every shard
+  before the workers die.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+    ShardedValidationService,
+    ValidationService,
+)
+from repro.validation.base import ValidationResult, ValidationStrategy, Verdict
+
+
+@pytest.fixture(scope="module")
+def fault_runner():
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.03,
+            max_facts_per_dataset=16,
+            world_scale=0.15,
+            methods=("dka",),
+            datasets=("factbench",),
+            models=("gemma2:9b",),
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+class _StallingStrategy(ValidationStrategy):
+    """Returns verdicts whose simulated latency stalls the shard worker."""
+
+    name = "stall"
+
+    def __init__(self, simulated_seconds: float) -> None:
+        self.simulated_seconds = simulated_seconds
+
+    def validate(self, fact) -> ValidationResult:
+        return ValidationResult(
+            fact_id=fact.fact_id,
+            verdict=Verdict.TRUE,
+            gold_label=fact.label,
+            model="stall-model",
+            method=self.name,
+            latency_seconds=self.simulated_seconds,
+            prompt_tokens=1,
+            completion_tokens=1,
+            raw_response="stalling",
+        )
+
+
+def _poisoned_router(runner, num_shards, poison_shards, config, *, stall=None,
+                     request_timeout_s=None):
+    """A router whose listed shard indexes raise (or stall) instead of judging."""
+
+    def healthy(method, dataset, model):
+        return runner.build_strategy(method, dataset, runner.registry.get(model))
+
+    shards = []
+    for index in range(num_shards):
+        if index in poison_shards:
+            if stall is not None:
+                provider = lambda method, dataset, model: _StallingStrategy(stall)
+            else:
+                def provider(method, dataset, model):
+                    raise ConnectionError("shard backend unreachable")
+        else:
+            provider = healthy
+        shards.append(ValidationService(provider, config))
+    return ShardedValidationService(
+        shards, request_timeout_s=request_timeout_s
+    )
+
+
+class TestShardFailuresSurface:
+    def test_raising_shard_yields_failed_never_an_exception_or_drop(self, fault_runner):
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        config = ServiceConfig(enable_cache=False, max_batch_size=4)
+        router = _poisoned_router(fault_runner, 3, {1}, config)
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        # Every slot filled, outcomes explicit, nothing raised to the caller.
+        assert len(responses) == len(requests)
+        for request, response in zip(requests, responses):
+            owner = router.shard_for(request)
+            if owner == 1:
+                assert response.outcome is RequestOutcome.FAILED
+                assert response.result is None
+                assert "shard 1 failed" in response.error
+                assert "ConnectionError" in response.error
+            else:
+                assert response.outcome is RequestOutcome.COMPLETED
+                assert response.result.fact_id == request.fact.fact_id
+        failed = [r for r in responses if r.failed]
+        assert failed, "the poisoned shard owned no request (routing broke?)"
+        # Accounting is exact, not doubled: each raised request was already
+        # counted by its shard's own errors counter, so the fleet snapshot
+        # reports it exactly once (router timeouts would add on top).
+        assert router.metrics.failures == len(failed)
+        assert router.metrics.timeout_failures == 0
+        snapshot = router.metrics.snapshot()
+        assert snapshot.errors == len(failed)
+        assert snapshot.completed == len(responses) - len(failed)
+        assert snapshot.completed + snapshot.rejected + snapshot.errors == len(requests)
+
+    def test_healthy_shard_verdicts_unaffected_by_sick_neighbour(self, fault_runner):
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        config = ServiceConfig(enable_cache=False, max_batch_size=4)
+
+        async def run_router(router):
+            async with router:
+                return await router.submit_many(requests)
+
+        sick = asyncio.run(run_router(_poisoned_router(fault_runner, 3, {1}, config)))
+        healthy = asyncio.run(
+            run_router(
+                ShardedValidationService.from_runner(fault_runner, 3, config)
+            )
+        )
+        for sick_response, healthy_response in zip(sick, healthy):
+            if sick_response.outcome is RequestOutcome.COMPLETED:
+                assert sick_response.result == healthy_response.result
+
+    def test_stalled_shard_times_out_with_failed_not_a_hang(self, fault_runner):
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        # The poisoned shard's simulated latency is 1000 s scaled at 0.01 —
+        # a 10-second real stall; the router abandons it after 0.2 s.
+        config = ServiceConfig(enable_cache=False, max_batch_size=4, time_scale=0.01)
+        router = _poisoned_router(
+            fault_runner, 3, {0}, config, stall=1000.0, request_timeout_s=0.2
+        )
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(asyncio.wait_for(go(), timeout=5.0))
+        assert len(responses) == len(requests)
+        stalled = [r for r in responses if r.failed]
+        assert stalled, "the stalled shard owned no request (routing broke?)"
+        # Timeouts are invisible to the shard's own counters, so the router
+        # folds exactly these into the fleet errors.
+        assert router.metrics.timeout_failures == len(stalled)
+        assert router.metrics.snapshot().errors == len(stalled)
+        for response in stalled:
+            assert "stalled past" in response.error
+            assert response.latency_seconds < 1.0
+        # Healthy shards answered normally despite the sick neighbour.
+        assert any(r.outcome is RequestOutcome.COMPLETED for r in responses)
+
+    def test_rejected_passes_through_as_shed_not_failed(self, fault_runner):
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        config = ServiceConfig(
+            enable_cache=False, max_batch_size=1, queue_depth=1, time_scale=0.01
+        )
+        router = ShardedValidationService.from_runner(fault_runner, 2, config)
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        outcomes = {response.outcome for response in responses}
+        assert RequestOutcome.REJECTED in outcomes  # per-shard admission control
+        assert RequestOutcome.FAILED not in outcomes  # shedding is not a fault
+        assert all(
+            response.outcome in (RequestOutcome.COMPLETED, RequestOutcome.REJECTED)
+            for response in responses
+        )
+
+
+class TestDrainAcrossShards:
+    def test_stop_drain_true_answers_every_admitted_request_on_every_shard(
+        self, fault_runner
+    ):
+        dataset = fault_runner.dataset("factbench")
+        router = ShardedValidationService.from_runner(
+            fault_runner,
+            3,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05),
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+
+        async def go():
+            await router.start()
+            tasks = [
+                asyncio.create_task(router.submit(request)) for request in requests
+            ]
+            await asyncio.sleep(0.01)  # batches mid-sleep on several shards
+            assert router.pending > 0
+            await asyncio.wait_for(router.stop(drain=True), timeout=10.0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(outcome, ServiceResponse) for outcome in outcomes)
+            assert all(
+                outcome.outcome is RequestOutcome.COMPLETED for outcome in outcomes
+            )
+            # Every shard that owned work reports it completed.
+            per_shard = [snapshot.completed for snapshot in router.metrics.per_shard()]
+            assert sum(per_shard) == len(requests)
+            assert router.pending == 0
+
+        asyncio.run(go())
+
+    def test_hard_stop_cancels_instead_of_hanging(self, fault_runner):
+        dataset = fault_runner.dataset("factbench")
+        router = ShardedValidationService.from_runner(
+            fault_runner,
+            2,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05),
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset][:6]
+
+        async def go():
+            await router.start()
+            tasks = [
+                asyncio.create_task(router.submit(request)) for request in requests
+            ]
+            await asyncio.sleep(0.01)
+            await asyncio.wait_for(router.stop(drain=False), timeout=2.0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            # The hard stop is explicit about abandonment: every in-flight
+            # request fails with CancelledError, none blocks forever.
+            assert all(
+                isinstance(outcome, asyncio.CancelledError) for outcome in outcomes
+            )
+
+        asyncio.run(go())

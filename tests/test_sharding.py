@@ -1,0 +1,418 @@
+"""Sharded store + scatter-gather router: routing, epochs, merge determinism."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.kg import Triple
+from repro.retrieval.corpus import Document
+from repro.service import (
+    LoadGenerator,
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ShardedValidationService,
+    TCPValidationFrontend,
+    ValidationService,
+    build_mixed_workload,
+)
+from repro.store import (
+    HashRing,
+    Mutation,
+    ShardedStore,
+    VersionedKnowledgeStore,
+    mutation_shard_key,
+)
+
+
+@pytest.fixture(scope="module")
+def shard_runner():
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.03,
+            max_facts_per_dataset=16,
+            world_scale=0.15,
+            methods=("dka", "giv-z"),
+            datasets=("factbench",),
+            models=("gemma2:9b",),
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+def _triples(count: int):
+    return [
+        Triple(f"entity{i % 40}", f"pred{i % 6}", f"entity{(i + 7) % 40}")
+        for i in range(count)
+    ]
+
+
+def _documents(count: int, prefix: str = "doc"):
+    return [
+        Document(
+            doc_id=f"{prefix}{i}",
+            url=f"https://corpus.example/{prefix}{i}",
+            title=f"entity{i % 40} notes",
+            text=f"entity{i % 40} relates to entity{(i + 7) % 40} via pred{i % 6}.",
+            source="corpus.example",
+            fact_id=f"fact-{i % 25}" if i % 3 else "",
+        )
+        for i in range(count)
+    ]
+
+
+class TestHashRing:
+    def test_deterministic_and_in_range(self):
+        ring = HashRing(5)
+        keys = [f"entity{i}" for i in range(500)]
+        first = [ring.shard_for(key) for key in keys]
+        second = [HashRing(5).shard_for(key) for key in keys]
+        assert first == second
+        assert set(first) <= set(range(5))
+        # Every shard owns a non-trivial slice of a 500-key space.
+        for shard in range(5):
+            assert first.count(shard) > 0
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(f"k{i}") for i in range(50)} == {0}
+
+    def test_growing_the_ring_remaps_only_a_fraction(self):
+        keys = [f"entity{i}" for i in range(2000)]
+        four, five = HashRing(4), HashRing(5)
+        moved = sum(1 for key in keys if four.shard_for(key) != five.shard_for(key))
+        # Consistent hashing: ~1/5 of keys move to the new shard; a modulo
+        # partition would remap ~4/5.  Allow slack for ring granularity.
+        assert moved / len(keys) < 0.5
+        # ...and the keys that moved, moved *to* the new shard mostly.
+        gained = sum(
+            1 for key in keys
+            if four.shard_for(key) != five.shard_for(key) and five.shard_for(key) == 4
+        )
+        assert gained / max(1, moved) > 0.8
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+
+class TestMutationRouting:
+    def test_triples_route_by_subject(self):
+        mutation = Mutation.add_triple("Alice_Smith", "worksFor", "Acme_Corp")
+        assert mutation_shard_key(mutation) == "Alice_Smith"
+        removal = Mutation.remove_triple("Alice_Smith", "worksFor", "Acme_Corp")
+        assert mutation_shard_key(removal) == "Alice_Smith"
+
+    def test_documents_route_by_fact_then_doc_id(self):
+        with_fact = Mutation.add_document(
+            Document(doc_id="d1", url="u", title="t", text="x", source="s", fact_id="fb-1")
+        )
+        assert mutation_shard_key(with_fact) == "fb-1"
+        without_fact = Mutation.add_document(
+            Document(doc_id="d2", url="u", title="t", text="x", source="s")
+        )
+        assert mutation_shard_key(without_fact) == "d2"
+
+
+class TestShardedStore:
+    def test_partition_covers_everything_exactly_once(self):
+        triples, documents = _triples(120), _documents(60)
+        store = ShardedStore.partition(triples, documents, num_shards=3)
+        assert store.total_triples == len(set(triples))
+        assert store.total_documents == len(documents)
+        for triple in set(triples):
+            owner = store.shard_for(triple.subject)
+            for index, shard in enumerate(store.shards):
+                assert (triple in shard.graph) == (index == owner)
+        for document in documents:
+            owner = store.shard_for(document.fact_id or document.doc_id)
+            for index, shard in enumerate(store.shards):
+                assert (document.doc_id in shard.corpus) == (index == owner)
+
+    def test_apply_routes_and_bumps_only_owning_epochs(self):
+        store = ShardedStore.partition(_triples(60), _documents(30), num_shards=4)
+        assert store.epoch_vector == (1, 1, 1, 1)
+        mutation = Mutation.add_triple("entity3", "knows", "entity9")
+        owner = store.shard_of(mutation)
+        report = store.apply([mutation])
+        assert report.shards_touched == (owner,)
+        assert report.epoch_vector[owner] == 2
+        assert sum(report.epoch_vector) == store.epoch == 4 + 1
+        assert report.total_ops == 1
+
+    def test_rejected_batch_leaves_every_shard_untouched(self):
+        store = ShardedStore.partition(_triples(60), num_shards=3)
+        before = store.state_digests(include_index=False)
+        vector = store.epoch_vector
+        batch = [
+            Mutation.add_triple("entity1", "knows", "entity2"),
+            # Routed to a (likely different) shard and invalid there:
+            Mutation.remove_triple("no_such_entity", "nope", "never"),
+        ]
+        with pytest.raises(ValueError):
+            store.apply(batch)
+        assert store.state_digests(include_index=False) == before
+        assert store.epoch_vector == vector
+
+    def test_replay_twin_is_byte_identical_per_shard(self):
+        store = ShardedStore.partition(_triples(80), _documents(40), num_shards=3)
+        victim = _triples(80)[0]
+        store.apply([
+            Mutation.add_triple("entity5", "founded", "entity11"),
+            Mutation.remove_triple(victim.subject, victim.predicate, victim.object),
+            Mutation.add_document(_documents(1, prefix="late")[0]),
+        ])
+        twin = store.replay_twin()
+        assert twin.state_digests() == store.state_digests()
+        assert twin.epoch_vector == store.epoch_vector
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ShardedStore.partition(_triples(50), _documents(20), num_shards=2)
+        prefix = str(tmp_path / "fleet.jsonl")
+        paths = store.save(prefix)
+        assert len(paths) == 2
+        loaded = ShardedStore.load(prefix, 2)
+        assert loaded.state_digests() == store.state_digests()
+        assert loaded.epoch_vector == store.epoch_vector
+
+    def test_ring_shard_count_mismatch_rejected(self):
+        shards = [VersionedKnowledgeStore(name=f"s{i}") for i in range(3)]
+        with pytest.raises(ValueError):
+            ShardedStore(shards, HashRing(2))
+        with pytest.raises(ValueError):
+            ShardedStore([])
+
+
+class TestShardedServiceRouting:
+    def test_requests_land_on_their_owning_shard(self, shard_runner):
+        dataset = shard_runner.dataset("factbench")
+        router = ShardedValidationService.from_runner(
+            shard_runner, 4, ServiceConfig(enable_cache=False)
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        assert all(r.outcome is RequestOutcome.COMPLETED for r in responses)
+        per_shard = [snapshot.completed for snapshot in router.metrics.per_shard()]
+        expected = [0, 0, 0, 0]
+        for request in requests:
+            expected[router.shard_for(request)] += 1
+        assert per_shard == expected
+        assert router.metrics.snapshot().completed == len(requests)
+
+    def test_scatter_gather_merge_is_deterministic_and_unsharded_identical(
+        self, shard_runner
+    ):
+        dataset = shard_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+        requests += [ServiceRequest(fact, "giv-z", "gemma2:9b") for fact in dataset]
+        config = ServiceConfig(enable_cache=False, max_batch_size=4)
+
+        async def sharded():
+            router = ShardedValidationService.from_runner(shard_runner, 3, config)
+            async with router:
+                return await router.submit_many(requests)
+
+        async def unsharded():
+            service = ValidationService.from_runner(shard_runner, config)
+            async with service:
+                return await asyncio.gather(*(service.submit(r) for r in requests))
+
+        gathered = asyncio.run(sharded())
+        flat = asyncio.run(unsharded())
+        assert len(gathered) == len(requests)
+        for request, sharded_response, plain_response in zip(requests, gathered, flat):
+            assert sharded_response.result.fact_id == request.fact.fact_id
+            assert sharded_response.result == plain_response.result
+
+    def test_epoch_vector_stamped_and_composite_sum(self, shard_runner):
+        store = shard_runner.sharded_store("factbench", 3)
+        router = ShardedValidationService.from_runner(
+            shard_runner, 3, ServiceConfig(), store=store
+        )
+        fact = shard_runner.dataset("factbench")[0]
+
+        async def go():
+            async with router:
+                response = await router.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                report = await router.apply_mutations(
+                    [Mutation.add_triple(fact.triple.subject, "updatedBy", "Feed_X")]
+                )
+                after = await router.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+                return response, report, after
+
+        response, report, after = asyncio.run(go())
+        owner = store.shard_for(fact.triple.subject)
+        # Pre-ingest: every shard is at its genesis epoch.
+        assert response.epoch_vector == (1, 1, 1)
+        assert response.epoch == sum(response.epoch_vector)
+        assert report.epoch_vector[owner] == 2
+        # Post-ingest: the owning component advanced, the response is a
+        # fresh (non-cached) judgement at the new epoch.
+        assert after.epoch_vector[owner] == 2
+        assert not after.cached
+        assert after.result == response.result  # DKA is corpus-independent
+
+    def test_store_and_service_shard_counts_must_agree(self, shard_runner):
+        store = shard_runner.sharded_store("factbench", 3)
+        with pytest.raises(ValueError):
+            ShardedValidationService.from_runner(shard_runner, 2, store=store)
+
+    def test_rejected_cross_shard_ingest_mutates_no_shard(self, shard_runner):
+        # The store-layer all-or-nothing contract must hold on the serving
+        # path too: a batch whose sub-batch one shard rejects leaves every
+        # shard's state and epoch untouched, fleet-wide.
+        store = ShardedStore.partition(_triples(60), num_shards=3)
+        router = ShardedValidationService.from_runner(
+            shard_runner, 3, ServiceConfig(), store=store
+        )
+        good = Mutation.add_triple("entity1", "knows", "entity2")
+        bad = Mutation.remove_triple("no_such_entity", "nope", "never")
+        assert store.shard_of(good) != store.shard_of(bad)  # genuinely cross-shard
+        before = store.state_digests(include_index=False)
+        vector = store.epoch_vector
+
+        async def go():
+            async with router:
+                with pytest.raises(ValueError):
+                    await router.apply_mutations([good, bad])
+
+        asyncio.run(go())
+        assert store.state_digests(include_index=False) == before
+        assert store.epoch_vector == vector
+        assert router.metrics.snapshot().ingests == 0
+
+    def test_apply_mutations_requires_a_store(self, shard_runner):
+        router = ShardedValidationService.from_runner(shard_runner, 2)
+
+        async def go():
+            async with router:
+                with pytest.raises(RuntimeError):
+                    await router.apply_mutations(
+                        [Mutation.add_triple("a", "b", "c")]
+                    )
+
+        asyncio.run(go())
+
+    def test_submit_after_stop_raises(self, shard_runner):
+        fact = shard_runner.dataset("factbench")[0]
+        router = ShardedValidationService.from_runner(shard_runner, 2, ServiceConfig())
+
+        async def go():
+            async with router:
+                await router.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+            with pytest.raises(RuntimeError):
+                await router.submit(ServiceRequest(fact, "dka", "gemma2:9b"))
+
+        asyncio.run(go())
+
+    def test_mixed_read_write_load_through_the_router(self, shard_runner):
+        dataset = shard_runner.dataset("factbench")
+        # A fresh fleet (not the module-cached runner one): the epoch
+        # accounting below assumes genesis state.
+        world = shard_runner.world
+        triples = [
+            Triple(world.name(f.subject), f.predicate, world.name(f.object))
+            for f in world.facts.all_facts()
+        ]
+        store = ShardedStore.partition(
+            triples, list(shard_runner.corpus("factbench")), num_shards=4
+        )
+        # Non-zero time scale: the ingest only quiesces its owning shard
+        # (the rest of the fleet keeps serving), so reads must be slow
+        # enough that some genuinely start after the write lands.
+        router = ShardedValidationService.from_runner(
+            shard_runner, 4, ServiceConfig(queue_depth=4096, time_scale=0.01),
+            store=store,
+        )
+        target = dataset[0]
+        batch = [Mutation.add_triple(target.triple.subject, "updatedBy", "Wire_A")]
+        workload = build_mixed_workload(
+            [dataset], ["dka"], ["gemma2:9b"], 80, [batch], seed=3
+        )
+        report = LoadGenerator(router, workload, concurrency=4).run_sync()
+        assert report.completed == 80
+        assert report.ingests == 1
+        assert report.rejected == 0 and report.failures == 0
+        # The ingest bumped exactly one shard: the composite epoch served
+        # before and after differs by one.
+        served = report.epochs_served()
+        assert served[0] == 4  # genesis: every shard at epoch 1
+        assert served[-1] == 5
+        assert report.snapshot.ingests == 1
+        # Responses served at the new composite carry the owner's bumped
+        # component in their epoch vector.
+        owner = store.shard_for(target.triple.subject)
+        post = [r for r in report.responses
+                if r.outcome is RequestOutcome.COMPLETED and r.epoch == 5]
+        assert post and all(r.epoch_vector[owner] == 2 for r in post)
+
+    def test_tcp_frontend_serves_a_sharded_router(self, shard_runner):
+        import json
+
+        dataset = shard_runner.dataset("factbench")
+        store = shard_runner.sharded_store("factbench", 3)
+
+        async def go():
+            router = ShardedValidationService.from_runner(
+                shard_runner, 3, ServiceConfig(), store=store
+            )
+            async with router:
+                async with TCPValidationFrontend(router, {"factbench": dataset}) as frontend:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", frontend.port
+                    )
+                    writer.write(
+                        json.dumps(
+                            {"dataset": "factbench", "fact_id": dataset[0].fact_id,
+                             "method": "dka", "model": "gemma2:9b", "id": "shard-req"}
+                        ).encode() + b"\n"
+                    )
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    return reply
+
+        reply = asyncio.run(go())
+        assert reply["outcome"] == "completed"
+        assert reply["id"] == "shard-req"
+        assert reply["verdict"] in {"true", "false", "invalid", "tie"}
+        # The router's composite epoch vector rides on the wire.  (The store
+        # is module-shared: compare against its live vector, not genesis.)
+        assert reply["epoch_vector"] == list(store.epoch_vector)
+
+    def test_metrics_rollup_concatenates_latency_windows(self, shard_runner):
+        dataset = shard_runner.dataset("factbench")
+        router = ShardedValidationService.from_runner(
+            shard_runner, 2, ServiceConfig(enable_cache=False)
+        )
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset]
+
+        async def go():
+            async with router:
+                await router.submit_many(requests)
+
+        asyncio.run(go())
+        rollup = router.metrics.snapshot()
+        shards = router.metrics.per_shard()
+        assert rollup.completed == sum(s.completed for s in shards) == len(requests)
+        # Wall is the longest shard window (snapshots are re-taken an instant
+        # apart, so compare with a tolerance rather than exactly).
+        assert rollup.wall_seconds == pytest.approx(
+            max(s.wall_seconds for s in shards), abs=0.05
+        )
+        assert 0 < rollup.p50_latency_s <= rollup.p95_latency_s <= rollup.p99_latency_s
+        # Fleet p99 is bounded by the worst shard's p99 (concatenated window).
+        assert rollup.p99_latency_s <= max(s.p99_latency_s for s in shards) + 1e-9
+        assert "shard" in router.metrics.format_shard_table()
