@@ -1,0 +1,223 @@
+"""Replicated serving-tier benchmark: read fan-out, parity, failover.
+
+Three floors, mirroring the PR 5 acceptance criteria:
+
+1. **>= 1.5x read throughput at R=3 vs R=1** on a multi-worker closed
+   loop.  One hot ``(method, model)`` strategy is driven by 64 closed-loop
+   clients over 2 logical shards; the unreplicated fleet serialises each
+   shard's micro-batches through one worker, while the replicated fleet
+   keeps three replica workers' batches in flight per shard (the simulated
+   backend sleeps overlap on the event loop, so the win is the genuine
+   serving-architecture effect, not multi-core luck).
+
+2. **Replicated verdicts byte-identical to the unsharded service.**  The
+   same workload replayed through the replicated router and the plain
+   :class:`ValidationService` must produce identical verdict tables —
+   whichever replica happens to answer each request.
+
+3. **One killed replica, zero FAILED verdicts.**  A replica hard-stopped
+   mid-load must be evicted from the rotation and its in-flight requests
+   failed over to sibling replicas: the closed-loop report shows every
+   request COMPLETED (nothing FAILED, nothing shed), with verdicts still
+   byte-identical to the healthy baseline.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replicas.py -q -s \
+        --benchmark-json=benchmarks/out/replicas.json
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from conftest import run_once
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    LoadGenerator,
+    ServiceConfig,
+    ShardedValidationService,
+    ValidationService,
+    build_workload,
+)
+
+TOTAL_REQUESTS = 400
+METHODS = ("dka",)
+MODELS = ("gemma2:9b",)
+NUM_SHARDS = 2
+REPLICAS = 3
+#: Enough clients that every replica's queue stays non-empty; the
+#: unreplicated baseline is capped by its one worker per shard regardless.
+CONCURRENCY = 64
+MAX_BATCH = 8
+#: Real seconds per simulated backend second: high enough that the batch
+#: sleeps (which overlap across replica workers) dominate the serialised
+#: per-verdict CPU, low enough that the whole module stays CI-friendly.
+TIME_SCALE = 0.006
+
+
+@pytest.fixture(scope="module")
+def replica_bench_runner() -> BenchmarkRunner:
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.05,
+            max_facts_per_dataset=60,
+            world_scale=0.2,
+            methods=METHODS,
+            datasets=("factbench",),
+            models=MODELS,
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(replica_bench_runner):
+    return build_workload(
+        [replica_bench_runner.dataset("factbench")],
+        METHODS,
+        MODELS,
+        TOTAL_REQUESTS,
+        seed=3,
+    )
+
+
+def _service_config() -> ServiceConfig:
+    return ServiceConfig(
+        max_batch_size=MAX_BATCH,
+        queue_depth=4096,
+        enable_cache=False,
+        time_scale=TIME_SCALE,
+    )
+
+
+def _closed_loop(runner, workload, *, replicas, concurrency=CONCURRENCY):
+    service = ShardedValidationService.from_runner(
+        runner, NUM_SHARDS, _service_config(), replicas=replicas
+    )
+    return LoadGenerator(service, workload, concurrency=concurrency).run_sync()
+
+
+def _canonical(verdicts: dict) -> bytes:
+    return json.dumps(
+        {"|".join(key): value for key, value in verdicts.items()}, sort_keys=True
+    ).encode("utf-8")
+
+
+def test_benchmark_replica_read_throughput_floor(
+    benchmark, replica_bench_runner, workload
+):
+    single = _closed_loop(replica_bench_runner, workload, replicas=1)
+    replicated = run_once(
+        benchmark,
+        lambda: _closed_loop(replica_bench_runner, workload, replicas=REPLICAS),
+    )
+    speedup = replicated.throughput_rps / single.throughput_rps
+
+    print()
+    print(single.format_table(f"{NUM_SHARDS} shards x 1 replica (closed loop)"))
+    print()
+    print(replicated.format_table(f"{NUM_SHARDS} shards x {REPLICAS} replicas"))
+    print(f"\nreplica fan-out speedup: {speedup:.2f}x "
+          f"(mean replica batch {replicated.snapshot.mean_batch_size:.1f})")
+
+    # Floors: every request answered on both topologies, nothing shed or
+    # failed, and R=3 sustains >= 1.5x the R=1 read throughput.
+    assert single.completed == TOTAL_REQUESTS and replicated.completed == TOTAL_REQUESTS
+    assert single.rejected == 0 and replicated.rejected == 0
+    assert single.failures == 0 and replicated.failures == 0
+    assert speedup >= 1.5, (
+        f"{REPLICAS}-replica groups sustained only {speedup:.2f}x the "
+        f"unreplicated throughput (floor: 1.5x)"
+    )
+
+    # Floor: replicated verdicts byte-identical to the unreplicated run.
+    assert _canonical(replicated.verdicts()) == _canonical(single.verdicts()), (
+        "replicated verdicts diverged from the unreplicated fleet"
+    )
+
+
+def test_benchmark_replicated_verdicts_match_unsharded_service(
+    benchmark, replica_bench_runner, workload
+):
+    runner = replica_bench_runner
+
+    def plain_run():
+        service = ValidationService.from_runner(runner, _service_config())
+        return LoadGenerator(service, workload, concurrency=CONCURRENCY).run_sync()
+
+    plain = plain_run()
+    replicated = run_once(
+        benchmark,
+        lambda: _closed_loop(runner, workload, replicas=REPLICAS),
+    )
+
+    # Floor: whichever replica answered each request, the verdict table is
+    # byte-identical to the single unsharded service's.
+    assert replicated.completed == plain.completed == TOTAL_REQUESTS
+    assert _canonical(replicated.verdicts()) == _canonical(plain.verdicts()), (
+        "replicated verdicts diverged from the unsharded service"
+    )
+    print(f"\n{TOTAL_REQUESTS} verdicts over {NUM_SHARDS}x{REPLICAS} replicas "
+          f"byte-identical to the unsharded service")
+
+
+def test_benchmark_killed_replica_zero_failed_verdicts(
+    benchmark, replica_bench_runner, workload
+):
+    runner = replica_bench_runner
+    baseline = _closed_loop(runner, workload, replicas=1)
+    victim = (0, 1)  # shard 0's second replica dies mid-load
+
+    def killed_run():
+        router = ShardedValidationService.from_runner(
+            runner, NUM_SHARDS, _service_config(), replicas=2
+        )
+        generator = LoadGenerator(router, workload, concurrency=CONCURRENCY)
+
+        async def go():
+            async with router:
+                load = asyncio.create_task(generator.run())
+                # Let the fleet get properly into the run, then kill the
+                # victim while its queue is hot.
+                while router.metrics.snapshot().completed < TOTAL_REQUESTS // 4:
+                    await asyncio.sleep(0.005)
+                await router.kill_replica(*victim)
+                return await load, router
+
+        return asyncio.run(go())
+
+    report, router = run_once(benchmark, killed_run)
+
+    print()
+    print(report.format_table("closed loop with a replica killed mid-run"))
+    print()
+    print(router.metrics.format_replica_table())
+
+    # Floors: the kill is invisible to clients — zero FAILED verdicts, zero
+    # sheds, every request completed, verdicts byte-identical to a healthy
+    # fleet — and the victim really was evicted, not quietly retried.
+    assert report.completed == TOTAL_REQUESTS
+    assert report.failures == 0, (
+        f"{report.failures} requests surfaced FAILED despite a live sibling"
+    )
+    assert report.rejected == 0
+    assert _canonical(report.verdicts()) == _canonical(baseline.verdicts()), (
+        "failover changed verdicts"
+    )
+    health = router.health[victim[0]][victim[1]]
+    assert not health.healthy, "killed replica still marked healthy"
+    assert router.metrics.unhealthy_replicas == 1
+    # The sibling rescued the victim's in-flight requests (failover) or the
+    # kill landed between batches; either way the rotation excluded the
+    # victim afterwards, so the run completed without it.
+    survivors = [
+        h for row in router.health for h in row if (h.shard, h.replica) != victim
+    ]
+    assert all(h.healthy for h in survivors)
+    print(f"\nkilled replica {victim}: {router.metrics.failovers} failovers, "
+          f"0 FAILED verdicts")

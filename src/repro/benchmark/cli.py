@@ -13,6 +13,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.benchmark.cli serve --shards 4 --methods dka
     python -m repro.benchmark.cli loadgen --shards 4 --requests 500
 
+    # Replicated shards: R workers per shard, read fan-out + failover.
+    python -m repro.benchmark.cli serve --shards 2 --replicas 3
+    python -m repro.benchmark.cli loadgen --shards 2 --replicas 3 --requests 500
+
     # Versioned knowledge store: stream mutations in, compact the log.
     python -m repro.benchmark.cli ingest --store store.jsonl --mutations ops.jsonl
     python -m repro.benchmark.cli compact --store store.jsonl
@@ -250,12 +254,23 @@ def build_service_parser() -> argparse.ArgumentParser:
             ),
         )
         sub.add_argument(
+            "--replicas",
+            type=int,
+            default=1,
+            help=(
+                "Replica workers per shard: reads fan out across the group "
+                "(queue-depth-aware balancing) and a raising/stalling replica "
+                "fails over to its siblings (1 = unreplicated)."
+            ),
+        )
+        sub.add_argument(
             "--request-timeout",
             type=float,
             default=0.0,
             help=(
-                "Sharded only: seconds before a stalled shard request is "
-                "abandoned with an explicit FAILED outcome (0 = no timeout)."
+                "Sharded/replicated only: seconds before a stalled replica "
+                "request is abandoned — failed over to a sibling when one "
+                "exists, an explicit FAILED outcome otherwise (0 = no timeout)."
             ),
         )
         sub.add_argument(
@@ -352,6 +367,8 @@ def _service_setup(args):
     _validate_service_args(args)
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
     config = ExperimentConfig(
         scale=args.scale,
         max_facts_per_dataset=args.max_facts or None,
@@ -369,12 +386,13 @@ def _service_setup(args):
         enable_cache=not args.no_cache,
         time_scale=args.time_scale,
     )
-    if args.shards > 1:
+    if args.shards > 1 or args.replicas > 1:
         service = ShardedValidationService.from_runner(
             runner,
             args.shards,
             service_config,
             request_timeout_s=args.request_timeout or None,
+            replicas=args.replicas,
         )
     else:
         service = ValidationService.from_runner(runner, service_config)
@@ -398,6 +416,8 @@ def _run_serve(args, stream: TextIO) -> int:
                 allowed_models=args.models,
             ) as frontend:
                 shard_note = f"; {args.shards} shards" if args.shards > 1 else ""
+                if args.replicas > 1:
+                    shard_note += f"; {args.replicas} replicas/shard"
                 stream.write(
                     f"serving {sorted(datasets)} on {frontend.host}:{frontend.port} "
                     f"(methods {','.join(args.methods)}; models "
@@ -418,6 +438,8 @@ def _run_serve(args, stream: TextIO) -> int:
     stream.write(service.metrics.snapshot().format_table() + "\n")
     if hasattr(service.metrics, "format_shard_table"):
         stream.write("\n" + service.metrics.format_shard_table() + "\n")
+    if args.replicas > 1 and hasattr(service.metrics, "format_replica_table"):
+        stream.write("\n" + service.metrics.format_replica_table() + "\n")
     return 0
 
 
@@ -561,6 +583,8 @@ def _run_loadgen(args, stream: TextIO) -> int:
     stream.write(service.metrics.snapshot().format_table() + "\n")
     if hasattr(service.metrics, "format_shard_table"):
         stream.write("\n" + service.metrics.format_shard_table() + "\n")
+    if args.replicas > 1 and hasattr(service.metrics, "format_replica_table"):
+        stream.write("\n" + service.metrics.format_replica_table() + "\n")
     return 0
 
 

@@ -21,7 +21,7 @@ from ..retrieval.corpus import Corpus
 from ..retrieval.mock_api import MockSearchAPI
 from ..retrieval.reranker import CrossEncoderReranker
 from ..retrieval.webgen import WebCorpusGenerator
-from ..store import ShardedStore, StoreConfig, VersionedKnowledgeStore
+from ..store import ReplicaGroup, ShardedStore, StoreConfig, VersionedKnowledgeStore
 from ..validation.base import ValidationRun, ValidationStrategy
 from ..validation.consensus import ConsensusRun, MajorityVoteConsensus
 from ..validation.dka import DirectKnowledgeAssessment
@@ -242,6 +242,31 @@ class BenchmarkRunner:
         )
         self._sharded_stores[key] = fleet
         return fleet
+
+    def replica_groups(
+        self,
+        dataset_name: str,
+        num_shards: int,
+        replicas: int,
+        store_config: Optional[StoreConfig] = None,
+    ) -> List[ReplicaGroup]:
+        """Replicate this dataset's sharded store into per-shard groups.
+
+        Each logical shard becomes a :class:`~repro.store.ReplicaGroup`
+        of ``replicas`` byte-identical copies, log-shipped from the shard's
+        mutation log.  Every call replays a **fresh twin** of the cached
+        :meth:`sharded_store` fleet first, so two calls share no store
+        state at all — primaries included — and routers built from
+        separate calls can ingest independently.  (A router wanting the
+        matching primaries fleet can build it as
+        ``ShardedStore([group.primary for group in groups])``.)
+
+        Returns the groups in shard order.  Raises :class:`ValueError`
+        when ``replicas < 1`` (and propagates :meth:`sharded_store`'s
+        config-conflict error).
+        """
+        fleet = self.sharded_store(dataset_name, num_shards, store_config)
+        return fleet.replay_twin().replicate(replicas)
 
     # ------------------------------------------------------------- strategies
 

@@ -20,11 +20,16 @@ offline substrates:
   mode (:class:`IngestRequest` items in the schedule apply mutation
   batches through :meth:`ValidationService.apply_mutations`);
 * :mod:`repro.service.router` — :class:`ShardedValidationService`: the
-  scale-out tier routing reads and writes to N shard services by
-  consistent hash of the subject entity, scatter-gathering multi-fact
-  batches with a deterministic merge, surfacing shard faults as explicit
-  ``FAILED`` outcomes, and rolling per-shard metrics up into one
-  :class:`MetricsSnapshot`.
+  scale-out tier routing reads and writes to N logical shards — each a
+  **replica group** of R :class:`ValidationService` workers over
+  log-shipped byte-identical store copies — by consistent hash of the
+  subject entity.  Single-fact reads fan out across each group behind a
+  queue-depth-aware balancer; a raising/stalling/killed replica is marked
+  unhealthy and its traffic fails over to siblings (health probes
+  re-admit it), so only a whole-shard outage surfaces as an explicit
+  ``FAILED`` outcome.  Multi-fact batches scatter-gather with a
+  deterministic merge, and :class:`RouterMetrics` rolls per-replica
+  health/traffic up into one :class:`MetricsSnapshot`.
 
 With a :class:`~repro.store.VersionedKnowledgeStore` attached (see
 ``BenchmarkRunner.versioned_store``), the service ingests live updates:
@@ -54,7 +59,7 @@ from .loadgen import (
     build_workload,
 )
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
-from .router import RouterMetrics, ShardedValidationService
+from .router import ReplicaHealth, RouterMetrics, ShardedValidationService
 from .server import (
     RequestOutcome,
     ServiceRequest,
@@ -69,6 +74,7 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "MetricsSnapshot",
+    "ReplicaHealth",
     "RequestOutcome",
     "RouterMetrics",
     "ServiceConfig",

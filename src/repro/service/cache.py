@@ -69,6 +69,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Hits over recorded lookups (0.0 when nothing recorded)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -119,10 +120,12 @@ class VerdictCache:
         return value
 
     def record_hit(self) -> None:
+        """Count one hit deferred by a ``get(record=False)`` lookup."""
         with self._stats_lock:
             self._hits += 1
 
     def record_miss(self) -> None:
+        """Count one miss deferred by a ``get(record=False)`` lookup."""
         with self._stats_lock:
             self._misses += 1
 
@@ -134,6 +137,8 @@ class VerdictCache:
         result: ValidationResult,
         epoch: int = 0,
     ) -> None:
+        """Store ``result`` under the (fact, method, model, epoch) key,
+        evicting LRU entries from the owning shard when it is full."""
         key = verdict_cache_key(fact, method, model, epoch)
         self._shard_for(key).put(key, result)
 
@@ -141,6 +146,7 @@ class VerdictCache:
         return sum(len(shard) for shard in self._shards)
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
         for shard in self._shards:
             shard.clear()
         with self._stats_lock:
@@ -148,6 +154,7 @@ class VerdictCache:
             self._misses = 0
 
     def stats(self) -> CacheStats:
+        """A consistent point-in-time :class:`CacheStats` view."""
         with self._stats_lock:
             hits, misses = self._hits, self._misses
         return CacheStats(

@@ -69,10 +69,14 @@ class TCPValidationFrontend:
         self.requests_handled = 0
 
     async def start(self) -> None:
+        """Bind and start accepting connections; with ``port=0`` the
+        ephemeral port the OS picked is written back to ``self.port``."""
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        """Close the listening socket and wait for it to shut down (open
+        connections end on their next read; the service is not stopped)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -86,6 +90,8 @@ class TCPValidationFrontend:
         await self.stop()
 
     async def serve_forever(self) -> None:
+        """Serve until cancelled (starting first if needed) — the blocking
+        entry point the ``serve`` CLI awaits."""
         if self._server is None:
             await self.start()
         assert self._server is not None

@@ -151,10 +151,12 @@ class LoadReport:
 
     @property
     def total(self) -> int:
+        """Schedule items issued (reads and writes)."""
         return len(self.responses)
 
     @property
     def completed(self) -> int:
+        """Reads answered with a verdict (cached or judged)."""
         return sum(
             1 for response in self.responses
             if response.outcome is RequestOutcome.COMPLETED
@@ -162,6 +164,7 @@ class LoadReport:
 
     @property
     def rejected(self) -> int:
+        """Reads shed by admission control."""
         return sum(1 for response in self.responses if response.rejected)
 
     @property
@@ -176,6 +179,7 @@ class LoadReport:
 
     @property
     def cache_hits(self) -> int:
+        """Reads served straight from the verdict cache."""
         return sum(1 for response in self.responses if response.cached)
 
     @property
@@ -211,6 +215,8 @@ class LoadReport:
         return table
 
     def format_table(self, title: str = "Load run") -> str:
+        """Render the run's headline numbers as the text table the
+        ``loadgen`` CLI prints (see docs/operations.md for the glossary)."""
         header = (
             f"{title}: {self.total} requests, concurrency {self.concurrency}, "
             f"{self.wall_seconds:.3f} s wall"
@@ -233,7 +239,13 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Drives a service with ``concurrency`` closed-loop virtual clients."""
+    """Drives a service with ``concurrency`` closed-loop virtual clients.
+
+    Works against a plain :class:`ValidationService` or a
+    :class:`~repro.service.router.ShardedValidationService` — both expose
+    the ``submit`` / ``apply_mutations`` / ``metrics`` surface.  Raises
+    :class:`ValueError` when ``concurrency < 1``.
+    """
 
     def __init__(
         self,
@@ -262,6 +274,8 @@ class LoadGenerator:
         return await self.service.submit(item)
 
     async def run(self) -> LoadReport:
+        """Replay the schedule on the caller's event loop (the service must
+        already be started) and return the index-aligned report."""
         responses: List[Optional[ServiceResponse]] = [None] * len(self.requests)
         next_index = 0
 

@@ -51,6 +51,13 @@ class MetricsSnapshot:
     p99_latency_s: float
     ingests: int = 0
     ingested_ops: int = 0
+    #: Requests rescued by a sibling replica after their first choice
+    #: faulted (always 0 for an unreplicated service; filled in by
+    #: :class:`~repro.service.router.RouterMetrics`).
+    failovers: int = 0
+    #: Replica workers currently evicted from the routing rotation
+    #: (always 0 for an unreplicated service).
+    unhealthy_replicas: int = 0
 
     @property
     def shed_count(self) -> int:
@@ -59,10 +66,14 @@ class MetricsSnapshot:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Verdict-cache hits over served traffic (0.0 when nothing served)."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
     def format_table(self, title: str = "Service metrics") -> str:
+        """Render the snapshot as the aligned two-column text table the
+        ``serve``/``loadgen`` CLI prints (see docs/operations.md for the
+        field glossary)."""
         rows = [
             ("completed", f"{self.completed}"),
             ("rejected (shed)", f"{self.rejected}"),
@@ -75,6 +86,8 @@ class MetricsSnapshot:
             ("cache hit rate", f"{self.cache_hit_rate:.1%}"),
             ("queue depth", f"{self.queue_depth}"),
             ("ingests", f"{self.ingests} ({self.ingested_ops} ops)"),
+            ("failovers", f"{self.failovers}"),
+            ("unhealthy replicas", f"{self.unhealthy_replicas}"),
             ("wall time", f"{self.wall_seconds:.3f} s"),
         ]
         width = max(len(name) for name, _ in rows)
@@ -145,6 +158,8 @@ class ServiceMetrics:
         prompt_tokens: int = 0,
         completion_tokens: int = 0,
     ) -> None:
+        """One answered request: record its measured in-service latency and
+        forward the token/latency accounting to the attached telemetry."""
         with self._lock:
             self._completed += 1
             self._latencies.append(latency_seconds)
@@ -158,6 +173,7 @@ class ServiceMetrics:
             )
 
     def observe_shed(self) -> None:
+        """One request refused by admission control (``REJECTED``)."""
         with self._lock:
             self._rejected += 1
 
@@ -171,6 +187,7 @@ class ServiceMetrics:
             self._errors += 1
 
     def observe_cache(self, hit: bool) -> None:
+        """One verdict-cache lookup on served (non-shed) traffic."""
         with self._lock:
             if hit:
                 self._cache_hits += 1
@@ -178,6 +195,7 @@ class ServiceMetrics:
                 self._cache_misses += 1
 
     def observe_batch(self, size: int) -> None:
+        """One dispatched micro-batch of ``size`` requests."""
         with self._lock:
             self._batches += 1
             self._batched_requests += size
@@ -189,6 +207,7 @@ class ServiceMetrics:
             self._ingested_ops += ops
 
     def set_queue_depth(self, depth: int) -> None:
+        """Update the admitted-but-unanswered gauge shown in snapshots."""
         with self._lock:
             self._queue_depth = depth
 
@@ -204,6 +223,9 @@ class ServiceMetrics:
     # ------------------------------------------------------------- snapshot
 
     def snapshot(self) -> MetricsSnapshot:
+        """An immutable, internally consistent :class:`MetricsSnapshot`
+        (percentiles computed over the current latency ring; throughput
+        over the wall time since :meth:`start`)."""
         with self._lock:
             latencies: List[float] = list(self._latencies)
             elapsed = (

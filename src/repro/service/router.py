@@ -1,31 +1,41 @@
-"""Sharded multi-worker serving tier: scatter-gather routing over N shards.
+"""Sharded, replicated serving tier: read fan-out, failover, scatter-gather.
 
-:class:`ShardedValidationService` fronts N independent
-:class:`~repro.service.server.ValidationService` workers, one per
-:class:`~repro.store.sharding.ShardedStore` shard, and exposes the same
-surface the unsharded service does (``submit`` / ``apply_mutations`` /
-``metrics`` / async context manager), so the TCP front-end, the load
+:class:`ShardedValidationService` fronts N logical shards, each backed by a
+**replica group** of R independent
+:class:`~repro.service.server.ValidationService` workers, and exposes the
+same surface the unsharded service does (``submit`` / ``apply_mutations``
+/ ``metrics`` / async context manager), so the TCP front-end, the load
 generator, and the CLI drive either interchangeably.
 
 Routing and consistency:
 
 * **Reads** route by consistent hash of the fact's subject entity — the
   same :class:`~repro.store.sharding.HashRing` the store partition uses —
-  so a fact is always judged (and its verdict cached) on its owning shard.
+  to the owning *shard*, then a load balancer picks one of the shard's
+  replicas: healthy replicas are ordered by queue depth (least pending
+  first) with a round-robin tie-break, so single-fact reads fan out across
+  the whole group instead of serialising through one worker.
 * **Batches** scatter-gather: :meth:`submit_many` fans a multi-fact batch
   out to the owning shards concurrently and merges the responses back in
   submission order — a deterministic merge, so the gathered verdicts are
   byte-identical to the unsharded service (and to the offline pipeline)
-  for the same coordinates.
-* **Writes** route by the same key (:func:`mutation_shard_key`).  Each
-  owning shard quiesces, applies, and bumps *its own* epoch while the
-  other shards keep serving — ingest never pauses the whole fleet, and
-  because verdict-cache keys carry the per-shard epoch, an ingest
-  invalidates only the owning shard's cached verdicts.
-* **Faults surface, never hang**: a shard whose strategy raises produces
-  an explicit ``FAILED`` response (the co-routed requests on other shards
-  are unaffected), and a shard that stalls past ``request_timeout_s``
-  is abandoned with a ``FAILED`` response instead of blocking the client.
+  for the same coordinates, whichever replica happens to answer.
+* **Writes** route by the same key (:func:`mutation_shard_key`) and ship
+  to **every replica** of the owning shard: each replica service quiesces
+  itself, applies the identical batch to its own store copy, and bumps its
+  epoch — the group stays in lockstep, enforced by byte-identical state
+  digests when a replicated store is attached.  Other shards keep serving
+  throughout, and because verdict-cache keys carry the per-shard epoch, an
+  ingest invalidates only the owning shard's cached verdicts.
+* **Faults fail over, then surface**: a replica that raises, stalls past
+  ``request_timeout_s``, or is killed mid-request is marked unhealthy and
+  its traffic reroutes to sibling replicas — the client sees a normal
+  ``COMPLETED`` verdict, not a ``FAILED``.  Only when *every* replica of
+  the owning shard fails does the request surface an explicit ``FAILED``
+  response (never an exception, never a hang).  Unhealthy replicas are
+  re-admitted by health probes: after ``probe_interval_s`` the balancer
+  routes one canary request at the suspect; success restores it to the
+  rotation, failure resets the probe timer.
 
 Every response is stamped with the composite epoch vector
 (``ServiceResponse.epoch_vector``) and its scalar sum, so clients can
@@ -38,63 +48,156 @@ import asyncio
 import dataclasses
 import threading
 import time
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..llm.telemetry import TelemetryCollector
-from ..store import Mutation, ShardApplyReport, ShardedStore
-from ..store.sharding import HashRing
+from ..store import Mutation, ReplicaGroup, ShardApplyReport, ShardedStore
+from ..store.sharding import HashRing, ReplicaDivergedError
 from .config import ServiceConfig
 from .metrics import MetricsSnapshot, percentile
 from .server import RequestOutcome, ServiceRequest, ServiceResponse, ValidationService
 
-__all__ = ["RouterMetrics", "ShardedValidationService"]
+__all__ = ["ReplicaHealth", "RouterMetrics", "ShardedValidationService"]
+
+
+@dataclass
+class ReplicaHealth:
+    """Live health and traffic state of one replica worker.
+
+    Attributes
+    ----------
+    shard / replica:
+        The replica's coordinates in the fleet.
+    healthy:
+        Whether the balancer currently routes regular traffic here.  A
+        replica turns unhealthy after ``unhealthy_after`` consecutive
+        faults and healthy again the moment any request (including a
+        probe) succeeds on it.
+    served:
+        Requests this replica answered (completions and shed responses).
+    failures / timeouts:
+        Faulted attempts observed by the router on this replica;
+        ``timeouts`` is the subset abandoned past ``request_timeout_s``.
+    consecutive_failures:
+        Current fault streak; reset to zero by any success.
+    probes:
+        Canary requests routed here while unhealthy.
+    readmissions:
+        Times a probe (or last-resort attempt) restored the replica.
+    marked_unhealthy_at:
+        ``time.monotonic()`` of the latest fault — the probe timer's
+        anchor — or ``None`` while healthy.
+    probing:
+        True while one canary is in flight (bounds probes to one at a
+        time per replica).
+    """
+
+    shard: int
+    replica: int
+    healthy: bool = True
+    served: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    consecutive_failures: int = 0
+    probes: int = 0
+    readmissions: int = 0
+    marked_unhealthy_at: Optional[float] = None
+    probing: bool = False
 
 
 class RouterMetrics:
-    """Aggregating view over the per-shard :class:`ServiceMetrics`.
+    """Aggregating view over the per-replica :class:`ServiceMetrics`.
 
-    Counters sum across shards; latency percentiles are computed over the
-    *concatenated* per-shard windows (per-shard percentiles cannot be
-    averaged); wall time is the longest shard window and fleet throughput
-    is total completions over that wall.  ``failures`` counts every
-    ``FAILED`` response the router produced; only the *timeout* subset is
-    folded into the snapshot's ``errors`` counter — a shard whose strategy
-    raised has already counted that request in its own ``errors`` (see
-    ``ValidationService.submit``), so ``completed + rejected + errors``
-    accounts for every non-ingest request exactly once.
+    Counters sum across every replica of every shard; latency percentiles
+    are computed over the *concatenated* per-replica windows (per-worker
+    percentiles cannot be averaged); wall time is the longest worker
+    window and fleet throughput is total completions over that wall.
+
+    ``failures`` counts every ``FAILED`` response the router produced and
+    ``failovers`` every request a sibling replica rescued after its first
+    choice faulted.  The fleet snapshot's ``errors`` counter is adjusted so
+    ``completed + rejected + errors`` accounts for every non-ingest request
+    exactly once: a faulted attempt the owning worker already counted (its
+    strategy raised after admission) is *subtracted* when a sibling later
+    completed the request, and a ``FAILED`` response whose attempts were
+    invisible to the workers (timeouts, stopped replicas) is *added*.
     """
 
-    def __init__(self, services: Sequence[ValidationService]) -> None:
-        self._services = list(services)
+    def __init__(
+        self,
+        groups: Sequence[Sequence[ValidationService]],
+        health: Sequence[Sequence[ReplicaHealth]],
+    ) -> None:
+        self._groups = [list(group) for group in groups]
+        self._health = health
         self._failures = 0
         self._timeout_failures = 0
+        self._failovers = 0
+        self._error_adjustment = 0
         self._lock = threading.Lock()
 
-    def observe_failure(self, timeout: bool = False) -> None:
-        """One ``FAILED`` response; ``timeout=True`` when the shard never
-        answered (those are invisible to the shard's own error counter)."""
+    # ------------------------------------------------------------- recording
+
+    def observe_failure(self, timeout: bool = False, counted_errors: int = 0) -> None:
+        """One ``FAILED`` response after every replica was tried.
+
+        ``timeout=True`` when a stall past the request timeout contributed;
+        ``counted_errors`` is how many of the failed attempts the owning
+        workers already folded into their own ``errors`` counters (the
+        snapshot keeps the total at exactly one per failed request).
+        """
         with self._lock:
             self._failures += 1
             if timeout:
                 self._timeout_failures += 1
+            self._error_adjustment += 1 - counted_errors
+
+    def observe_failover(self, counted_errors: int = 0) -> None:
+        """One request rescued by a sibling after >= 1 faulted attempts."""
+        with self._lock:
+            self._failovers += 1
+            self._error_adjustment -= counted_errors
+
+    # ------------------------------------------------------------- properties
 
     @property
     def failures(self) -> int:
+        """``FAILED`` responses produced by the router."""
         with self._lock:
             return self._failures
 
     @property
     def timeout_failures(self) -> int:
+        """The subset of :attr:`failures` involving a stalled replica."""
         with self._lock:
             return self._timeout_failures
 
-    def per_shard(self) -> List[MetricsSnapshot]:
-        return [service.metrics.snapshot() for service in self._services]
+    @property
+    def failovers(self) -> int:
+        """Requests answered by a sibling after their first choice faulted."""
+        with self._lock:
+            return self._failovers
 
-    def snapshot(self) -> MetricsSnapshot:
-        snapshots = self.per_shard()
+    @property
+    def unhealthy_replicas(self) -> int:
+        """Replicas currently out of the regular routing rotation."""
+        return sum(
+            1 for shard in self._health for health in shard if not health.healthy
+        )
+
+    # ------------------------------------------------------------- snapshots
+
+    def _aggregate(
+        self,
+        services: Sequence[ValidationService],
+        extra_errors: int = 0,
+        failovers: int = 0,
+        unhealthy: int = 0,
+    ) -> MetricsSnapshot:
+        snapshots = [service.metrics.snapshot() for service in services]
         latencies: List[float] = []
-        for service in self._services:
+        for service in services:
             latencies.extend(service.metrics.latencies())
         completed = sum(snapshot.completed for snapshot in snapshots)
         batches = sum(snapshot.batches for snapshot in snapshots)
@@ -105,8 +208,7 @@ class RouterMetrics:
         return MetricsSnapshot(
             completed=completed,
             rejected=sum(snapshot.rejected for snapshot in snapshots),
-            errors=sum(snapshot.errors for snapshot in snapshots)
-            + self.timeout_failures,
+            errors=sum(snapshot.errors for snapshot in snapshots) + extra_errors,
             cache_hits=sum(snapshot.cache_hits for snapshot in snapshots),
             cache_misses=sum(snapshot.cache_misses for snapshot in snapshots),
             batches=batches,
@@ -119,10 +221,45 @@ class RouterMetrics:
             p99_latency_s=percentile(latencies, 99),
             ingests=sum(snapshot.ingests for snapshot in snapshots),
             ingested_ops=sum(snapshot.ingested_ops for snapshot in snapshots),
+            failovers=failovers,
+            unhealthy_replicas=unhealthy,
         )
 
+    def snapshot(self) -> MetricsSnapshot:
+        """One fleet-wide roll-up across every replica of every shard."""
+        with self._lock:
+            adjustment = self._error_adjustment
+            failovers = self._failovers
+        return self._aggregate(
+            [service for group in self._groups for service in group],
+            extra_errors=adjustment,
+            failovers=failovers,
+            unhealthy=self.unhealthy_replicas,
+        )
+
+    def per_shard(self) -> List[MetricsSnapshot]:
+        """One aggregated snapshot per logical shard (its replicas summed)."""
+        return [self._aggregate(group) for group in self._groups]
+
+    def per_replica(self) -> List[Tuple[int, int, MetricsSnapshot, ReplicaHealth]]:
+        """``(shard, replica, snapshot, health)`` for every replica worker."""
+        rows = []
+        for shard_index, group in enumerate(self._groups):
+            for replica_index, service in enumerate(group):
+                rows.append(
+                    (
+                        shard_index,
+                        replica_index,
+                        service.metrics.snapshot(),
+                        self._health[shard_index][replica_index],
+                    )
+                )
+        return rows
+
+    # ------------------------------------------------------------- rendering
+
     def format_shard_table(self, title: str = "Per-shard metrics") -> str:
-        """One row per shard: the tail-latency/queue/shed roll-up inputs."""
+        """One row per logical shard: the tail-latency/queue/shed roll-ups."""
         lines = [title, "-" * len(title)]
         header = (
             f"{'shard':>5}  {'completed':>9}  {'shed':>5}  {'errors':>6}  "
@@ -139,43 +276,153 @@ class RouterMetrics:
             )
         return "\n".join(lines)
 
+    def format_replica_table(self, title: str = "Per-replica health") -> str:
+        """One row per replica: health state, traffic, faults, probes."""
+        lines = [title, "-" * len(title)]
+        header = (
+            f"{'shard':>5}  {'replica':>7}  {'state':>9}  {'served':>7}  "
+            f"{'completed':>9}  {'faults':>6}  {'timeouts':>8}  {'probes':>6}  "
+            f"{'p50 ms':>8}  {'queue':>5}"
+        )
+        lines.append(header)
+        for shard_index, replica_index, snapshot, health in self.per_replica():
+            state = "healthy" if health.healthy else "unhealthy"
+            lines.append(
+                f"{shard_index:>5}  {replica_index:>7}  {state:>9}  "
+                f"{health.served:>7}  {snapshot.completed:>9}  "
+                f"{health.failures:>6}  {health.timeouts:>8}  {health.probes:>6}  "
+                f"{snapshot.p50_latency_s * 1000:>8.2f}  {snapshot.queue_depth:>5}"
+            )
+        return "\n".join(lines)
+
+
+#: Constructor input: one service per shard (R=1), or one group per shard.
+ShardServices = Union[
+    Sequence[ValidationService], Sequence[Sequence[ValidationService]]
+]
+
 
 class ShardedValidationService:
-    """Routes single-fact requests and mutations to their owning shard."""
+    """Routes single-fact requests and mutations to their owning shard,
+    load-balancing reads across each shard's replica group.
+
+    Parameters
+    ----------
+    shards:
+        Either a flat sequence of :class:`ValidationService` (one replica
+        per shard — the PR 4 topology) or a sequence of replica groups
+        (one inner sequence of services per logical shard; the first
+        member of each group is the shard's primary for epoch reporting).
+    ring:
+        Routing ring; defaults to ``HashRing(num_shards)`` and must match
+        the attached store's ring when one is given.
+    store:
+        The :class:`~repro.store.ShardedStore` of shard *primaries*; wires
+        the :meth:`apply_mutations` write path.
+    request_timeout_s:
+        Per-attempt budget before a stalled replica is abandoned and the
+        request fails over to a sibling.  ``None`` disables timeouts (a
+        stalled replica then blocks its request, as any asyncio await
+        would) — stall detection and health probing need it set.
+    replica_groups:
+        The per-shard :class:`~repro.store.ReplicaGroup` objects backing
+        the replica services' stores (one store copy per service).  When
+        given, every ingest is digest-verified across each owning group's
+        live members.
+    unhealthy_after:
+        Consecutive faults before a replica leaves the routing rotation.
+    probe_interval_s:
+        Seconds an unhealthy replica rests before the balancer routes one
+        canary request at it.
+
+    Raises
+    ------
+    ValueError
+        On empty shard lists, non-positive timeouts/thresholds, or a
+        ring/store/replica-group shape that disagrees with ``shards``.
+    """
 
     def __init__(
         self,
-        shards: Sequence[ValidationService],
+        shards: ShardServices,
         ring: Optional[HashRing] = None,
         store: Optional[ShardedStore] = None,
         request_timeout_s: Optional[float] = None,
+        replica_groups: Optional[Sequence[ReplicaGroup]] = None,
+        unhealthy_after: int = 1,
+        probe_interval_s: float = 0.25,
     ) -> None:
         if not shards:
             raise ValueError("a ShardedValidationService needs at least one shard")
         if request_timeout_s is not None and request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive when set")
-        self.shards: List[ValidationService] = list(shards)
+        if unhealthy_after < 1:
+            raise ValueError("unhealthy_after must be >= 1")
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        if isinstance(shards[0], ValidationService):
+            self.groups: List[List[ValidationService]] = [
+                [service] for service in shards  # type: ignore[list-item]
+            ]
+        else:
+            self.groups = [list(group) for group in shards]  # type: ignore[arg-type]
+        if any(not group for group in self.groups):
+            raise ValueError("every shard needs at least one replica service")
+        if len({len(group) for group in self.groups}) != 1:
+            raise ValueError(
+                "every shard needs the same number of replica services; got "
+                f"{[len(group) for group in self.groups]}"
+            )
+        #: The shard primaries (first replica of each group) — the PR 4
+        #: surface tests and callers index into.
+        self.shards: List[ValidationService] = [group[0] for group in self.groups]
         self.store = store
+        self.replica_groups = list(replica_groups) if replica_groups is not None else None
         if store is not None:
-            if store.num_shards != len(self.shards):
+            if store.num_shards != len(self.groups):
                 raise ValueError(
                     f"store partitions {store.num_shards} ways but "
-                    f"{len(self.shards)} shard services were given"
+                    f"{len(self.groups)} shard groups were given"
                 )
             # One ring routes both reads and writes; a divergent ring would
             # judge facts on one shard and invalidate another.
             if ring is not None and ring != store.ring:
                 raise ValueError("ring must match the attached store's ring")
             ring = store.ring
-        self.ring = ring or HashRing(len(self.shards))
-        if self.ring.num_shards != len(self.shards):
+        if self.replica_groups is not None:
+            if len(self.replica_groups) != len(self.groups):
+                raise ValueError(
+                    f"{len(self.replica_groups)} replica groups for "
+                    f"{len(self.groups)} shards"
+                )
+            for index, (group, replica_group) in enumerate(
+                zip(self.groups, self.replica_groups)
+            ):
+                if replica_group.num_replicas != len(group):
+                    raise ValueError(
+                        f"shard {index}: {len(group)} replica services but "
+                        f"{replica_group.num_replicas} store copies"
+                    )
+        self.ring = ring or HashRing(len(self.groups))
+        if self.ring.num_shards != len(self.groups):
             raise ValueError(
                 f"ring routes over {self.ring.num_shards} shards but "
-                f"{len(self.shards)} shard services were given"
+                f"{len(self.groups)} shard groups were given"
             )
         self.request_timeout_s = request_timeout_s
-        self.metrics = RouterMetrics(self.shards)
+        self.unhealthy_after = unhealthy_after
+        self.probe_interval_s = probe_interval_s
+        self.health: List[List[ReplicaHealth]] = [
+            [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
+            for shard_index, group in enumerate(self.groups)
+        ]
+        self.metrics = RouterMetrics(self.groups, self.health)
+        self._rr = [0] * len(self.groups)
         self._closed = False
+        # Replicas hard-stopped by kill_replica: their store copies missed
+        # every ingest since the kill, so they must never rejoin — not even
+        # across a stop()/start() cycle — without a fresh log ship.
+        self._dead: set = set()
         # Serialises cross-shard ingests so the pre-validation below stays
         # true until the fan-out applies; (re)created in start() so a
         # router reused across event loops never holds a dead-loop lock.
@@ -190,48 +437,112 @@ class ShardedValidationService:
         telemetry: Optional[TelemetryCollector] = None,
         store: Optional[ShardedStore] = None,
         request_timeout_s: Optional[float] = None,
+        replicas: int = 1,
+        unhealthy_after: int = 1,
+        probe_interval_s: float = 0.25,
     ) -> "ShardedValidationService":
-        """N shard services over one ``BenchmarkRunner``'s substrates.
+        """``num_shards`` x ``replicas`` shard services over one runner.
 
-        Each shard gets its own :class:`ValidationService` (own queues,
+        Each replica gets its own :class:`ValidationService` (own queues,
         workers, verdict cache, admission budget) built from the runner's
-        strategy provider, plus its slice of ``store`` when a
-        :class:`~repro.store.ShardedStore` (e.g.
-        ``runner.sharded_store(dataset, num_shards)``) is attached.
+        strategy provider.  With a :class:`~repro.store.ShardedStore`
+        attached and ``replicas > 1``, the store is grown into per-shard
+        :class:`~repro.store.ReplicaGroup` copies (log-shipped from each
+        shard's log) so every replica worker serves its own byte-identical
+        store copy — the fleet shards remain the group primaries.
+
+        Raises :class:`ValueError` when ``num_shards``/``replicas`` is not
+        positive or the store partitions a different number of ways.
         """
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         if store is not None and store.num_shards != num_shards:
             raise ValueError(
                 f"store partitions {store.num_shards} ways; asked for {num_shards}"
             )
-        shards = [
-            ValidationService.from_runner(
-                runner,
-                config,
-                telemetry,
-                store=store.shards[index] if store is not None else None,
-            )
-            for index in range(num_shards)
-        ]
-        return cls(shards, store=store, request_timeout_s=request_timeout_s)
+        replica_groups: Optional[List[ReplicaGroup]] = None
+        if store is not None and replicas > 1:
+            replica_groups = store.replicate(replicas)
+        groups: List[List[ValidationService]] = []
+        for shard_index in range(num_shards):
+            group = []
+            for replica_index in range(replicas):
+                if replica_groups is not None:
+                    replica_store = replica_groups[shard_index].stores[replica_index]
+                elif store is not None:
+                    replica_store = store.shards[shard_index]
+                else:
+                    replica_store = None
+                group.append(
+                    ValidationService.from_runner(
+                        runner, config, telemetry, store=replica_store
+                    )
+                )
+            groups.append(group)
+        return cls(
+            groups,
+            store=store,
+            request_timeout_s=request_timeout_s,
+            replica_groups=replica_groups,
+            unhealthy_after=unhealthy_after,
+            probe_interval_s=probe_interval_s,
+        )
 
     # ---------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
+        """Start every replica worker and reset routing/health state.
+
+        Replicas removed by :meth:`kill_replica` stay stopped and
+        unhealthy: their store copies missed every ingest since the kill,
+        so restarting them would serve stale epochs and diverge the next
+        log ship.
+        """
         self._closed = False
         self._ingest_lock = asyncio.Lock()
-        for shard in self.shards:
-            await shard.start()
+        self._rr = [0] * len(self.groups)
+        self.health = [
+            [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
+            for shard_index, group in enumerate(self.groups)
+        ]
+        self.metrics = RouterMetrics(self.groups, self.health)
+        for shard_index, group in enumerate(self.groups):
+            for replica_index, service in enumerate(group):
+                if (shard_index, replica_index) in self._dead:
+                    self.health[shard_index][replica_index].healthy = False
+                    continue
+                await service.start()
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop every shard; ``drain=True`` answers all admitted requests first.
+        """Stop every replica; ``drain=True`` answers admitted requests first.
 
-        Shards stop concurrently, so the drain wall time is the slowest
-        shard's, not the sum.
+        Replicas stop concurrently, so the drain wall time is the slowest
+        *healthy* replica's, not the sum — and crucially not an unhealthy
+        replica's: a replica that is out of the rotation (stalled, killed,
+        or marked via :meth:`mark_unhealthy`) is hard-stopped instead of
+        drained, so a dead replica's stuck queue can never wedge shutdown.
+        Its in-flight futures are cancelled explicitly (the PR 4 hard-stop
+        contract), never silently dropped.  The exception is a group with
+        no healthy sibling left (a single-replica shard after one fault,
+        say): its unhealthy-but-running replicas are still the only path to
+        an answer for their admitted requests, so they drain normally.
         """
         self._closed = True
-        await asyncio.gather(*(shard.stop(drain=drain) for shard in self.shards))
+        stops = []
+        for shard_index, group in enumerate(self.groups):
+            healths = self.health[shard_index]
+            has_healthy_sibling = any(
+                healths[index].healthy and not replica._closed
+                for index, replica in enumerate(group)
+            )
+            for replica_index, service in enumerate(group):
+                replica_drain = drain and not service._closed and (
+                    healths[replica_index].healthy or not has_healthy_sibling
+                )
+                stops.append(service.stop(drain=replica_drain))
+        await asyncio.gather(*stops)
 
     async def __aenter__(self) -> "ShardedValidationService":
         await self.start()
@@ -240,20 +551,59 @@ class ShardedValidationService:
     async def __aexit__(self, *exc_info) -> None:
         await self.stop()
 
+    async def kill_replica(self, shard_index: int, replica_index: int) -> None:
+        """Hard-stop one replica in place (fault injection / ops eviction).
+
+        The replica leaves the routing rotation immediately, its in-flight
+        requests fail over to sibling replicas, and — because a stopped
+        service cannot apply mutations — it stays out of the rotation for
+        the rest of the router's life, *including across*
+        ``stop()``/``start()`` cycles (rejoining would need a fresh log
+        ship; its store copy misses every ingest from now on).  Raises
+        :class:`IndexError` for out-of-range coordinates.
+        """
+        health = self.health[shard_index][replica_index]
+        health.healthy = False
+        health.marked_unhealthy_at = time.monotonic()
+        self._dead.add((shard_index, replica_index))
+        await self.groups[shard_index][replica_index].stop(drain=False)
+
+    def mark_unhealthy(self, shard_index: int, replica_index: int) -> None:
+        """Evict one replica from the routing rotation by hand.
+
+        The balancer stops sending regular traffic immediately; a health
+        probe after ``probe_interval_s`` re-admits the replica if it still
+        answers.  Raises :class:`IndexError` for out-of-range coordinates.
+        """
+        health = self.health[shard_index][replica_index]
+        health.healthy = False
+        health.marked_unhealthy_at = time.monotonic()
+
     # ---------------------------------------------------------------- properties
 
     @property
     def num_shards(self) -> int:
-        return len(self.shards)
+        """Logical shard count (not the replica worker count)."""
+        return len(self.groups)
+
+    @property
+    def num_replicas(self) -> int:
+        """Replica workers per shard (uniform — the constructor rejects
+        ragged groups)."""
+        return len(self.groups[0])
 
     @property
     def pending(self) -> int:
-        """Admitted-not-answered requests across the fleet."""
-        return sum(shard.pending for shard in self.shards)
+        """Admitted-not-answered requests across every replica of the fleet."""
+        return sum(service.pending for group in self.groups for service in group)
 
     @property
     def epoch_vector(self) -> Tuple[int, ...]:
-        return tuple(shard.epoch for shard in self.shards)
+        """Per-shard epochs: the max over each group's live replicas (a
+        killed replica's lagging store copy never rolls the shard back)."""
+        return tuple(
+            max(service.epoch for service in group) for group in self.groups
+        )
 
     @property
     def epoch(self) -> int:
@@ -267,43 +617,78 @@ class ShardedValidationService:
     # ---------------------------------------------------------------- serving
 
     async def submit(self, request: ServiceRequest) -> ServiceResponse:
-        """Route one request to its owning shard; faults surface as ``FAILED``.
+        """Route one request to its owning shard, failing over across replicas.
 
-        Load shedding still surfaces as ``REJECTED`` (that is the owning
-        shard's admission control speaking); a shard that raises — or
-        stalls past ``request_timeout_s`` — produces a ``FAILED`` response
-        with the error detail instead of an exception or a hang.
+        The balancer picks the least-loaded healthy replica first (round-
+        robin tie-break); a faulted attempt — raise, stall past
+        ``request_timeout_s``, or a replica killed mid-request — marks the
+        replica and retries on the next sibling, so single-replica faults
+        are invisible to the caller.  Load shedding still surfaces as
+        ``REJECTED`` (that is the owning replica's admission control
+        speaking, not a fault).  Only when every replica of the shard
+        faults does the caller see a ``FAILED`` response carrying the
+        per-attempt error details.  Raises :class:`RuntimeError` when the
+        router is stopped, and propagates :class:`asyncio.CancelledError`
+        when the *caller* (or a router shutdown) cancels the request.
         """
         if self._closed:
             raise RuntimeError("service is stopped")
-        index = self.shard_for(request)
-        shard = self.shards[index]
+        shard_index = self.shard_for(request)
+        group = self.groups[shard_index]
         started = time.perf_counter()
-        try:
-            if self.request_timeout_s is not None:
-                response = await asyncio.wait_for(
-                    shard.submit(request), timeout=self.request_timeout_s
+        errors: List[str] = []
+        counted_errors = 0
+        timed_out = False
+        for replica_index in self._replica_order(shard_index):
+            service = group[replica_index]
+            label = self._replica_label(shard_index, replica_index)
+            if service._closed:
+                errors.append(f"{label} is stopped")
+                self._record_failure(shard_index, replica_index)
+                continue
+            try:
+                if self.request_timeout_s is not None:
+                    response = await asyncio.wait_for(
+                        service.submit(request), timeout=self.request_timeout_s
+                    )
+                else:
+                    response = await service.submit(request)
+            except asyncio.TimeoutError:
+                timed_out = True
+                errors.append(
+                    f"{label} stalled past {self.request_timeout_s:.3f}s"
                 )
-            else:
-                response = await shard.submit(request)
-        except asyncio.TimeoutError:
-            self.metrics.observe_failure(timeout=True)
-            return self._failed_response(
-                started,
-                index,
-                f"shard {index} stalled past {self.request_timeout_s:.3f}s",
-            )
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            # The shard's own metrics already counted admitted-but-failed
-            # batches; the router only converts the exception into an
-            # explicit outcome so scatter-gather callers never lose a slot.
-            self.metrics.observe_failure()
-            return self._failed_response(
-                started, index, f"shard {index} failed: {exc!r}"
-            )
-        return self._stamp(response, index)
+                self._record_failure(shard_index, replica_index, timeout=True)
+                continue
+            except asyncio.CancelledError:
+                if service._closed and not self._closed:
+                    # The replica was hard-stopped under us (kill_replica):
+                    # its future cancellation is a replica fault to fail
+                    # over from, not our caller cancelling.
+                    errors.append(f"{label} was stopped mid-request")
+                    self._record_failure(shard_index, replica_index)
+                    continue
+                # Caller cancellation: release an in-flight canary so the
+                # replica stays probe-eligible for the next request.
+                self.health[shard_index][replica_index].probing = False
+                raise
+            except Exception as exc:
+                if not (isinstance(exc, RuntimeError) and service._closed):
+                    # The owning worker counted this admitted-but-failed
+                    # request in its own errors counter; remember it so the
+                    # fleet snapshot never double-counts after a failover.
+                    counted_errors += 1
+                errors.append(f"{label} failed: {exc!r}")
+                self._record_failure(shard_index, replica_index)
+                continue
+            self._record_success(shard_index, replica_index)
+            if errors:
+                self.metrics.observe_failover(counted_errors)
+            return self._stamp(response, shard_index)
+        if not errors:  # pragma: no cover - defensive: empty order
+            errors.append(f"shard {shard_index} has no serving replicas")
+        self.metrics.observe_failure(timeout=timed_out, counted_errors=counted_errors)
+        return self._failed_response(started, shard_index, "; ".join(errors))
 
     async def submit_many(
         self, requests: Sequence[ServiceRequest]
@@ -330,20 +715,25 @@ class ShardedValidationService:
     # ---------------------------------------------------------------- ingestion
 
     async def apply_mutations(self, mutations: Sequence[Mutation]) -> ShardApplyReport:
-        """Route a mutation batch to its owning shards and apply concurrently.
+        """Route a mutation batch to its owning shards; ship to every replica.
 
-        Each owning shard quiesces *itself* (drains its in-flight reads,
-        applies, bumps its epoch) while the rest of the fleet keeps
-        serving — the per-shard invalidation contract: only the mutated
-        shard's cached verdicts go stale.
+        Each owning shard's replicas quiesce *themselves* (drain their
+        in-flight reads, apply the identical batch to their own store copy,
+        bump their epoch) while the rest of the fleet keeps serving — the
+        per-shard invalidation contract: only the mutated shard's cached
+        verdicts go stale.  With replicated stores attached, the group is
+        digest-verified after the ship (:class:`ReplicaDivergedError` on
+        any drift); replicas whose workers were killed are skipped and stay
+        out of the rotation (their store copies stop at the pre-ingest
+        epoch).
 
         The all-or-nothing contract of :meth:`ShardedStore.apply` extends
         to this path: every sub-batch is validated against its shard
         *before* any shard applies (cross-shard ingests serialise on a
         router lock so the validation stays true through the fan-out), so
-        a rejected batch raises without mutating or epoch-bumping any
-        shard.  In-flight reads cannot invalidate the pre-validation —
-        only ingests mutate, and they all pass through this lock.
+        a rejected batch raises :class:`ValueError` without mutating or
+        epoch-bumping any replica.  Raises :class:`RuntimeError` when the
+        router is stopped or no store is attached.
         """
         if self._closed:
             raise RuntimeError("service is stopped")
@@ -352,17 +742,159 @@ class ShardedValidationService:
         batch = list(mutations)
         if not batch:
             raise ValueError("mutation batch must not be empty")
-        groups = self.store.route(batch)
-        indexes = sorted(groups)
+        groups_map = self.store.route(batch)
+        indexes = sorted(groups_map)
         async with self._ingest_lock:
+            # Liveness and validation both run for EVERY owning shard before
+            # ANY shard applies, so a doomed batch leaves the fleet
+            # untouched.  Validation uses each shard's first *live*
+            # replica's store: a killed primary's copy stops at its death
+            # epoch and no longer reflects the state the live replicas
+            # would apply against.
+            live_by_shard: dict = {}
             for index in indexes:
-                self.store.shards[index]._validate(groups[index])
+                live = []
+                for replica_index, service in enumerate(self.groups[index]):
+                    if service._closed:
+                        # A killed replica cannot apply; it must never
+                        # rejoin the rotation with a stale store copy.
+                        self.health[index][replica_index].healthy = False
+                        continue
+                    live.append(service)
+                if not live:
+                    raise RuntimeError(
+                        f"shard {index} has no live replicas to apply the batch"
+                    )
+                live_by_shard[index] = live
+            for index in indexes:
+                validation_store = live_by_shard[index][0].store
+                if validation_store is None:
+                    validation_store = self.store.shards[index]
+                validation_store._validate(groups_map[index])
+
+            async def apply_to_shard(index: int):
+                reports = await asyncio.gather(
+                    *(
+                        service.apply_mutations(groups_map[index])
+                        for service in live_by_shard[index]
+                    )
+                )
+                self._verify_group(index)
+                return reports[0]
+
             reports = await asyncio.gather(
-                *(self.shards[index].apply_mutations(groups[index]) for index in indexes)
+                *(apply_to_shard(index) for index in indexes)
             )
         return ShardApplyReport(tuple(zip(indexes, reports)), self.epoch_vector)
 
     # ---------------------------------------------------------------- internals
+
+    def _replica_label(self, shard_index: int, replica_index: int) -> str:
+        if len(self.groups[shard_index]) == 1:
+            return f"shard {shard_index}"
+        return f"shard {shard_index} replica {replica_index}"
+
+    def _replica_order(self, shard_index: int) -> List[int]:
+        """Balancer pick order: probe-due canary, then healthy replicas by
+        queue depth (round-robin tie-break), then unhealthy last resorts.
+
+        Unhealthy-but-running replicas stay at the tail so a shard whose
+        every replica is marked down still *tries* (a request is the
+        cheapest probe there is) instead of failing instantly; stopped
+        replicas are skipped by :meth:`submit` outright.
+        """
+        group = self.groups[shard_index]
+        healths = self.health[shard_index]
+        if len(group) == 1:
+            return [0]
+        offset = self._rr[shard_index]
+        self._rr[shard_index] = (offset + 1) % len(group)
+        now = time.monotonic()
+        healthy: List[int] = []
+        due: List[int] = []
+        resting: List[int] = []
+        for replica_index, health in enumerate(healths):
+            if group[replica_index]._closed:
+                continue
+            if health.healthy:
+                healthy.append(replica_index)
+            elif (
+                not health.probing
+                and health.marked_unhealthy_at is not None
+                and now - health.marked_unhealthy_at >= self.probe_interval_s
+            ):
+                due.append(replica_index)
+            else:
+                resting.append(replica_index)
+        healthy.sort(
+            key=lambda index: (group[index].pending, (index - offset) % len(group))
+        )
+        order: List[int] = []
+        if due:
+            probe = min(due, key=lambda index: healths[index].marked_unhealthy_at)
+            probe_health = healths[probe]
+            probe_health.probing = True
+            probe_health.probes += 1
+            order.append(probe)
+            resting.extend(index for index in due if index != probe)
+        order.extend(healthy)
+        order.extend(sorted(resting))
+        return order
+
+    def _record_success(self, shard_index: int, replica_index: int) -> None:
+        health = self.health[shard_index][replica_index]
+        health.served += 1
+        health.consecutive_failures = 0
+        health.probing = False
+        if not health.healthy:
+            health.healthy = True
+            health.marked_unhealthy_at = None
+            health.readmissions += 1
+
+    def _record_failure(
+        self, shard_index: int, replica_index: int, timeout: bool = False
+    ) -> None:
+        health = self.health[shard_index][replica_index]
+        health.failures += 1
+        if timeout:
+            health.timeouts += 1
+        health.consecutive_failures += 1
+        health.probing = False
+        if health.consecutive_failures >= self.unhealthy_after:
+            health.healthy = False
+        # Every fault re-anchors the probe timer, so a failed canary rests
+        # the replica for another full interval before the next one.
+        health.marked_unhealthy_at = time.monotonic()
+
+    def _verify_group(self, shard_index: int) -> None:
+        """Lockstep-check one shard's live replica stores after a ship.
+
+        Epochs are always compared (O(1)); the full state-digest pass —
+        which hashes the whole graph + corpus per replica, a cost that
+        scales with store size rather than batch size — honours the
+        group's ``verify_digests`` knob so large deployments can opt out.
+        """
+        if self.replica_groups is None:
+            return
+        replica_group = self.replica_groups[shard_index]
+        live = [
+            store
+            for service, store in zip(self.groups[shard_index], replica_group.stores)
+            if not service._closed
+        ]
+        epochs = {store.epoch for store in live}
+        diverged = len(epochs) != 1
+        if not diverged and replica_group.verify_digests:
+            digests = {
+                store.state_digest(include_index=replica_group.include_index)
+                for store in live
+            }
+            diverged = len(digests) != 1
+        if diverged:
+            raise ReplicaDivergedError(
+                f"shard {shard_index} replicas diverged after log ship "
+                f"(epochs {sorted(epochs)})"
+            )
 
     def _stamp(self, response: ServiceResponse, index: int) -> ServiceResponse:
         """Attach the composite epoch vector; the owning shard's component is

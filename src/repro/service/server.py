@@ -111,14 +111,17 @@ class ServiceResponse:
 
     @property
     def rejected(self) -> bool:
+        """True when admission control shed this request."""
         return self.outcome is RequestOutcome.REJECTED
 
     @property
     def ingested(self) -> bool:
+        """True when this response answers a mutation-batch write."""
         return self.outcome is RequestOutcome.INGESTED
 
     @property
     def failed(self) -> bool:
+        """True when every serving attempt faulted (explicit failure)."""
         return self.outcome is RequestOutcome.FAILED
 
 
@@ -188,6 +191,12 @@ class ValidationService:
     # ---------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
+        """(Re)open the service on the current event loop.
+
+        Recreates the loop-bound primitives (admission gate, ingest lock)
+        and restarts the metrics window; strategy workers spawn lazily on
+        the first request for their ``(method, model)``.
+        """
         self._closed = False
         self._admission_gate = asyncio.Event()
         self._admission_gate.set()
@@ -239,7 +248,15 @@ class ValidationService:
         return self.store.epoch if self.store is not None else 0
 
     async def submit(self, request: ServiceRequest) -> ServiceResponse:
-        """Validate one fact; never raises for load reasons — it sheds."""
+        """Validate one fact; never raises for load reasons — it sheds.
+
+        Returns a ``COMPLETED`` response (cached or freshly judged) or a
+        ``REJECTED`` one when the in-flight budget is full.  Raises
+        :class:`RuntimeError` when the service is stopped, propagates the
+        strategy's exception when its whole micro-batch group fails, and
+        raises :class:`asyncio.CancelledError` when a hard stop abandons
+        the request.
+        """
         if self._closed:
             raise RuntimeError("service is stopped")
         started = time.perf_counter()
@@ -339,6 +356,11 @@ class ValidationService:
         verdict key stale automatically, and the cached per-``(method,
         dataset, model)`` strategies are dropped so the next batch rebuilds
         them over the mutated substrates.
+
+        Returns the store's :class:`~repro.store.ApplyReport`.  Raises
+        :class:`RuntimeError` when no store is attached or the service is
+        stopped, and :class:`ValueError` (from the store, nothing applied)
+        when the batch fails validation.
         """
         if self.store is None:
             raise RuntimeError("no VersionedKnowledgeStore attached to this service")

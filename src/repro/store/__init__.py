@@ -17,8 +17,11 @@ this package makes them *mutable with history*:
 * :mod:`repro.store.sharding` — :class:`ShardedStore`: the corpus and
   graph partitioned across N store shards by a consistent-hash
   :class:`HashRing` on the subject entity, each shard with its own
-  monotonic epoch and mutation log (the scale-out substrate behind
-  :class:`~repro.service.router.ShardedValidationService`).
+  monotonic epoch and mutation log; and :class:`ReplicaGroup`: R
+  byte-identical copies of one shard kept in lockstep by log shipping
+  with digest enforcement (:class:`ReplicaDivergedError` on drift) —
+  together the scale-out and availability substrate behind
+  :class:`~repro.service.router.ShardedValidationService`.
 
 Quickstart::
 
@@ -39,7 +42,14 @@ from .log import (
     MutationLog,
     read_mutations_jsonl,
 )
-from .sharding import HashRing, ShardApplyReport, ShardedStore, mutation_shard_key
+from .sharding import (
+    HashRing,
+    ReplicaDivergedError,
+    ReplicaGroup,
+    ShardApplyReport,
+    ShardedStore,
+    mutation_shard_key,
+)
 from .store import ApplyReport, StoreConfig, StoreSnapshot, VersionedKnowledgeStore
 
 __all__ = [
@@ -50,6 +60,8 @@ __all__ = [
     "Mutation",
     "MutationLog",
     "REMOVE_TRIPLE",
+    "ReplicaDivergedError",
+    "ReplicaGroup",
     "ShardApplyReport",
     "ShardedStore",
     "StoreConfig",

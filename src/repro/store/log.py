@@ -71,19 +71,24 @@ class Mutation:
 
     @staticmethod
     def add_triple(subject: str, predicate: str, obj: str) -> "Mutation":
+        """An ``add_triple`` mutation for ``(subject, predicate, obj)``."""
         return Mutation(ADD_TRIPLE, triple=Triple(subject, predicate, obj))
 
     @staticmethod
     def remove_triple(subject: str, predicate: str, obj: str) -> "Mutation":
+        """A ``remove_triple`` mutation for ``(subject, predicate, obj)``."""
         return Mutation(REMOVE_TRIPLE, triple=Triple(subject, predicate, obj))
 
     @staticmethod
     def add_document(document: Document) -> "Mutation":
+        """An ``add_document`` mutation carrying ``document`` verbatim."""
         return Mutation(ADD_DOCUMENT, document=document)
 
     # -- serialisation -------------------------------------------------------
 
     def to_json(self) -> Dict[str, object]:
+        """This mutation as a JSON-serialisable dict (no epoch stamp —
+        the log adds that per record); inverse of :meth:`from_json`."""
         if self.op == ADD_DOCUMENT:
             payload = {name: getattr(self.document, name) for name in _DOC_FIELDS}
             return {"op": self.op, "document": payload}
@@ -96,6 +101,11 @@ class Mutation:
 
     @staticmethod
     def from_json(record: Dict[str, object]) -> "Mutation":
+        """Rebuild a mutation from :meth:`to_json` output.
+
+        Raises :class:`ValueError` for an unknown ``op`` or a record
+        missing the payload fields its op requires.
+        """
         op = record.get("op")
         if op == ADD_DOCUMENT:
             payload = record.get("document")
@@ -140,6 +150,11 @@ class MutationLog:
         return self._records[-1][0] if self._records else self.floor_epoch
 
     def append_batch(self, epoch: int, mutations: Sequence[Mutation]) -> None:
+        """Record one applied batch at ``epoch``.
+
+        Raises :class:`ValueError` when ``epoch`` does not advance the log
+        (epochs are strictly monotonic — one per applied batch).
+        """
         if epoch <= self.max_epoch:
             raise ValueError(
                 f"epoch {epoch} is not monotonic (log already at {self.max_epoch})"
@@ -201,7 +216,13 @@ class MutationLog:
 
 
 def read_mutations_jsonl(path: str) -> List[Mutation]:
-    """Parse a plain mutations file (one op per line, no epochs) for ingestion."""
+    """Parse a plain mutations file (one op per line, no epochs) for ingestion.
+
+    Header lines (``{"kind": "header", …}``) and blank lines are skipped,
+    so a saved store log is itself a valid mutations file.  Raises
+    :class:`ValueError` on malformed JSON or unknown ops (with the
+    offending line number) and :class:`OSError` when unreadable.
+    """
     mutations: List[Mutation] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):

@@ -26,6 +26,18 @@ untouched; per-shard application itself is atomic as in the unsharded
 store.  There is deliberately no cross-shard transaction beyond that — the
 multi-branch-synchronisation literature (PAPERS.md) and this repo's own
 benchmarks treat partition-local epochs as the consistency unit.
+
+Replication (:class:`ReplicaGroup`) is the availability axis on top of the
+partitioning axis: one logical shard becomes R byte-identical
+:class:`VersionedKnowledgeStore` copies kept in sync by *log shipping* —
+the primary validates and applies a batch first, then the identical batch
+is shipped to every replica at the same epoch, exactly the MSMQ-style
+multi-branch synchronisation scheme (arXiv:0912.2134) the append-only
+:class:`~repro.store.log.MutationLog` makes cheap.  Because replay is
+deterministic down to interning order and posting-array layout, shipping
+the same batches in the same order *must* produce byte-identical replicas;
+the group enforces that with post-apply state digests and raises
+:class:`ReplicaDivergedError` the moment a copy drifts.
 """
 
 from __future__ import annotations
@@ -43,6 +55,8 @@ from .store import ApplyReport, StoreConfig, VersionedKnowledgeStore
 
 __all__ = [
     "HashRing",
+    "ReplicaDivergedError",
+    "ReplicaGroup",
     "ShardApplyReport",
     "ShardedStore",
     "mutation_shard_key",
@@ -129,15 +143,200 @@ class ShardApplyReport:
 
     @property
     def epoch(self) -> int:
+        """Composite scalar epoch: the sum of the post-batch epoch vector."""
         return sum(self.epoch_vector)
 
     @property
     def total_ops(self) -> int:
+        """Operations performed across every owning shard."""
         return sum(report.total_ops for _, report in self.shard_reports)
 
     @property
     def shards_touched(self) -> Tuple[int, ...]:
+        """Indexes of the shards the batch actually routed work to."""
         return tuple(index for index, _ in self.shard_reports)
+
+
+class ReplicaDivergedError(RuntimeError):
+    """A replica's state digest stopped matching its group's primary.
+
+    With deterministic replay this can only happen when a replica's store
+    was mutated outside the group's :meth:`ReplicaGroup.apply` path (or a
+    bug broke replay determinism); the group refuses to keep serving a
+    diverged copy rather than returning split-brain verdicts.
+    """
+
+
+class ReplicaGroup:
+    """R byte-identical copies of one logical shard, synced by log shipping.
+
+    ``stores[0]`` is the **primary**: every mutation batch is validated and
+    applied there first, then shipped — the same batch, in the same order,
+    at the same epoch — to each replica.  Deterministic replay guarantees
+    the copies stay byte-identical; :meth:`verify` proves it after every
+    ship when ``verify_digests`` is set (the default).
+
+    The group exists so a serving tier can fan *reads* across the copies
+    and fail over when one copy's worker dies; the store layer itself only
+    guarantees the copies agree.
+
+    Parameters
+    ----------
+    stores:
+        The member stores, primary first.  All members must share one epoch
+        (and, when ``verify_digests`` is set, one state digest) at
+        construction time.
+    verify_digests:
+        When true (default), :meth:`apply` digest-checks the whole group
+        after shipping and :meth:`verify` runs at construction.
+    include_index:
+        Whether digest checks cover the BM25 index layout as well as the
+        graph + corpus bytes.  Defaults to ``False``: the serving tier's
+        replica stores are versioning substrates (strategies read the
+        runner's own indexes), and hashing the index would force a full
+        index build per ingest.  Property tests flip it on.
+
+    Raises
+    ------
+    ValueError
+        If ``stores`` is empty or the members' epochs disagree.
+    ReplicaDivergedError
+        From the constructor or :meth:`apply` when digests disagree.
+    """
+
+    def __init__(
+        self,
+        stores: Sequence[VersionedKnowledgeStore],
+        verify_digests: bool = True,
+        include_index: bool = False,
+    ) -> None:
+        if not stores:
+            raise ValueError("a ReplicaGroup needs at least one store")
+        self.stores: List[VersionedKnowledgeStore] = list(stores)
+        self.verify_digests = verify_digests
+        self.include_index = include_index
+        epochs = {store.epoch for store in self.stores}
+        if len(epochs) != 1:
+            raise ValueError(
+                f"replica epochs diverge at construction: {sorted(epochs)}"
+            )
+        if verify_digests:
+            self.verify()
+
+    @classmethod
+    def replicate(
+        cls,
+        primary: VersionedKnowledgeStore,
+        replicas: int,
+        verify_digests: bool = True,
+        include_index: bool = False,
+    ) -> "ReplicaGroup":
+        """Grow one store into a group of ``replicas`` total copies.
+
+        The secondaries are built by replaying the primary's mutation log —
+        the bootstrap is itself a log ship, so a fresh replica is
+        byte-identical by construction (each copy re-checks
+        ``store == replay(log)`` for free).
+
+        Raises :class:`ValueError` when ``replicas < 1``.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        copies = [primary]
+        copies.extend(
+            VersionedKnowledgeStore.replay(
+                primary.log,
+                config=primary.config,
+                embedder=primary.embedder,
+                name=f"{primary.name}-replica{index}",
+            )
+            for index in range(1, replicas)
+        )
+        return cls(copies, verify_digests=verify_digests, include_index=include_index)
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def primary(self) -> VersionedKnowledgeStore:
+        """The copy that validates and applies every batch first."""
+        return self.stores[0]
+
+    @property
+    def num_replicas(self) -> int:
+        """Total member count, the primary included."""
+        return len(self.stores)
+
+    @property
+    def epoch(self) -> int:
+        """The group's epoch (all members advance in lockstep)."""
+        return self.primary.epoch
+
+    # ------------------------------------------------------------- mutation
+
+    def apply(self, mutations: Sequence[Mutation]) -> ApplyReport:
+        """Validate on the primary, apply there, then ship to every replica.
+
+        The primary's validation gates the whole group: a rejected batch
+        (``ValueError`` from the primary's ``apply``, raised before it
+        touches anything) leaves every copy untouched.  After the primary
+        applies, the identical batch is shipped to each replica; replay
+        determinism means every copy lands on the same epoch with the same
+        bytes, which :meth:`verify` enforces when ``verify_digests`` is
+        set.
+
+        Returns the **primary's** :class:`~repro.store.store.ApplyReport`
+        (the replicas' reports are byte-for-byte the same story).
+
+        Raises :class:`ValueError` for an empty or invalid batch and
+        :class:`ReplicaDivergedError` when a shipped replica's epoch or
+        digest stops matching the primary's.
+        """
+        batch = list(mutations)
+        report = self.primary.apply(batch)
+        for replica in self.stores[1:]:
+            shipped = replica.apply(batch)
+            if shipped.epoch != report.epoch:
+                raise ReplicaDivergedError(
+                    f"replica {replica.name} applied at epoch {shipped.epoch}, "
+                    f"primary at {report.epoch}"
+                )
+        if self.verify_digests:
+            self.verify()
+        return report
+
+    # ------------------------------------------------------------- verification
+
+    def digests(self, include_index: Optional[bool] = None) -> List[str]:
+        """Per-member state digests, primary first."""
+        include = self.include_index if include_index is None else include_index
+        return [store.state_digest(include_index=include) for store in self.stores]
+
+    def verify(self, include_index: Optional[bool] = None) -> str:
+        """Prove the group byte-identical; returns the shared digest.
+
+        Raises :class:`ReplicaDivergedError` when any member's digest (or
+        epoch) disagrees with the primary's.
+        """
+        epochs = [store.epoch for store in self.stores]
+        if len(set(epochs)) != 1:
+            raise ReplicaDivergedError(f"replica epochs diverge: {epochs}")
+        digests = self.digests(include_index=include_index)
+        if len(set(digests)) != 1:
+            diverged = [
+                store.name
+                for store, digest in zip(self.stores, digests)
+                if digest != digests[0]
+            ]
+            raise ReplicaDivergedError(
+                f"replicas diverged from primary {self.primary.name}: {diverged}"
+            )
+        return digests[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicaGroup(primary={self.primary.name!r}, "
+            f"replicas={self.num_replicas}, epoch={self.epoch})"
+        )
 
 
 class ShardedStore:
@@ -199,6 +398,7 @@ class ShardedStore:
 
     @property
     def num_shards(self) -> int:
+        """How many ways the partition splits the key space."""
         return len(self.shards)
 
     @property
@@ -219,16 +419,22 @@ class ShardedStore:
 
     @property
     def total_triples(self) -> int:
+        """Live triples across the whole partition."""
         return sum(len(shard.graph) for shard in self.shards)
 
     @property
     def total_documents(self) -> int:
+        """Documents across the whole partition."""
         return sum(len(shard.corpus) for shard in self.shards)
 
     def shard_for(self, key: str) -> int:
+        """The index of the shard owning a routing ``key`` (subject entity
+        or fact id)."""
         return self.ring.shard_for(key)
 
     def shard_of(self, mutation: Mutation) -> int:
+        """The index of the shard owning one mutation (via
+        :func:`mutation_shard_key`)."""
         return self.ring.shard_for(mutation_shard_key(mutation))
 
     # ------------------------------------------------------------- mutation
@@ -247,6 +453,9 @@ class ShardedStore:
         every shard accepts does any shard apply, so a rejected batch
         leaves the whole fleet untouched (the unsharded all-or-nothing
         contract, extended across the partition).
+
+        Raises :class:`ValueError` when the batch is empty or any
+        sub-batch fails its shard's validation.
         """
         batch = list(mutations)
         if not batch:
@@ -262,6 +471,7 @@ class ShardedStore:
     # ------------------------------------------------------------- verification
 
     def state_digests(self, include_index: bool = True) -> List[str]:
+        """Per-shard state digests, in shard order."""
         return [shard.state_digest(include_index=include_index) for shard in self.shards]
 
     def state_digest(self, include_index: bool = True) -> str:
@@ -270,6 +480,32 @@ class ShardedStore:
         for shard_digest in self.state_digests(include_index=include_index):
             digest.update(shard_digest.encode("ascii"))
         return digest.hexdigest()
+
+    def replicate(
+        self,
+        replicas: int,
+        verify_digests: bool = True,
+        include_index: bool = False,
+    ) -> List[ReplicaGroup]:
+        """One :class:`ReplicaGroup` per shard, each ``replicas`` copies deep.
+
+        The live shards become the group primaries; the secondaries are
+        replayed from each shard's own log.  Returns the groups in shard
+        order — the substrate a replicated serving tier
+        (:class:`~repro.service.router.ShardedValidationService` with
+        ``replicas > 1``) hands one store copy per replica worker.
+
+        Raises :class:`ValueError` when ``replicas < 1``.
+        """
+        return [
+            ReplicaGroup.replicate(
+                shard,
+                replicas,
+                verify_digests=verify_digests,
+                include_index=include_index,
+            )
+            for shard in self.shards
+        ]
 
     def replay_twin(self) -> "ShardedStore":
         """Rebuild every shard from its own mutation log (byte-identical)."""
@@ -284,6 +520,7 @@ class ShardedStore:
     # ------------------------------------------------------------- persistence
 
     def shard_path(self, prefix: str, index: int) -> str:
+        """The on-disk log path of shard ``index`` under ``prefix``."""
         return f"{prefix}.shard{index}"
 
     def save(self, prefix: str) -> List[str]:

@@ -77,6 +77,8 @@ class StoreConfig:
             raise ValueError("graph_rebuild_fraction must be in (0, 1]")
 
     def as_payload(self) -> Dict[str, float]:
+        """The replay-relevant knobs as a JSON-serialisable dict (persisted
+        in the log header so a loaded store rebuilds identically)."""
         return {
             "index_rebuild_fraction": self.index_rebuild_fraction,
             "graph_rebuild_fraction": self.graph_rebuild_fraction,
@@ -84,6 +86,8 @@ class StoreConfig:
 
     @staticmethod
     def from_payload(payload: Dict[str, object]) -> "StoreConfig":
+        """Rebuild a config from :meth:`as_payload` output (missing keys
+        fall back to the defaults)."""
         return StoreConfig(
             index_rebuild_fraction=float(payload.get("index_rebuild_fraction", 0.5)),
             graph_rebuild_fraction=float(payload.get("graph_rebuild_fraction", 0.5)),
@@ -104,6 +108,7 @@ class ApplyReport:
 
     @property
     def total_ops(self) -> int:
+        """Operations the batch performed (adds + removals + documents)."""
         return self.triples_added + self.triples_removed + self.documents_added
 
 
@@ -124,6 +129,7 @@ class StoreSnapshot:
         self._engine: Optional[SearchEngine] = None
 
     def search_engine(self) -> SearchEngine:
+        """The BM25 index over this snapshot's corpus, built on first use."""
         if self._engine is None:
             self._engine = SearchEngine(self.corpus)
         return self._engine
@@ -261,23 +267,28 @@ class VersionedKnowledgeStore:
     # ------------------------------------------------------------- mutation
 
     def add_triple(self, subject: str, predicate: str, obj: str) -> ApplyReport:
+        """Apply a single-triple add batch (see :meth:`apply`)."""
         return self.apply([Mutation.add_triple(subject, predicate, obj)])
 
     def remove_triple(self, subject: str, predicate: str, obj: str) -> ApplyReport:
+        """Apply a single-triple removal batch (see :meth:`apply`);
+        raises :class:`ValueError` when the triple is absent."""
         return self.apply([Mutation.remove_triple(subject, predicate, obj)])
 
     def add_document(self, document: Document) -> ApplyReport:
+        """Apply a single-document add batch (see :meth:`apply`);
+        raises :class:`ValueError` on a duplicate ``doc_id``."""
         return self.apply([Mutation.add_document(document)])
 
     def apply(self, mutations: Sequence[Mutation]) -> ApplyReport:
         """Apply one mutation batch atomically; returns what changed.
 
-        The whole batch is validated against the current state first (a
-        remove of an absent triple or a duplicate document id rejects the
-        batch before anything is touched), then applied, logged at
-        ``epoch + 1``, and pushed through the incremental index
-        maintenance.  Duplicate triple adds are permitted no-ops, matching
-        :meth:`KnowledgeGraph.add`.
+        The whole batch is validated against the current state first —
+        an empty batch, a remove of an absent triple, or a duplicate
+        document id raises :class:`ValueError` before anything is
+        touched — then applied, logged at ``epoch + 1``, and pushed
+        through the incremental index maintenance.  Duplicate triple adds
+        are permitted no-ops, matching :meth:`KnowledgeGraph.add`.
         """
         batch = list(mutations)
         if not batch:

@@ -1,0 +1,175 @@
+"""Docs lint: the documentation tree exists and its CLI examples parse.
+
+Documentation that drifts from the code is worse than none, so this suite
+pins the load-bearing parts:
+
+* the README and every ``docs/`` page exist with their promised sections;
+* every ``python -m repro.benchmark.cli …`` invocation quoted in README
+  or docs parses against the *real* argument parsers (experiment mode and
+  service mode both), so a renamed flag or subcommand fails CI here;
+* the operations reference documents every service subcommand and every
+  serving-topology flag, and the glossary covers every
+  :class:`MetricsSnapshot` field the CLI prints.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+import shlex
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.benchmark.cli import (
+    SERVICE_COMMANDS,
+    build_parser,
+    build_service_parser,
+)
+from repro.service.metrics import MetricsSnapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "operations.md",
+    REPO_ROOT / "docs" / "benchmarks.md",
+]
+
+_CLI_LINE = re.compile(r"python -m repro\.benchmark\.cli(?P<args>[^`\n]*)")
+
+
+def _cli_invocations(text: str):
+    """Every ``python -m repro.benchmark.cli …`` argv quoted in ``text``.
+
+    Joins trailing-backslash continuations first so multi-line examples
+    lint as one invocation; skips bare mentions with no arguments.
+    """
+    joined = text.replace("\\\n", " ")
+    for match in _CLI_LINE.finditer(joined):
+        args = match.group("args").strip()
+        yield shlex.split(args)
+
+
+def _parse(argv):
+    """Parse one documented argv with the real parser; returns an error
+    message on failure, None on success."""
+    parser = (
+        build_service_parser()
+        if argv and argv[0] in SERVICE_COMMANDS
+        else build_parser()
+    )
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr), contextlib.redirect_stdout(io.StringIO()):
+            parser.parse_args(argv)
+    except SystemExit as exc:
+        if exc.code not in (0, None):  # --help exits 0 and is fine
+            return stderr.getvalue().strip() or f"exit code {exc.code}"
+    return None
+
+
+class TestDocsTreeExists:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_page_exists_and_has_headings(self, path):
+        assert path.is_file(), f"{path.relative_to(REPO_ROOT)} is missing"
+        text = path.read_text(encoding="utf-8")
+        assert text.lstrip().startswith("#"), f"{path.name} has no title heading"
+        assert len(text) > 500, f"{path.name} is a stub"
+
+    def test_readme_links_every_docs_page(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for page in ("architecture.md", "operations.md", "benchmarks.md"):
+            assert f"docs/{page}" in readme, f"README does not point at docs/{page}"
+        assert "```" in readme, "README lost its quickstart code block"
+
+    def test_readme_has_architecture_diagram(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for layer in ("ShardedValidationService", "ValidationService",
+                      "VersionedKnowledgeStore", "replica group"):
+            assert layer in readme, f"architecture diagram lost the {layer} box"
+
+
+class TestCliExamplesParse:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_every_documented_invocation_parses(self, path):
+        text = path.read_text(encoding="utf-8")
+        invocations = list(_cli_invocations(text))
+        failures = [
+            (argv, error)
+            for argv, error in ((argv, _parse(argv)) for argv in invocations)
+            if error is not None
+        ]
+        assert not failures, "\n".join(
+            f"{path.name}: `python -m repro.benchmark.cli {' '.join(argv)}` "
+            f"does not parse: {error}"
+            for argv, error in failures
+        )
+
+    def test_readme_and_operations_actually_contain_examples(self):
+        # The lint above is vacuous if the docs stop quoting commands.
+        for path in (REPO_ROOT / "README.md", REPO_ROOT / "docs" / "operations.md"):
+            count = len(list(_cli_invocations(path.read_text(encoding="utf-8"))))
+            assert count >= 4, f"{path.name} quotes only {count} CLI invocations"
+
+    def test_help_smoke(self):
+        # `--help` must render for both parser faces (the CI docs-lint step
+        # also runs this through the real interpreter).
+        assert "experiment" in build_parser().format_help()
+        help_text = build_service_parser().format_help()
+        for command in SERVICE_COMMANDS:
+            assert command in help_text
+
+
+class TestOperationsReferenceComplete:
+    def test_every_subcommand_documented(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        for command in SERVICE_COMMANDS:
+            assert f"`{command}`" in text, f"operations.md misses `{command}`"
+
+    def test_serving_topology_flags_documented(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        for flag in ("--shards", "--replicas", "--request-timeout",
+                     "--queue-depth", "--max-batch-size", "--time-scale"):
+            assert flag in text, f"operations.md misses {flag}"
+
+    def test_metrics_glossary_covers_snapshot_fields(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        # Spot-check the glossary against the dataclass so new fields must
+        # be documented; presentation names differ, so map the exceptions.
+        aliases = {
+            "rejected": "rejected (shed)",
+            "cache_hits": "cache hit rate",
+            "cache_misses": "cache hit rate",
+            "mean_batch_size": "mean batch size",
+            "queue_depth": "queue depth",
+            "wall_seconds": "wall time",
+            "throughput_rps": "throughput",
+            "p50_latency_s": "p50",
+            "p95_latency_s": "p95",
+            "p99_latency_s": "p99",
+            "ingested_ops": "ingests",
+            "unhealthy_replicas": "unhealthy replicas",
+            "batches": "mean batch size",
+        }
+        for field in fields(MetricsSnapshot):
+            needle = aliases.get(field.name, field.name)
+            assert needle in text, (
+                f"operations.md glossary misses MetricsSnapshot.{field.name}"
+            )
+
+    def test_benchmarks_page_names_every_floor_module(self):
+        text = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
+        floors = sorted(
+            path.name
+            for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+            if path.name in {
+                "bench_hotpaths.py", "bench_service.py", "bench_store.py",
+                "bench_shards.py", "bench_replicas.py",
+            }
+        )
+        assert len(floors) == 5
+        for name in floors:
+            assert name in text, f"docs/benchmarks.md misses {name}"

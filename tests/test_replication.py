@@ -1,0 +1,675 @@
+"""Replica groups and the replicated router: log shipping, fan-out, failover.
+
+Store layer: :class:`ReplicaGroup` keeps R copies byte-identical by
+shipping every batch primary-first, rejects invalid batches before any
+copy applies, and detects out-of-band divergence.
+
+Service layer: the router balances single-fact reads across a shard's
+replicas, reroutes around raising / stalling / killed replicas without
+surfacing ``FAILED`` while a sibling lives, re-admits recovered replicas
+via health probes, and ships ingests to every replica in lockstep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.kg import Triple
+from repro.retrieval.corpus import Document
+from repro.service import (
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ShardedValidationService,
+    ValidationService,
+)
+from repro.store import (
+    Mutation,
+    ReplicaDivergedError,
+    ReplicaGroup,
+    ShardedStore,
+    VersionedKnowledgeStore,
+)
+from repro.validation.base import ValidationResult, ValidationStrategy, Verdict
+
+
+@pytest.fixture(scope="module")
+def replica_runner():
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.03,
+            max_facts_per_dataset=16,
+            world_scale=0.15,
+            methods=("dka",),
+            datasets=("factbench",),
+            models=("gemma2:9b",),
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+def _store(name: str = "primary") -> VersionedKnowledgeStore:
+    return VersionedKnowledgeStore.bootstrap(
+        triples=[
+            Triple("Ada", "worksFor", "Acme"),
+            Triple("Acme", "locatedIn", "Zurich"),
+        ],
+        documents=[
+            Document(
+                doc_id="d1",
+                url="https://corpus.example/d1",
+                title="Ada dossier",
+                text="Ada works for Acme in Zurich.",
+                source="corpus.example",
+                fact_id="fact-1",
+            )
+        ],
+        name=name,
+    )
+
+
+class TestReplicaGroup:
+    def test_replicate_builds_byte_identical_copies(self):
+        group = ReplicaGroup.replicate(_store(), 3, include_index=True)
+        assert group.num_replicas == 3
+        assert group.primary is group.stores[0]
+        assert len(set(group.digests(include_index=True))) == 1
+        assert group.verify() == group.primary.state_digest(include_index=True)
+
+    def test_apply_ships_to_every_replica_at_the_same_epoch(self):
+        group = ReplicaGroup.replicate(_store(), 3)
+        report = group.apply(
+            [
+                Mutation.add_triple("Ada", "mentors", "Grace"),
+                Mutation.add_document(
+                    Document(
+                        doc_id="d2",
+                        url="https://corpus.example/d2",
+                        title="Grace dossier",
+                        text="Grace is mentored by Ada at Acme.",
+                        source="corpus.example",
+                        fact_id="fact-2",
+                    )
+                ),
+            ]
+        )
+        assert report.epoch == 2
+        assert all(store.epoch == 2 for store in group.stores)
+        assert len(set(group.digests(include_index=True))) == 1
+        for store in group.stores:
+            assert Triple("Ada", "mentors", "Grace") in store.graph.triples()
+            assert len(store.corpus) == 2
+
+    def test_rejected_batch_leaves_every_copy_untouched(self):
+        group = ReplicaGroup.replicate(_store(), 3)
+        before = group.digests(include_index=True)
+        with pytest.raises(ValueError, match="absent triple"):
+            group.apply([Mutation.remove_triple("Ada", "never", "existed")])
+        assert group.digests(include_index=True) == before
+        assert all(store.epoch == 1 for store in group.stores)
+
+    def test_out_of_band_mutation_is_detected_as_divergence(self):
+        group = ReplicaGroup.replicate(_store(), 2)
+        # Someone mutates a replica around the group (the forbidden path).
+        group.stores[1].add_triple("Rogue", "edit", "Replica")
+        with pytest.raises(ReplicaDivergedError):
+            group.apply([Mutation.add_triple("Ada", "mentors", "Grace")])
+
+    def test_empty_group_and_bad_replica_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaGroup([])
+        with pytest.raises(ValueError):
+            ReplicaGroup.replicate(_store(), 0)
+        mismatched = [_store("a"), _store("b")]
+        mismatched[1].add_triple("Extra", "epoch", "Bump")
+        with pytest.raises(ValueError, match="epochs diverge"):
+            ReplicaGroup(mismatched, verify_digests=False)
+
+    def test_runner_replica_groups_are_isolated_between_calls(self, replica_runner):
+        """``BenchmarkRunner.replica_groups`` replays a fresh twin per call:
+        byte-identical groups sharing no store state, so ingesting through
+        one fleet never aliases (or epoch-skews) another."""
+        groups_a = replica_runner.replica_groups("factbench", 2, 2)
+        groups_b = replica_runner.replica_groups("factbench", 2, 2)
+        subject = list(replica_runner.dataset("factbench"))[0].triple.subject
+        owner = ShardedStore(
+            [group.primary for group in groups_a]
+        ).shard_for(subject)
+        for group_a, group_b in zip(groups_a, groups_b):
+            assert group_a.primary is not group_b.primary
+            assert group_a.primary.state_digest() == group_b.primary.state_digest()
+        groups_a[owner].apply([Mutation.add_triple(subject, "seenBy", "FleetA")])
+        # Fleet A advanced in lockstep; fleet B (and the runner's cached
+        # fleet) never moved.
+        assert groups_a[owner].epoch == 2
+        assert groups_b[owner].epoch == 1
+        assert replica_runner.sharded_store("factbench", 2).shards[owner].epoch == 1
+        groups_b[owner].verify()
+
+    def test_ragged_replica_groups_rejected(self, replica_runner):
+        config = ServiceConfig(enable_cache=False)
+        provider = _healthy_provider(replica_runner)
+        with pytest.raises(ValueError, match="same number of replica services"):
+            ShardedValidationService(
+                [
+                    [ValidationService(provider, config), ValidationService(provider, config)],
+                    [ValidationService(provider, config)],
+                ]
+            )
+
+    def test_sharded_fleet_replicates_per_shard(self):
+        triples = [Triple(f"e{i}", "p", f"e{i+1}") for i in range(12)]
+        fleet = ShardedStore.partition(triples=triples, num_shards=3)
+        groups = fleet.replicate(2)
+        assert len(groups) == 3
+        for shard, group in zip(fleet.shards, groups):
+            assert group.primary is shard
+            assert group.num_replicas == 2
+            assert len(set(group.digests())) == 1
+
+
+class _FlakyStrategy(ValidationStrategy):
+    """Delegates to a real strategy, raising while ``broken["broken"]``."""
+
+    name = "flaky"
+
+    def __init__(self, inner: ValidationStrategy, broken: dict) -> None:
+        self.inner = inner
+        self.broken = broken
+
+    def validate(self, fact) -> ValidationResult:
+        if self.broken["broken"]:
+            raise ConnectionError("replica backend unreachable")
+        return self.inner.validate(fact)
+
+
+class _StallStrategy(ValidationStrategy):
+    name = "stall"
+
+    def __init__(self, simulated_seconds: float) -> None:
+        self.simulated_seconds = simulated_seconds
+
+    def validate(self, fact) -> ValidationResult:
+        return ValidationResult(
+            fact_id=fact.fact_id,
+            verdict=Verdict.TRUE,
+            gold_label=fact.label,
+            model="stall-model",
+            method=self.name,
+            latency_seconds=self.simulated_seconds,
+            prompt_tokens=1,
+            completion_tokens=1,
+            raw_response="stalling",
+        )
+
+
+def _healthy_provider(runner):
+    def provider(method, dataset, model):
+        return runner.build_strategy(method, dataset, runner.registry.get(model))
+
+    return provider
+
+
+def _requests(runner, count=None):
+    dataset = runner.dataset("factbench")
+    facts = list(dataset)[: count or len(dataset)]
+    return [ServiceRequest(fact, "dka", "gemma2:9b") for fact in facts]
+
+
+class TestReadFanOut:
+    def test_reads_spread_across_replicas_by_queue_depth(self, replica_runner):
+        config = ServiceConfig(enable_cache=False, max_batch_size=2, time_scale=0.01)
+        router = ShardedValidationService.from_runner(
+            replica_runner, 1, config, replicas=3
+        )
+        requests = _requests(replica_runner) * 3
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        assert all(r.outcome is RequestOutcome.COMPLETED for r in responses)
+        served = [health.served for health in router.health[0]]
+        # Every replica of the single shard took a meaningful share.
+        assert all(count > 0 for count in served)
+        assert sum(served) == len(requests)
+        per_replica = [snap.completed for _, _, snap, _ in router.metrics.per_replica()]
+        assert sum(per_replica) == len(requests)
+
+    def test_replicated_verdicts_match_plain_service(self, replica_runner):
+        config = ServiceConfig(enable_cache=False, max_batch_size=4)
+        requests = _requests(replica_runner)
+
+        async def run_router():
+            router = ShardedValidationService.from_runner(
+                replica_runner, 2, config, replicas=2
+            )
+            async with router:
+                return await router.submit_many(requests)
+
+        async def run_plain():
+            service = ValidationService.from_runner(replica_runner, config)
+            async with service:
+                return await asyncio.gather(
+                    *(service.submit(request) for request in requests)
+                )
+
+        routed = asyncio.run(run_router())
+        plain = asyncio.run(run_plain())
+        for request, sharded_response, plain_response in zip(requests, routed, plain):
+            assert sharded_response.result.fact_id == request.fact.fact_id
+            assert sharded_response.result == plain_response.result
+
+
+class TestFailover:
+    def _router(self, runner, broken, *, replicas=2, config=None, **kwargs):
+        """One shard: replica 0 healthy, replicas 1.. flaky via ``broken``."""
+        config = config or ServiceConfig(enable_cache=False, max_batch_size=4)
+        healthy_provider = _healthy_provider(runner)
+
+        def flaky_provider(method, dataset, model):
+            return _FlakyStrategy(healthy_provider(method, dataset, model), broken)
+
+        group = [ValidationService(healthy_provider, config)]
+        group.extend(
+            ValidationService(flaky_provider, config) for _ in range(replicas - 1)
+        )
+        return ShardedValidationService([group], **kwargs)
+
+    def test_raising_replica_fails_over_with_zero_failed(self, replica_runner):
+        broken = {"broken": True}
+        router = self._router(replica_runner, broken)
+        requests = _requests(replica_runner)
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        # Every request completed: the sick replica's traffic was rescued.
+        assert all(r.outcome is RequestOutcome.COMPLETED for r in responses)
+        assert router.metrics.failures == 0
+        assert router.metrics.failovers > 0
+        assert not router.health[0][1].healthy
+        assert router.health[0][1].failures > 0
+        # Accounting stays exact across failovers: the sick replica's own
+        # error counts are subtracted once a sibling completes the request.
+        snapshot = router.metrics.snapshot()
+        assert snapshot.completed == len(requests)
+        assert snapshot.completed + snapshot.rejected + snapshot.errors == len(requests)
+        assert snapshot.failovers == router.metrics.failovers
+        assert snapshot.unhealthy_replicas == 1
+
+    def test_all_replicas_down_surfaces_explicit_failed(self, replica_runner):
+        broken = {"broken": True}
+        config = ServiceConfig(enable_cache=False, max_batch_size=4)
+        healthy_provider = _healthy_provider(replica_runner)
+
+        def flaky_provider(method, dataset, model):
+            return _FlakyStrategy(healthy_provider(method, dataset, model), broken)
+
+        group = [ValidationService(flaky_provider, config) for _ in range(2)]
+        router = ShardedValidationService([group])
+        requests = _requests(replica_runner, 4)
+
+        async def go():
+            async with router:
+                return await router.submit_many(requests)
+
+        responses = asyncio.run(go())
+        assert all(r.outcome is RequestOutcome.FAILED for r in responses)
+        for response in responses:
+            assert "replica 0" in response.error and "replica 1" in response.error
+            assert "ConnectionError" in response.error
+        assert router.metrics.failures == len(requests)
+        snapshot = router.metrics.snapshot()
+        # Exactly one error accounted per failed request, attempts aside.
+        assert snapshot.errors == len(requests)
+        assert snapshot.completed + snapshot.rejected + snapshot.errors == len(requests)
+
+    def test_stalling_replica_fails_over_after_timeout(self, replica_runner):
+        config = ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.01)
+        healthy = ValidationService(_healthy_provider(replica_runner), config)
+        stalling = ValidationService(
+            lambda method, dataset, model: _StallStrategy(1000.0), config
+        )
+        router = ShardedValidationService(
+            [[stalling, healthy]], request_timeout_s=0.2
+        )
+        requests = _requests(replica_runner, 3)
+
+        async def go():
+            async with router:
+                return await asyncio.wait_for(router.submit_many(requests), timeout=10.0)
+
+        responses = asyncio.run(go())
+        assert all(r.outcome is RequestOutcome.COMPLETED for r in responses)
+        assert router.metrics.failures == 0
+        assert router.health[0][0].timeouts > 0
+        assert not router.health[0][0].healthy
+
+    def test_probe_readmits_recovered_replica(self, replica_runner):
+        broken = {"broken": True}
+        router = self._router(
+            replica_runner, broken, probe_interval_s=0.05
+        )
+        requests = _requests(replica_runner)
+
+        async def go():
+            async with router:
+                await router.submit_many(requests[:6])
+                sick = router.health[0][1]
+                assert not sick.healthy
+                served_while_down = sick.served
+                # The replica recovers; after the probe interval the
+                # balancer sends one canary and re-admits it.
+                broken["broken"] = False
+                await asyncio.sleep(0.08)
+                await router.submit_many(requests)
+                assert sick.healthy
+                assert sick.probes > 0
+                assert sick.readmissions >= 1
+                assert sick.served > served_while_down
+
+        asyncio.run(go())
+
+    def test_failed_probe_resets_the_timer_and_stays_unhealthy(self, replica_runner):
+        broken = {"broken": True}
+        router = self._router(replica_runner, broken, probe_interval_s=0.05)
+        requests = _requests(replica_runner)
+
+        async def go():
+            async with router:
+                await router.submit_many(requests[:4])
+                sick = router.health[0][1]
+                assert not sick.healthy
+                await asyncio.sleep(0.08)  # probe becomes due, replica still sick
+                responses = await router.submit_many(requests[:4])
+                assert all(
+                    r.outcome is RequestOutcome.COMPLETED for r in responses
+                )
+                assert sick.probes >= 1
+                assert not sick.healthy
+                assert sick.readmissions == 0
+
+        asyncio.run(go())
+
+    def test_killed_replica_reroutes_and_epoch_vector_survives(self, replica_runner):
+        # replay_twin: a fresh byte-identical fleet, so the module-cached
+        # sharded store never leaks state across tests.
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4, queue_depth=4096),
+            store=store,
+            replicas=2,
+        )
+        requests = _requests(replica_runner)
+
+        async def go():
+            async with router:
+                before = await router.submit_many(requests)
+                await router.kill_replica(1, 0)
+                after = await router.submit_many(requests)
+                assert all(
+                    r.outcome is RequestOutcome.COMPLETED for r in before + after
+                )
+                # The killed replica's lagging store never rolls the shard's
+                # epoch component back.
+                assert router.epoch_vector == (1, 1)
+                assert not router.health[1][0].healthy
+
+        asyncio.run(go())
+
+
+class TestReplicatedIngest:
+    def test_ingest_ships_to_every_replica_and_invalidates_owner_only(
+        self, replica_runner
+    ):
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4, queue_depth=4096),
+            store=store,
+            replicas=3,
+        )
+        requests = _requests(replica_runner)
+        target = requests[0].fact
+        owner = store.shard_for(target.triple.subject)
+        other = 1 - owner
+        other_fact = next(
+            request.fact
+            for request in requests
+            if store.shard_for(request.fact.triple.subject) == other
+        )
+        batch = [Mutation.add_triple(target.triple.subject, "updatedBy", "Feed")]
+
+        def cached_on(shard_index, fact, epoch):
+            return [
+                service.cache.get(fact, "dka", "gemma2:9b", record=False, epoch=epoch)
+                for service in router.groups[shard_index]
+            ]
+
+        async def go():
+            async with router:
+                cold = await router.submit_many(requests)
+                report = await router.apply_mutations(batch)
+                # Between the ingest and the next pass: the sibling shard's
+                # epoch-1 entries are still addressable on whichever replica
+                # judged them, while the owning shard has nothing at its new
+                # epoch — every post-ingest read there is re-judged.
+                assert any(hit is not None for hit in cached_on(other, other_fact, 1))
+                assert all(hit is None for hit in cached_on(owner, target, 2))
+                after = await router.submit_many(requests)
+                return cold, report, after
+
+        cold, report, after = asyncio.run(go())
+        assert all(response.outcome is RequestOutcome.COMPLETED for response in cold)
+        assert report.shards_touched == (owner,)
+        # Every replica of the owning shard applied the batch in lockstep...
+        group = router.replica_groups[owner]
+        assert all(store_copy.epoch == 2 for store_copy in group.stores)
+        assert len(set(group.digests())) == 1
+        # ...the sibling shard's replicas did not move...
+        assert all(
+            store_copy.epoch == 1
+            for store_copy in router.replica_groups[other].stores
+        )
+        # ...and post-ingest responses carry the bumped owner epoch with no
+        # owner-shard response served from a stale cache entry.
+        for request, response in zip(requests, after):
+            if store.shard_for(request.fact.triple.subject) == owner:
+                assert not response.cached
+            assert response.epoch_vector[owner] == 2
+        # Re-judged verdicts are unchanged (DKA never reads the corpus): the
+        # invalidation is freshness bookkeeping, not verdict churn.
+        assert [r.result.verdict for r in after] == [r.result.verdict for r in cold]
+
+    def test_ingest_validates_against_live_replicas_after_primary_kill(
+        self, replica_runner
+    ):
+        """A killed primary's store copy stops at its death epoch; later
+        ingests must validate against the live replicas' state, not the
+        stale primary's (regression: remove-after-add used to raise)."""
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4),
+            store=store,
+            replicas=2,
+        )
+        subject = _requests(replica_runner)[0].fact.triple.subject
+        owner = store.shard_for(subject)
+
+        async def go():
+            async with router:
+                await router.kill_replica(owner, 0)  # the group primary dies
+                await router.apply_mutations(
+                    [Mutation.add_triple(subject, "flaggedBy", "Audit")]
+                )
+                # Only the live replicas know the triple; validating the
+                # removal against the stale primary would reject it.
+                await router.apply_mutations(
+                    [Mutation.remove_triple(subject, "flaggedBy", "Audit")]
+                )
+                group = router.replica_groups[owner]
+                # The dead primary froze at epoch 1; the live replica
+                # applied both batches and the shard epoch never rolled back.
+                assert group.stores[0].epoch == 1
+                assert group.stores[1].epoch == 3
+                assert router.epoch_vector[owner] == 3
+
+        asyncio.run(go())
+
+    def test_dead_shard_rejects_cross_shard_batch_before_any_apply(
+        self, replica_runner
+    ):
+        """All-or-nothing across shards: a batch touching a shard with no
+        live replicas must raise before any other shard applies."""
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4),
+            store=store,
+            replicas=2,
+        )
+        requests = _requests(replica_runner)
+        subject_a = next(
+            r.fact.triple.subject for r in requests
+            if store.shard_for(r.fact.triple.subject) == 0
+        )
+        subject_b = next(
+            r.fact.triple.subject for r in requests
+            if store.shard_for(r.fact.triple.subject) == 1
+        )
+
+        async def go():
+            async with router:
+                await router.kill_replica(1, 0)
+                await router.kill_replica(1, 1)
+                with pytest.raises(RuntimeError, match="no live replicas"):
+                    await router.apply_mutations(
+                        [
+                            Mutation.add_triple(subject_a, "crossShard", "Batch"),
+                            Mutation.add_triple(subject_b, "crossShard", "Batch"),
+                        ]
+                    )
+                # The healthy shard was not half-applied.
+                assert all(
+                    copy.epoch == 1 for copy in router.replica_groups[0].stores
+                )
+
+        asyncio.run(go())
+
+    def test_restart_does_not_resurrect_killed_replica(self, replica_runner):
+        """Regression: a stop()/start() cycle must not return a killed
+        replica — whose store copy missed ingests — to the rotation; the
+        next ingest to its shard would otherwise half-apply and raise
+        ReplicaDivergedError after the live replicas already mutated."""
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4),
+            store=store,
+            replicas=2,
+        )
+        subject = _requests(replica_runner)[0].fact.triple.subject
+        owner = store.shard_for(subject)
+
+        async def go():
+            async with router:
+                await router.kill_replica(owner, 1)
+                await router.apply_mutations(
+                    [Mutation.add_triple(subject, "flaggedBy", "Audit")]
+                )
+            # Second lifecycle: the killed replica must stay stopped and
+            # out of rotation, and ingests must keep succeeding.
+            async with router:
+                assert not router.health[owner][1].healthy
+                assert router.groups[owner][1]._closed
+                await router.apply_mutations(
+                    [Mutation.remove_triple(subject, "flaggedBy", "Audit")]
+                )
+                group = router.replica_groups[owner]
+                assert group.stores[0].epoch == 3
+                assert group.stores[1].epoch == 1  # dead copy frozen pre-kill
+                responses = await router.submit_many(_requests(replica_runner))
+                assert all(
+                    r.outcome is RequestOutcome.COMPLETED for r in responses
+                )
+
+        asyncio.run(go())
+
+    def test_ingest_skips_digest_check_when_group_opted_out(self, replica_runner):
+        """The router honours ReplicaGroup.verify_digests: epochs are always
+        lockstep-checked, but the O(store) digest pass can be opted out."""
+        fleet = replica_runner.sharded_store("factbench", 2).replay_twin()
+        groups = fleet.replicate(2, verify_digests=False)
+        shard_services = [
+            [
+                ValidationService.from_runner(
+                    replica_runner,
+                    ServiceConfig(max_batch_size=4),
+                    store=group.stores[replica_index],
+                )
+                for replica_index in range(2)
+            ]
+            for group in groups
+        ]
+        router = ShardedValidationService(
+            shard_services, store=fleet, replica_groups=groups
+        )
+        subject = _requests(replica_runner)[0].fact.triple.subject
+        calls = {"digests": 0}
+        original = VersionedKnowledgeStore.state_digest
+
+        def counting(self, include_index=True):
+            calls["digests"] += 1
+            return original(self, include_index=include_index)
+
+        async def go():
+            async with router:
+                await router.apply_mutations(
+                    [Mutation.add_triple(subject, "flaggedBy", "Audit")]
+                )
+
+        VersionedKnowledgeStore.state_digest = counting
+        try:
+            asyncio.run(go())
+        finally:
+            VersionedKnowledgeStore.state_digest = original
+        assert calls["digests"] == 0, "digest pass ran despite verify_digests=False"
+        owner = fleet.shard_for(subject)
+        assert all(copy.epoch == 2 for copy in groups[owner].stores)
+
+    def test_rejected_batch_mutates_no_replica(self, replica_runner):
+        store = replica_runner.sharded_store("factbench", 2).replay_twin()
+        router = ShardedValidationService.from_runner(
+            replica_runner,
+            2,
+            ServiceConfig(max_batch_size=4),
+            store=store,
+            replicas=2,
+        )
+
+        async def go():
+            async with router:
+                with pytest.raises(ValueError, match="absent triple"):
+                    await router.apply_mutations(
+                        [Mutation.remove_triple("No", "such", "Triple")]
+                    )
+                for group in router.replica_groups:
+                    assert all(copy.epoch == 1 for copy in group.stores)
+                    assert len(set(group.digests())) == 1
+
+        asyncio.run(go())

@@ -15,6 +15,7 @@ The router's contract under faults:
 from __future__ import annotations
 
 import asyncio
+import time
 
 import pytest
 
@@ -225,6 +226,114 @@ class TestDrainAcrossShards:
             per_shard = [snapshot.completed for snapshot in router.metrics.per_shard()]
             assert sum(per_shard) == len(requests)
             assert router.pending == 0
+
+        asyncio.run(go())
+
+    def test_stop_drain_does_not_wait_on_dead_replica_queue(self, fault_runner):
+        """Regression: drain-stop on a router whose shard has an unhealthy
+        replica must hard-stop that replica instead of waiting for its
+        wedged queue to empty (pre-fix this hung for the stall's full
+        duration — hours of simulated latency)."""
+        config = ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=1.0)
+
+        def healthy_provider(method, dataset, model):
+            return fault_runner.build_strategy(
+                method, dataset, fault_runner.registry.get(model)
+            )
+
+        healthy = ValidationService(healthy_provider, config)
+        # A replica wedged mid-batch for a simulated hour of real time.
+        stalling = ValidationService(
+            lambda method, dataset, model: _StallingStrategy(3600.0), config
+        )
+        router = ShardedValidationService([[healthy, stalling]])
+        dataset = fault_runner.dataset("factbench")
+        request = ServiceRequest(dataset[0], "dka", "gemma2:9b")
+
+        async def go():
+            await router.start()
+            # Pin one request on the sick replica (direct submit bypasses
+            # the balancer) so its queue is genuinely non-empty at stop.
+            stuck = asyncio.create_task(stalling.submit(request))
+            await asyncio.sleep(0.05)
+            assert stalling.pending == 1
+            router.mark_unhealthy(0, 1)
+            started = time.perf_counter()
+            await asyncio.wait_for(router.stop(drain=True), timeout=2.0)
+            assert time.perf_counter() - started < 2.0
+            # The wedged request is abandoned explicitly (the hard-stop
+            # contract), never silently dropped or waited out.
+            (outcome,) = await asyncio.gather(stuck, return_exceptions=True)
+            assert isinstance(outcome, asyncio.CancelledError)
+            assert stalling.pending == 0
+            assert router.pending == 0
+
+        asyncio.run(go())
+
+    def test_stop_drain_still_answers_healthy_replicas_alongside_dead_one(
+        self, fault_runner
+    ):
+        """The drain fix must not weaken the healthy-side guarantee: admitted
+        requests on healthy replicas are still answered during drain-stop."""
+        config = ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05)
+
+        def healthy_provider(method, dataset, model):
+            return fault_runner.build_strategy(
+                method, dataset, fault_runner.registry.get(model)
+            )
+
+        healthy = ValidationService(healthy_provider, config)
+        stalling = ValidationService(
+            lambda method, dataset, model: _StallingStrategy(3600.0), config
+        )
+        router = ShardedValidationService([[healthy, stalling]])
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset][:4]
+
+        async def go():
+            await router.start()
+            router.mark_unhealthy(0, 1)  # all traffic lands on the healthy replica
+            tasks = [
+                asyncio.create_task(router.submit(request)) for request in requests
+            ]
+            await asyncio.sleep(0.01)
+            assert router.pending > 0
+            await asyncio.wait_for(router.stop(drain=True), timeout=10.0)
+            outcomes = await asyncio.gather(*tasks)
+            assert all(
+                outcome.outcome is RequestOutcome.COMPLETED for outcome in outcomes
+            )
+
+        asyncio.run(go())
+
+    def test_stop_drain_still_drains_sole_unhealthy_replica(self, fault_runner):
+        """A single-replica shard marked unhealthy by a transient fault is
+        still the only path to an answer for its admitted requests —
+        drain-stop must answer them, not hard-cancel (the PR 4 contract)."""
+        router = ShardedValidationService.from_runner(
+            fault_runner,
+            2,
+            ServiceConfig(enable_cache=False, max_batch_size=1, time_scale=0.05),
+        )
+        dataset = fault_runner.dataset("factbench")
+        requests = [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset][:6]
+
+        async def go():
+            await router.start()
+            tasks = [
+                asyncio.create_task(router.submit(request)) for request in requests
+            ]
+            await asyncio.sleep(0.01)
+            assert router.pending > 0
+            # Transient faults marked both sole replicas unhealthy, but they
+            # are alive and serving everything.
+            router.mark_unhealthy(0, 0)
+            router.mark_unhealthy(1, 0)
+            await asyncio.wait_for(router.stop(drain=True), timeout=10.0)
+            outcomes = await asyncio.gather(*tasks)
+            assert all(
+                outcome.outcome is RequestOutcome.COMPLETED for outcome in outcomes
+            )
 
         asyncio.run(go())
 
