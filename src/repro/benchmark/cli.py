@@ -21,6 +21,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.benchmark.cli ingest --store store.jsonl --mutations ops.jsonl
     python -m repro.benchmark.cli compact --store store.jsonl
 
+    # Chaos: run a declarative fault-injection scenario matrix.
+    python -m repro.benchmark.cli chaos benchmarks/scenarios/smoke.yaml --csv run.csv
+
 Each experiment prints the corresponding table/figure in the same text
 format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
 reproduce a single result without running pytest.  ``serve`` exposes the
@@ -29,7 +32,11 @@ drives an in-process service closed-loop and prints the latency/throughput
 report (the muBench-style deploy-and-measure pair).  ``ingest`` replays a
 persisted :mod:`repro.store` log, applies a batch of mutations from a
 plain JSONL file, and writes the grown log back; ``compact`` collapses a
-log's history into one canonical batch at the current epoch.
+log's history into one canonical batch at the current epoch.  ``chaos``
+loads a YAML scenario (traffic shapes x fleet topologies x fault
+schedules), runs every cell of the matrix against a fresh fleet, checks
+the scenario's invariants, and prints the aggregated run table — exit
+code 1 when any invariant fails.
 """
 
 from __future__ import annotations
@@ -79,7 +86,7 @@ __all__ = [
 
 #: Subcommands dispatched to the online-serving / store path instead of
 #: the table/figure renderers.
-SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact")
+SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact", "chaos")
 
 
 def _render_table2(runner: BenchmarkRunner) -> str:
@@ -324,6 +331,20 @@ def build_service_parser() -> argparse.ArgumentParser:
     compact.add_argument("--store", required=True, help="Store log (JSONL) to compact.")
     compact.add_argument(
         "--output", default=None, help="Write the compacted log here instead of back to --store."
+    )
+
+    chaos = commands.add_parser(
+        "chaos", help="Run a declarative chaos scenario matrix and check its invariants."
+    )
+    chaos.add_argument(
+        "scenario",
+        help="YAML scenario file (see docs/operations.md, 'Chaos runbook').",
+    )
+    chaos.add_argument("--scale", type=float, default=0.03, help="Dataset scale (default 0.03).")
+    chaos.add_argument("--max-facts", type=int, default=40, help="Facts per dataset (0 = no cap).")
+    chaos.add_argument("--world-scale", type=float, default=0.2, help="Synthetic world scale.")
+    chaos.add_argument(
+        "--csv", default=None, help="Also write the run table (with timings) as CSV here."
     )
     return parser
 
@@ -588,6 +609,62 @@ def _run_loadgen(args, stream: TextIO) -> int:
     return 0
 
 
+def _run_chaos(args, stream: TextIO) -> int:
+    """Load a scenario, run its matrix, print the run table.
+
+    Returns 1 (without raising) when any cell violates an invariant, so
+    CI can gate on the exit code while still getting the full table.
+    """
+    from ..chaos import ScenarioError, ScenarioRunner, load_scenario
+    from ..llm.profiles import ALL_PROFILES
+    from .runner import KNOWN_DATASETS, KNOWN_METHODS
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise SystemExit(f"invalid scenario: {exc}")
+    unknown_methods = [m for m in scenario.methods if m not in KNOWN_METHODS]
+    if unknown_methods:
+        raise SystemExit(
+            f"scenario names unknown method(s) {unknown_methods}; "
+            f"choose from {list(KNOWN_METHODS)}"
+        )
+    unknown_models = [m for m in scenario.models if m not in ALL_PROFILES]
+    if unknown_models:
+        raise SystemExit(
+            f"scenario names unknown model(s) {unknown_models}; "
+            f"choose from {sorted(ALL_PROFILES)}"
+        )
+    if scenario.dataset not in KNOWN_DATASETS:
+        raise SystemExit(
+            f"scenario names unknown dataset {scenario.dataset!r}; "
+            f"choose from {list(KNOWN_DATASETS)}"
+        )
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_facts_per_dataset=args.max_facts or None,
+        world_scale=args.world_scale,
+        methods=tuple(scenario.methods),
+        datasets=(scenario.dataset,),
+        models=tuple(scenario.models),
+        include_commercial_in_grid=False,
+        seed=scenario.seed,
+    )
+    runner = BenchmarkRunner(config)
+    stream.write(
+        f"running scenario {scenario.name!r}: {scenario.cell_count} cells "
+        f"({len(scenario.topologies)} topologies x {len(scenario.traffics)} "
+        f"traffic shapes x {len(scenario.fault_cases)} fault cases + references)\n\n"
+    )
+    table = ScenarioRunner(runner, scenario).run()
+    stream.write(table.markdown() + "\n")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table.csv(include_timings=True))
+        stream.write(f"run table written to {args.csv}\n")
+    return 0 if table.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-factcheck",
@@ -651,6 +728,8 @@ def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
             return _run_ingest(service_args, stream)
         if service_args.command == "compact":
             return _run_compact(service_args, stream)
+        if service_args.command == "chaos":
+            return _run_chaos(service_args, stream)
         return _run_loadgen(service_args, stream)
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(

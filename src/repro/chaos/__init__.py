@@ -1,0 +1,75 @@
+"""Chaos engineering: fault injection + a declarative scenario harness.
+
+Three layers, composed bottom-up:
+
+* :mod:`repro.chaos.clock` — injectable time (:class:`MonotonicClock` for
+  production, :class:`VirtualClock` for deterministic tests): every
+  schedule, probe timer, backoff, and deadline in the serving stack reads
+  time through this surface;
+* :mod:`repro.chaos.faults` — :class:`FaultInjector`: named fault points
+  compiled into the store / service / router / frontend layers, driven by
+  a seeded :class:`FaultSchedule` timeline (``kill`` / ``stall`` /
+  ``error`` / ``slow``), evaluated lazily against the clock;
+* :mod:`repro.chaos.scenario` — the declarative harness: a YAML scenario
+  file declares traffic shapes x fleet topologies x fault schedules, the
+  :class:`ScenarioRunner` expands the matrix, runs every cell through the
+  closed-loop load generator with the chaos timeline armed, checks
+  per-cell invariants (no ``FAILED`` while a quorum is alive, verdict
+  parity against a fault-free reference, bounded staleness on
+  ``DEGRADED`` answers), and renders the aggregated run table (CSV +
+  markdown).  :mod:`repro.chaos.traffic` supplies the workload shapes
+  (steady, diurnal ramp, flash crowd, Zipf hot-key skew, read/write mix).
+
+The scenario modules import the serving tier, which itself imports the
+clock — so the heavyweight names are loaded lazily here to keep
+``repro.service`` -> ``repro.chaos.clock`` acyclic.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, MonotonicClock, VirtualClock
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    InjectedFaultError,
+    parse_replica_target,
+)
+
+__all__ = [
+    "Clock",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "InjectedFaultError",
+    "MonotonicClock",
+    "RunTable",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioRunner",
+    "TRAFFIC_SHAPES",
+    "TrafficSpec",
+    "VirtualClock",
+    "build_traffic",
+    "load_scenario",
+    "parse_replica_target",
+]
+
+_SCENARIO_NAMES = {"RunTable", "Scenario", "ScenarioError", "ScenarioRunner", "load_scenario"}
+_TRAFFIC_NAMES = {"TRAFFIC_SHAPES", "TrafficSpec", "build_traffic"}
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_NAMES:
+        from . import scenario
+
+        return getattr(scenario, name)
+    if name in _TRAFFIC_NAMES:
+        from . import traffic
+
+        return getattr(traffic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

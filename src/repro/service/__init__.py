@@ -19,6 +19,13 @@ offline substrates:
   harness with a deterministic arrival mix, including a mixed read/write
   mode (:class:`IngestRequest` items in the schedule apply mutation
   batches through :meth:`ValidationService.apply_mutations`);
+* :mod:`repro.service.policy` — :class:`RetryPolicy`: bounded retry
+  budgets with jittered exponential backoff and deadline propagation.
+  With a policy attached, the router retries a fully-faulted shard pass
+  (on its injectable clock), and after the budget is spent serves the
+  last known good verdict as a stale, epoch-tagged ``DEGRADED`` response
+  instead of ``FAILED`` — graceful degradation under injected failure
+  (see :mod:`repro.chaos`);
 * :mod:`repro.service.router` — :class:`ShardedValidationService`: the
   scale-out tier routing reads and writes to N logical shards — each a
   **replica group** of R :class:`ValidationService` workers over
@@ -59,6 +66,7 @@ from .loadgen import (
     build_workload,
 )
 from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .policy import RetryPolicy
 from .router import ReplicaHealth, RouterMetrics, ShardedValidationService
 from .server import (
     RequestOutcome,
@@ -76,6 +84,7 @@ __all__ = [
     "MetricsSnapshot",
     "ReplicaHealth",
     "RequestOutcome",
+    "RetryPolicy",
     "RouterMetrics",
     "ServiceConfig",
     "ServiceMetrics",

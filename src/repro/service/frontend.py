@@ -61,12 +61,20 @@ class TCPValidationFrontend:
             frozenset(allowed_models) if allowed_models is not None else None
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Chaos hook: when armed (see :meth:`set_fault_injection`), every
+        #: validation request fires the ``frontend`` fault point before it
+        #: reaches the service; injected faults become error replies.
+        self.fault_injector = None
         #: Every *answered* request line except control commands — error
         #: replies included, so ``serve --max-requests N`` terminates even
         #: when clients send garbage.  Incremented only after the reply is
         #: flushed, so a max-requests watcher never tears the service down
         #: while the counted request is still in flight.
         self.requests_handled = 0
+
+    def set_fault_injection(self, injector) -> None:
+        """Arm (or with ``None`` disarm) the ``frontend`` chaos fault point."""
+        self.fault_injector = injector
 
     async def start(self) -> None:
         """Bind and start accepting connections; with ``port=0`` the
@@ -185,6 +193,10 @@ class TCPValidationFrontend:
                 "error": f"model {model!r} not served; have {sorted(self.allowed_models)}",
             }
         try:
+            if self.fault_injector is not None:
+                # stall/slow faults hold the reply on the injector's clock;
+                # error/kill faults surface as an error reply below.
+                await self.fault_injector.fire("frontend")
             response = await self.service.submit(ServiceRequest(fact, method, model))
         except Exception as exc:
             return {"id": correlation, "outcome": "error", "error": str(exc)}
@@ -200,8 +212,15 @@ class TCPValidationFrontend:
         if response.outcome is RequestOutcome.COMPLETED and response.result is not None:
             reply["verdict"] = response.result.verdict.value
             reply["batch_size"] = response.batch_size
+        if response.outcome is RequestOutcome.DEGRADED and response.result is not None:
+            # A stale answer is still an answer: the verdict rides along,
+            # tagged with the epoch it was computed at.
+            reply["verdict"] = response.result.verdict.value
+            reply["stale_epoch"] = response.stale_epoch
         if response.outcome is RequestOutcome.FAILED and response.error:
             reply["error"] = response.error
+        if response.retries:
+            reply["retries"] = response.retries
         if response.epoch_vector:
             reply["epoch_vector"] = list(response.epoch_vector)
         return reply

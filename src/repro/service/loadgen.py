@@ -173,6 +173,16 @@ class LoadReport:
         return sum(1 for response in self.responses if response.failed)
 
     @property
+    def degraded(self) -> int:
+        """Reads served stale from the last-known-good cache (``DEGRADED``)."""
+        return sum(1 for response in self.responses if response.degraded)
+
+    @property
+    def retries_total(self) -> int:
+        """Extra retry passes the router made across the whole run."""
+        return sum(response.retries for response in self.responses)
+
+    @property
     def ingests(self) -> int:
         """Writes in the schedule: applied mutation batches."""
         return sum(1 for response in self.responses if response.ingested)
@@ -186,6 +196,18 @@ class LoadReport:
     def throughput_rps(self) -> float:
         """Completed requests per wall second of this run."""
         return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Per-outcome response counts, keyed by ``RequestOutcome`` value.
+
+        Every outcome appears (zero-filled), and the counts sum to
+        :attr:`total` by construction — the accounting invariant
+        :meth:`LoadGenerator.run` re-checks after every run.
+        """
+        counts: Dict[str, int] = {outcome.value: 0 for outcome in RequestOutcome}
+        for response in self.responses:
+            counts[response.outcome.value] += 1
+        return counts
 
     def epochs_served(self) -> List[int]:
         """The distinct store epochs read responses were answered at."""
@@ -228,6 +250,8 @@ class LoadReport:
             f"completed        {self.completed}",
             f"rejected (shed)  {self.rejected}",
             f"failures         {self.failures}",
+            f"degraded         {self.degraded}",
+            f"retries          {self.retries_total}",
             f"ingests          {self.ingests}",
             f"cache hits       {self.cache_hits}",
             f"p50 latency      {self.snapshot.p50_latency_s * 1000:.2f} ms",
@@ -292,13 +316,23 @@ class LoadGenerator:
         clients = min(self.concurrency, max(1, len(self.requests)))
         await asyncio.gather(*(client() for _ in range(clients)))
         wall = time.perf_counter() - started
-        return LoadReport(
+        report = LoadReport(
             responses=[response for response in responses if response is not None],
             wall_seconds=wall,
             concurrency=clients,
             snapshot=self.service.metrics.snapshot(),
             requests=self.requests,
         )
+        # Accounting invariant: every issued schedule item is answered by
+        # exactly one outcome — nothing dropped, nothing double-counted.
+        counts = report.outcome_counts()
+        if sum(counts.values()) != report.total or report.total != len(self.requests):
+            raise RuntimeError(
+                f"outcome accounting broke: {counts} sums to "
+                f"{sum(counts.values())} over {report.total} responses for "
+                f"{len(self.requests)} issued requests"
+            )
+        return report
 
     def run_sync(self) -> LoadReport:
         """Convenience wrapper: start the service, run, stop, in a fresh loop."""

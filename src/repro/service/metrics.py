@@ -58,6 +58,15 @@ class MetricsSnapshot:
     #: Replica workers currently evicted from the routing rotation
     #: (always 0 for an unreplicated service).
     unhealthy_replicas: int = 0
+    #: Extra full passes over a shard's replicas made under a
+    #: :class:`~repro.service.policy.RetryPolicy` (0 without one).
+    retries: int = 0
+    #: Requests answered from the stale last-known-good verdict cache after
+    #: their retry budget was spent (``DEGRADED`` outcomes).
+    degraded: int = 0
+    #: Requests whose whole retry budget was spent without a live answer
+    #: (each then either degraded or failed).
+    budget_exhausted: int = 0
 
     @property
     def shed_count(self) -> int:
@@ -87,6 +96,9 @@ class MetricsSnapshot:
             ("queue depth", f"{self.queue_depth}"),
             ("ingests", f"{self.ingests} ({self.ingested_ops} ops)"),
             ("failovers", f"{self.failovers}"),
+            ("retries", f"{self.retries}"),
+            ("degraded", f"{self.degraded}"),
+            ("budget exhausted", f"{self.budget_exhausted}"),
             ("unhealthy replicas", f"{self.unhealthy_replicas}"),
             ("wall time", f"{self.wall_seconds:.3f} s"),
         ]

@@ -1,0 +1,105 @@
+"""Per-request resilience policy: retry budgets, backoff, deadlines.
+
+PR 5's failover is *horizontal* — within one serving attempt, the router
+walks a shard's replicas until one answers.  This module adds the
+*temporal* axis: when a whole pass over the shard faults, a
+:class:`RetryPolicy` decides whether (and when) to try again.
+
+Discipline, in order:
+
+* **Bounded budget** — at most ``max_attempts`` full passes per request;
+  a budget, not a loop, so a dead shard costs a known amount of work.
+* **Exponential backoff with jitter** — attempt *n* waits
+  ``base_backoff_s * multiplier**(n-1)``, capped at ``max_backoff_s``,
+  with up to ``jitter`` of the wait randomised away (seeded per request
+  by the router) so retries from many concurrent requests decorrelate
+  instead of stampeding the recovering shard in lockstep.
+* **Deadline propagation** — the whole request (every attempt plus every
+  backoff sleep) fits inside ``deadline_s``: each attempt's timeout
+  shrinks to the time remaining, and a backoff that would overrun the
+  deadline is not slept at all.  Retries can never make a request slower
+  than the caller's stated budget.
+
+What happens after the budget is spent is the *degradation* policy,
+implemented in the router: serve the last known good verdict for the
+coordinates — stale, epoch-tagged, explicitly marked ``DEGRADED`` —
+rather than failing a request the fleet has answered before.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff schedule for one routed request.
+
+    Attributes
+    ----------
+    max_attempts:
+        Full passes over the owning shard's replicas per request (1 = the
+        PR 5 behaviour: one pass, no retry).
+    base_backoff_s / multiplier / max_backoff_s:
+        Exponential backoff: the wait before retry ``n`` (1-based) is
+        ``min(base_backoff_s * multiplier**(n-1), max_backoff_s)``.
+    jitter:
+        Fraction of each backoff randomised away: the actual sleep is
+        drawn uniformly from ``[(1 - jitter) * wait, wait]``.  ``0``
+        disables jitter (deterministic backoff, useful in tests).
+    deadline_s:
+        Total wall budget for the request across every attempt and
+        backoff; ``None`` leaves the request bounded only by the per-
+        attempt timeout times the budget.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.02
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.5
+    jitter: float = 0.5
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when set")
+
+    def backoff_s(self, retry_number: int, rng: Optional[random.Random] = None) -> float:
+        """The sleep before retry ``retry_number`` (1-based), jittered.
+
+        Raises :class:`ValueError` for a non-positive retry number.
+        """
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        wait = min(
+            self.base_backoff_s * self.multiplier ** (retry_number - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter and rng is not None:
+            wait *= 1.0 - self.jitter * rng.random()
+        return wait
+
+    def attempt_timeout_s(
+        self, per_attempt_s: Optional[float], remaining_s: Optional[float]
+    ) -> Optional[float]:
+        """The timeout for one attempt: the per-attempt cap shrunk to the
+        deadline's remaining budget (``None`` = unbounded)."""
+        if remaining_s is None:
+            return per_attempt_s
+        if per_attempt_s is None:
+            return remaining_s
+        return min(per_attempt_s, remaining_s)

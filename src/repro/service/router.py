@@ -46,16 +46,22 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import random
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..chaos.clock import Clock, MonotonicClock
 from ..llm.telemetry import TelemetryCollector
 from ..store import Mutation, ReplicaGroup, ShardApplyReport, ShardedStore
 from ..store.sharding import HashRing, ReplicaDivergedError
+from ..validation.base import ValidationResult
+from .cache import verdict_cache_key
 from .config import ServiceConfig
 from .metrics import MetricsSnapshot, percentile
+from .policy import RetryPolicy
 from .server import RequestOutcome, ServiceRequest, ServiceResponse, ValidationService
 
 __all__ = ["ReplicaHealth", "RouterMetrics", "ShardedValidationService"]
@@ -86,8 +92,10 @@ class ReplicaHealth:
     readmissions:
         Times a probe (or last-resort attempt) restored the replica.
     marked_unhealthy_at:
-        ``time.monotonic()`` of the latest fault — the probe timer's
-        anchor — or ``None`` while healthy.
+        Router-clock time of the latest fault — the probe timer's
+        anchor — or ``None`` while healthy.  Read through the router's
+        injectable :class:`~repro.chaos.clock.Clock`, so probe timing is
+        deterministic under a virtual clock.
     probing:
         True while one canary is in flight (bounds probes to one at a
         time per replica).
@@ -134,6 +142,9 @@ class RouterMetrics:
         self._failures = 0
         self._timeout_failures = 0
         self._failovers = 0
+        self._retries = 0
+        self._degraded = 0
+        self._budget_exhausted = 0
         self._error_adjustment = 0
         self._lock = threading.Lock()
 
@@ -159,6 +170,30 @@ class RouterMetrics:
             self._failovers += 1
             self._error_adjustment -= counted_errors
 
+    def observe_retry(self) -> None:
+        """One extra full pass over a shard's replicas under a retry policy."""
+        with self._lock:
+            self._retries += 1
+
+    def observe_budget_exhausted(self) -> None:
+        """One request whose whole retry budget was spent without an answer
+        (it then either degrades to a stale verdict or fails)."""
+        with self._lock:
+            self._budget_exhausted += 1
+
+    def observe_degraded(self, counted_errors: int = 0) -> None:
+        """One ``DEGRADED`` response served from the stale verdict cache.
+
+        ``counted_errors`` faulted attempts already live in the owning
+        workers' ``errors`` counters; a degraded request lands in
+        ``degraded`` (not ``errors``), so they are subtracted — the fleet
+        invariant becomes ``completed + rejected + errors + degraded ==
+        submitted``.
+        """
+        with self._lock:
+            self._degraded += 1
+            self._error_adjustment -= counted_errors
+
     # ------------------------------------------------------------- properties
 
     @property
@@ -180,6 +215,24 @@ class RouterMetrics:
             return self._failovers
 
     @property
+    def retries(self) -> int:
+        """Extra full passes made over a shard's replicas (policy-driven)."""
+        with self._lock:
+            return self._retries
+
+    @property
+    def degraded(self) -> int:
+        """``DEGRADED`` responses served from the stale verdict cache."""
+        with self._lock:
+            return self._degraded
+
+    @property
+    def budget_exhausted(self) -> int:
+        """Requests whose whole retry budget was spent without a live answer."""
+        with self._lock:
+            return self._budget_exhausted
+
+    @property
     def unhealthy_replicas(self) -> int:
         """Replicas currently out of the regular routing rotation."""
         return sum(
@@ -194,6 +247,9 @@ class RouterMetrics:
         extra_errors: int = 0,
         failovers: int = 0,
         unhealthy: int = 0,
+        retries: int = 0,
+        degraded: int = 0,
+        budget_exhausted: int = 0,
     ) -> MetricsSnapshot:
         snapshots = [service.metrics.snapshot() for service in services]
         latencies: List[float] = []
@@ -223,6 +279,9 @@ class RouterMetrics:
             ingested_ops=sum(snapshot.ingested_ops for snapshot in snapshots),
             failovers=failovers,
             unhealthy_replicas=unhealthy,
+            retries=retries,
+            degraded=degraded,
+            budget_exhausted=budget_exhausted,
         )
 
     def snapshot(self) -> MetricsSnapshot:
@@ -230,11 +289,17 @@ class RouterMetrics:
         with self._lock:
             adjustment = self._error_adjustment
             failovers = self._failovers
+            retries = self._retries
+            degraded = self._degraded
+            budget_exhausted = self._budget_exhausted
         return self._aggregate(
             [service for group in self._groups for service in group],
             extra_errors=adjustment,
             failovers=failovers,
             unhealthy=self.unhealthy_replicas,
+            retries=retries,
+            degraded=degraded,
+            budget_exhausted=budget_exhausted,
         )
 
     def per_shard(self) -> List[MetricsSnapshot]:
@@ -334,6 +399,22 @@ class ShardedValidationService:
     probe_interval_s:
         Seconds an unhealthy replica rests before the balancer routes one
         canary request at it.
+    retry_policy:
+        Optional :class:`~repro.service.policy.RetryPolicy`.  When set, a
+        request whose whole replica pass faults is retried (with backoff,
+        inside the policy's deadline) up to the budget; after the budget is
+        spent the router serves the last known good verdict for the
+        coordinates as an epoch-tagged ``DEGRADED`` response when one
+        exists, and only fails otherwise.  ``None`` keeps the PR 5
+        behaviour: one pass, then ``FAILED``.
+    clock:
+        Injectable :class:`~repro.chaos.clock.Clock` for probe timers,
+        retry backoff, and deadlines; defaults to the real
+        :class:`~repro.chaos.clock.MonotonicClock`.  Tests pass a
+        :class:`~repro.chaos.clock.VirtualClock` for deterministic timing.
+    stale_cache_capacity:
+        Bound on the last-known-good verdict cache backing graceful
+        degradation (LRU-evicted beyond it).
 
     Raises
     ------
@@ -351,6 +432,9 @@ class ShardedValidationService:
         replica_groups: Optional[Sequence[ReplicaGroup]] = None,
         unhealthy_after: int = 1,
         probe_interval_s: float = 0.25,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
+        stale_cache_capacity: int = 4096,
     ) -> None:
         if not shards:
             raise ValueError("a ShardedValidationService needs at least one shard")
@@ -360,6 +444,8 @@ class ShardedValidationService:
             raise ValueError("unhealthy_after must be >= 1")
         if probe_interval_s <= 0:
             raise ValueError("probe_interval_s must be positive")
+        if stale_cache_capacity < 1:
+            raise ValueError("stale_cache_capacity must be >= 1")
         if isinstance(shards[0], ValidationService):
             self.groups: List[List[ValidationService]] = [
                 [service] for service in shards  # type: ignore[list-item]
@@ -412,6 +498,18 @@ class ShardedValidationService:
         self.request_timeout_s = request_timeout_s
         self.unhealthy_after = unhealthy_after
         self.probe_interval_s = probe_interval_s
+        self.retry_policy = retry_policy
+        self.clock: Clock = clock or MonotonicClock()
+        # Jitter source for retry backoff.  Seeded: backoff *timing* need
+        # not be reproducible, but a fixed seed keeps runs comparable.
+        self._retry_rng = random.Random(0x5EED)
+        # Last known good verdict per request coordinates, with the owning
+        # shard's epoch it was computed at — the graceful-degradation store.
+        self._stale: "OrderedDict[tuple, Tuple[ValidationResult, int]]" = OrderedDict()
+        self._stale_capacity = stale_cache_capacity
+        # Chaos: armed via set_fault_injection; fires the "store" point on
+        # the ingest path (replica-level points live on the services).
+        self._injector = None
         self.health: List[List[ReplicaHealth]] = [
             [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
             for shard_index, group in enumerate(self.groups)
@@ -440,6 +538,8 @@ class ShardedValidationService:
         replicas: int = 1,
         unhealthy_after: int = 1,
         probe_interval_s: float = 0.25,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
     ) -> "ShardedValidationService":
         """``num_shards`` x ``replicas`` shard services over one runner.
 
@@ -488,6 +588,8 @@ class ShardedValidationService:
             replica_groups=replica_groups,
             unhealthy_after=unhealthy_after,
             probe_interval_s=probe_interval_s,
+            retry_policy=retry_policy,
+            clock=clock,
         )
 
     # ---------------------------------------------------------------- lifecycle
@@ -564,7 +666,7 @@ class ShardedValidationService:
         """
         health = self.health[shard_index][replica_index]
         health.healthy = False
-        health.marked_unhealthy_at = time.monotonic()
+        health.marked_unhealthy_at = self.clock.now()
         self._dead.add((shard_index, replica_index))
         await self.groups[shard_index][replica_index].stop(drain=False)
 
@@ -577,7 +679,7 @@ class ShardedValidationService:
         """
         health = self.health[shard_index][replica_index]
         health.healthy = False
-        health.marked_unhealthy_at = time.monotonic()
+        health.marked_unhealthy_at = self.clock.now()
 
     # ---------------------------------------------------------------- properties
 
@@ -625,39 +727,117 @@ class ShardedValidationService:
         replica and retries on the next sibling, so single-replica faults
         are invisible to the caller.  Load shedding still surfaces as
         ``REJECTED`` (that is the owning replica's admission control
-        speaking, not a fault).  Only when every replica of the shard
-        faults does the caller see a ``FAILED`` response carrying the
-        per-attempt error details.  Raises :class:`RuntimeError` when the
-        router is stopped, and propagates :class:`asyncio.CancelledError`
-        when the *caller* (or a router shutdown) cancels the request.
+        speaking, not a fault).
+
+        When every replica of one pass faults and a ``retry_policy`` is
+        set, the router backs off (jittered exponential, on the router
+        clock) and makes another full pass, up to the budget and inside the
+        policy's deadline.  After the budget is spent it serves the last
+        known good verdict as a stale, epoch-tagged ``DEGRADED`` response
+        when one exists; only then does the caller see a ``FAILED``
+        response carrying the per-attempt error details.  Raises
+        :class:`RuntimeError` when the router is stopped, and propagates
+        :class:`asyncio.CancelledError` when the *caller* (or a router
+        shutdown) cancels the request.
         """
         if self._closed:
             raise RuntimeError("service is stopped")
         shard_index = self.shard_for(request)
-        group = self.groups[shard_index]
         started = time.perf_counter()
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        deadline = (
+            self.clock.now() + policy.deadline_s
+            if policy is not None and policy.deadline_s is not None
+            else None
+        )
         errors: List[str] = []
+        counted_errors = 0
+        timed_out = False
+        retries = 0
+        for attempt in range(max_attempts):
+            if attempt:
+                retries += 1
+                self.metrics.observe_retry()
+                backoff = policy.backoff_s(attempt, self._retry_rng)
+                if deadline is not None:
+                    # Deadline propagation: never sleep past the budget.
+                    backoff = min(backoff, max(0.0, deadline - self.clock.now()))
+                if backoff > 0:
+                    await self.clock.sleep(backoff)
+            if deadline is not None and deadline - self.clock.now() <= 0:
+                errors.append(
+                    f"deadline of {policy.deadline_s:.3f}s exhausted "
+                    f"after {attempt} of {max_attempts} attempts"
+                )
+                break
+            response, pass_counted, pass_timed_out = await self._attempt(
+                request, shard_index, errors, deadline
+            )
+            counted_errors += pass_counted
+            timed_out = timed_out or pass_timed_out
+            if response is not None:
+                if errors:
+                    self.metrics.observe_failover(counted_errors)
+                self._remember_verdict(request, response)
+                if retries:
+                    response = dataclasses.replace(response, retries=retries)
+                return self._stamp(response, shard_index)
+        if not errors:  # pragma: no cover - defensive: empty order
+            errors.append(f"shard {shard_index} has no serving replicas")
+        if policy is not None:
+            self.metrics.observe_budget_exhausted()
+            degraded = self._degraded_response(request, started, retries, errors)
+            if degraded is not None:
+                self.metrics.observe_degraded(counted_errors)
+                return degraded
+        self.metrics.observe_failure(timeout=timed_out, counted_errors=counted_errors)
+        return self._failed_response(started, shard_index, "; ".join(errors), retries)
+
+    async def _attempt(
+        self,
+        request: ServiceRequest,
+        shard_index: int,
+        errors: List[str],
+        deadline: Optional[float],
+    ) -> Tuple[Optional[ServiceResponse], int, bool]:
+        """One full pass over the owning shard's replicas.
+
+        Returns ``(response, counted_errors, timed_out)``: the first
+        replica's answer (``None`` when every replica faulted), how many
+        faulted attempts the owning workers already counted in their own
+        ``errors``, and whether a stall past the per-attempt timeout (or
+        the deadline's remainder, whichever is tighter) contributed.
+        """
+        group = self.groups[shard_index]
         counted_errors = 0
         timed_out = False
         for replica_index in self._replica_order(shard_index):
             service = group[replica_index]
             label = self._replica_label(shard_index, replica_index)
+            timeout_s = self.request_timeout_s
+            if deadline is not None:
+                remaining = deadline - self.clock.now()
+                if remaining <= 0:
+                    errors.append(
+                        f"request deadline exhausted before trying {label}"
+                    )
+                    break
+                timeout_s = remaining if timeout_s is None else min(timeout_s, remaining)
             if service._closed:
                 errors.append(f"{label} is stopped")
                 self._record_failure(shard_index, replica_index)
                 continue
             try:
-                if self.request_timeout_s is not None:
+                if timeout_s is not None:
                     response = await asyncio.wait_for(
-                        service.submit(request), timeout=self.request_timeout_s
+                        service.submit(request), timeout=timeout_s
                     )
                 else:
                     response = await service.submit(request)
             except asyncio.TimeoutError:
                 timed_out = True
-                errors.append(
-                    f"{label} stalled past {self.request_timeout_s:.3f}s"
-                )
+                errors.append(f"{label} stalled past {timeout_s:.3f}s")
                 self._record_failure(shard_index, replica_index, timeout=True)
                 continue
             except asyncio.CancelledError:
@@ -682,13 +862,8 @@ class ShardedValidationService:
                 self._record_failure(shard_index, replica_index)
                 continue
             self._record_success(shard_index, replica_index)
-            if errors:
-                self.metrics.observe_failover(counted_errors)
-            return self._stamp(response, shard_index)
-        if not errors:  # pragma: no cover - defensive: empty order
-            errors.append(f"shard {shard_index} has no serving replicas")
-        self.metrics.observe_failure(timeout=timed_out, counted_errors=counted_errors)
-        return self._failed_response(started, shard_index, "; ".join(errors))
+            return response, counted_errors, timed_out
+        return None, counted_errors, timed_out
 
     async def submit_many(
         self, requests: Sequence[ServiceRequest]
@@ -739,6 +914,10 @@ class ShardedValidationService:
             raise RuntimeError("service is stopped")
         if self.store is None:
             raise RuntimeError("no ShardedStore attached to this service")
+        if self._injector is not None:
+            # Chaos write-path fault point: an active error/kill fault fails
+            # the ingest explicitly before any shard is touched.
+            await self._injector.fire("store")
         batch = list(mutations)
         if not batch:
             raise ValueError("mutation batch must not be empty")
@@ -787,7 +966,78 @@ class ShardedValidationService:
             )
         return ShardApplyReport(tuple(zip(indexes, reports)), self.epoch_vector)
 
+    # ---------------------------------------------------------------- chaos
+
+    def set_fault_injection(self, injector) -> None:
+        """Arm (or with ``injector=None`` disarm) chaos fault injection.
+
+        Compiles the injector's fault points into every layer this router
+        fronts: each replica service fires ``shard:{i}/replica:{j}`` before
+        executing a micro-batch, the router fires ``store`` on the ingest
+        path, and the attached :class:`~repro.store.ShardedStore` /
+        per-shard :class:`~repro.store.ReplicaGroup` objects check
+        ``store`` / ``store/ship`` inside their synchronous apply paths.
+        ``kill`` events are *not* fired here — the scenario driver consumes
+        :meth:`~repro.chaos.faults.FaultInjector.due_kills` and calls
+        :meth:`kill_replica` so kills share the ops-eviction semantics.
+        """
+        self._injector = injector
+        for shard_index, group in enumerate(self.groups):
+            for replica_index, service in enumerate(group):
+                service.set_fault_injection(
+                    injector, f"shard:{shard_index}/replica:{replica_index}"
+                )
+        if self.store is not None:
+            self.store.fault_injector = injector
+        if self.replica_groups is not None:
+            for replica_group in self.replica_groups:
+                replica_group.fault_injector = injector
+
     # ---------------------------------------------------------------- internals
+
+    def _stale_key(self, request: ServiceRequest) -> tuple:
+        # The verdict-cache key minus its epoch component: the whole point
+        # of the stale store is answering across epochs.
+        return verdict_cache_key(request.fact, request.method, request.model, epoch=0)[1:]
+
+    def _remember_verdict(self, request: ServiceRequest, response: ServiceResponse) -> None:
+        """Retain the last known good verdict (and the owning shard's epoch
+        it was computed at) for graceful degradation."""
+        if response.outcome is not RequestOutcome.COMPLETED or response.result is None:
+            return
+        key = self._stale_key(request)
+        # ``response.epoch`` is pre-stamp here: the owning shard's epoch.
+        self._stale[key] = (response.result, response.epoch)
+        self._stale.move_to_end(key)
+        while len(self._stale) > self._stale_capacity:
+            self._stale.popitem(last=False)
+
+    def _degraded_response(
+        self,
+        request: ServiceRequest,
+        started: float,
+        retries: int,
+        errors: List[str],
+    ) -> Optional[ServiceResponse]:
+        """The stale last-known-good answer, or ``None`` when the request's
+        coordinates were never answered (degradation has nothing to serve)."""
+        entry = self._stale.get(self._stale_key(request))
+        if entry is None:
+            return None
+        result, stale_epoch = entry
+        self._stale.move_to_end(self._stale_key(request))
+        vector = self.epoch_vector
+        return ServiceResponse(
+            outcome=RequestOutcome.DEGRADED,
+            result=result,
+            cached=True,
+            latency_seconds=time.perf_counter() - started,
+            epoch=sum(vector),
+            epoch_vector=vector,
+            error="; ".join(errors),
+            retries=retries,
+            stale_epoch=stale_epoch,
+        )
 
     def _replica_label(self, shard_index: int, replica_index: int) -> str:
         if len(self.groups[shard_index]) == 1:
@@ -809,7 +1059,7 @@ class ShardedValidationService:
             return [0]
         offset = self._rr[shard_index]
         self._rr[shard_index] = (offset + 1) % len(group)
-        now = time.monotonic()
+        now = self.clock.now()
         healthy: List[int] = []
         due: List[int] = []
         resting: List[int] = []
@@ -864,7 +1114,7 @@ class ShardedValidationService:
             health.healthy = False
         # Every fault re-anchors the probe timer, so a failed canary rests
         # the replica for another full interval before the next one.
-        health.marked_unhealthy_at = time.monotonic()
+        health.marked_unhealthy_at = self.clock.now()
 
     def _verify_group(self, shard_index: int) -> None:
         """Lockstep-check one shard's live replica stores after a ship.
@@ -906,7 +1156,7 @@ class ShardedValidationService:
         )
 
     def _failed_response(
-        self, started: float, index: int, error: str
+        self, started: float, index: int, error: str, retries: int = 0
     ) -> ServiceResponse:
         return ServiceResponse(
             outcome=RequestOutcome.FAILED,
@@ -916,4 +1166,5 @@ class ShardedValidationService:
             epoch=self.epoch,
             epoch_vector=self.epoch_vector,
             error=error,
+            retries=retries,
         )

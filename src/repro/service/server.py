@@ -68,6 +68,11 @@ class RequestOutcome(str, Enum):
     REJECTED = "rejected"  # shed by admission control
     INGESTED = "ingested"  # a write: a mutation batch applied to the store
     FAILED = "failed"  # a shard raised or stalled; explicit, never a hang
+    #: The retry budget was spent without a live answer, but a stale cached
+    #: verdict existed: served epoch-tagged instead of failing (see
+    #: :class:`~repro.service.policy.RetryPolicy` and the router's
+    #: graceful-degradation path).
+    DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -108,6 +113,14 @@ class ServiceResponse:
     epoch: int = 0
     epoch_vector: Tuple[int, ...] = ()
     error: Optional[str] = None
+    #: Extra full passes the router made over the owning shard's replicas
+    #: beyond the first (0 without a retry policy or on a first-pass answer).
+    retries: int = 0
+    #: For ``DEGRADED`` answers only: the owning shard's epoch the stale
+    #: verdict was originally computed at.  ``epoch_vector`` still carries
+    #: the *current* fleet epochs, so ``epoch_vector[shard] - stale_epoch``
+    #: is the answer's staleness in epochs.
+    stale_epoch: Optional[int] = None
 
     @property
     def rejected(self) -> bool:
@@ -123,6 +136,11 @@ class ServiceResponse:
     def failed(self) -> bool:
         """True when every serving attempt faulted (explicit failure)."""
         return self.outcome is RequestOutcome.FAILED
+
+    @property
+    def degraded(self) -> bool:
+        """True when the retry budget was spent and a stale verdict served."""
+        return self.outcome is RequestOutcome.DEGRADED
 
 
 _QueueItem = Tuple[ServiceRequest, "asyncio.Future[Tuple[ValidationResult, int]]"]
@@ -160,6 +178,22 @@ class ValidationService:
         self._admission_gate = asyncio.Event()
         self._admission_gate.set()
         self._ingest_lock = asyncio.Lock()
+        # Chaos hook: when armed, every micro-batch fires this named fault
+        # point before executing (see repro.chaos.faults.FaultInjector).
+        self._fault_injector = None
+        self._fault_point = ""
+
+    def set_fault_injection(self, injector, point: str) -> None:
+        """Arm (or with ``injector=None`` disarm) chaos fault injection.
+
+        ``point`` names this service in the fault-point grammar — e.g.
+        ``shard:0/replica:1`` behind the sharded router.  An active
+        ``error``/``kill`` fault fails the whole micro-batch with
+        :class:`~repro.chaos.faults.InjectedFaultError`; ``stall``/``slow``
+        hold the worker on the injector's clock before execution.
+        """
+        self._fault_injector = injector
+        self._fault_point = point
 
     @classmethod
     def from_runner(
@@ -433,6 +467,15 @@ class ValidationService:
         while True:
             batch = await self._drain_batch(queue)
             self.metrics.observe_batch(len(batch))
+            if self._fault_injector is not None:
+                try:
+                    await self._fault_injector.fire(self._fault_point)
+                except Exception as exc:
+                    # Injected fault: fail the whole micro-batch explicitly.
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
             outcomes = self._execute(method, model, batch)
             succeeded = [
                 outcome for outcome in outcomes if isinstance(outcome, ValidationResult)

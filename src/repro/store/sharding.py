@@ -215,6 +215,9 @@ class ReplicaGroup:
         self.stores: List[VersionedKnowledgeStore] = list(stores)
         self.verify_digests = verify_digests
         self.include_index = include_index
+        #: Chaos hook: when armed (duck-typed ``FaultInjector``), every
+        #: log ship checks the synchronous ``store/ship`` fault point.
+        self.fault_injector = None
         epochs = {store.epoch for store in self.stores}
         if len(epochs) != 1:
             raise ValueError(
@@ -294,6 +297,11 @@ class ReplicaGroup:
         batch = list(mutations)
         report = self.primary.apply(batch)
         for replica in self.stores[1:]:
+            if self.fault_injector is not None:
+                # Raise-style faults only (the apply path is synchronous);
+                # the primary has applied, so an injected shipping error
+                # surfaces as the divergence it would really cause.
+                self.fault_injector.check("store/ship")
             shipped = replica.apply(batch)
             if shipped.epoch != report.epoch:
                 raise ReplicaDivergedError(
@@ -348,6 +356,9 @@ class ShardedStore:
         if not shards:
             raise ValueError("a ShardedStore needs at least one shard")
         self.shards: List[VersionedKnowledgeStore] = list(shards)
+        #: Chaos hook: when armed (duck-typed ``FaultInjector``), every
+        #: batch apply checks the synchronous ``store`` fault point first.
+        self.fault_injector = None
         self.ring = ring or HashRing(len(self.shards))
         if self.ring.num_shards != len(self.shards):
             raise ValueError(
@@ -460,6 +471,10 @@ class ShardedStore:
         batch = list(mutations)
         if not batch:
             raise ValueError("mutation batch must not be empty")
+        if self.fault_injector is not None:
+            # Raise-style faults only: an injected error rejects the batch
+            # before any shard validates or applies (all-or-nothing holds).
+            self.fault_injector.check("store")
         groups = self.route(batch)
         for index in sorted(groups):
             self.shards[index]._validate(groups[index])

@@ -153,11 +153,40 @@ class TestOperationsReferenceComplete:
             "ingested_ops": "ingests",
             "unhealthy_replicas": "unhealthy replicas",
             "batches": "mean batch size",
+            "budget_exhausted": "budget exhausted",
         }
         for field in fields(MetricsSnapshot):
             needle = aliases.get(field.name, field.name)
             assert needle in text, (
                 f"operations.md glossary misses MetricsSnapshot.{field.name}"
+            )
+
+    def test_chaos_runbook_documents_the_fault_grammar(self):
+        # The runbook is the schema reference the scenario loader's error
+        # messages point at, so it must cover every fault kind, every
+        # fault-point family, and every invariant key.
+        from repro.chaos import FAULT_KINDS
+
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        assert "## Chaos runbook" in text
+        for kind in FAULT_KINDS:
+            assert f"`{kind}" in text, f"runbook misses fault kind {kind!r}"
+        for point in ("store", "frontend", "shard:i", "shard:i/replica:j"):
+            assert point in text, f"runbook misses fault point {point!r}"
+        for invariant in ("max_failed", "verdict_parity", "staleness_bound_epochs"):
+            assert invariant in text, f"runbook misses invariant {invariant!r}"
+        assert "DEGRADED" in text and "verdict_digest" in text
+
+    def test_chaos_runbook_quotes_the_pinned_smoke_scenario(self):
+        # The CI matrix is pinned: the runbook example and the checked-in
+        # smoke.yaml must not drift apart silently.
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        smoke = REPO_ROOT / "benchmarks" / "scenarios" / "smoke.yaml"
+        assert smoke.is_file(), "benchmarks/scenarios/smoke.yaml is missing"
+        assert "benchmarks/scenarios/smoke.yaml" in text
+        for line in ("name: smoke", "max_attempts: 3", "staleness_bound_epochs: 4"):
+            assert line in smoke.read_text(encoding="utf-8"), (
+                f"smoke.yaml lost pinned line {line!r}"
             )
 
     def test_benchmarks_page_names_every_floor_module(self):
