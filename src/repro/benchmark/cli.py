@@ -24,6 +24,10 @@ Usage (after ``pip install -e .``)::
     # Chaos: run a declarative fault-injection scenario matrix.
     python -m repro.benchmark.cli chaos benchmarks/scenarios/smoke.yaml --csv run.csv
 
+    # Observability: a traced load run — metrics exposition, span trees, events.
+    python -m repro.benchmark.cli obs --shards 2 --replicas 2 --requests 200
+    python -m repro.benchmark.cli obs --sample-rate 0.1 --trace-jsonl spans.jsonl
+
 Each experiment prints the corresponding table/figure in the same text
 format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
 reproduce a single result without running pytest.  ``serve`` exposes the
@@ -86,7 +90,7 @@ __all__ = [
 
 #: Subcommands dispatched to the online-serving / store path instead of
 #: the table/figure renderers.
-SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact", "chaos")
+SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact", "chaos", "obs")
 
 
 def _render_table2(runner: BenchmarkRunner) -> str:
@@ -345,6 +349,31 @@ def build_service_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--world-scale", type=float, default=0.2, help="Synthetic world scale.")
     chaos.add_argument(
         "--csv", default=None, help="Also write the run table (with timings) as CSV here."
+    )
+
+    obs = commands.add_parser(
+        "obs",
+        help=(
+            "Traced closed-loop load run: unified metrics exposition, the "
+            "slowest request's span tree, and the fleet event log."
+        ),
+    )
+    add_common(obs)
+    obs.add_argument("--requests", type=int, default=200, help="Total requests to issue.")
+    obs.add_argument("--concurrency", type=int, default=16, help="Closed-loop virtual clients.")
+    obs.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help=(
+            "Head-sampling probability in [0, 1]; traces with any "
+            "FAILED/DEGRADED/SHED span are always kept."
+        ),
+    )
+    obs.add_argument(
+        "--trace-jsonl",
+        default=None,
+        help="Export every committed span as JSONL here (one object per line).",
     )
     return parser
 
@@ -665,6 +694,62 @@ def _run_chaos(args, stream: TextIO) -> int:
     return 0 if table.ok else 1
 
 
+def _run_obs(args, stream: TextIO) -> int:
+    """A traced load run: the observability PR's one-stop CLI view.
+
+    Prints the load report, the unified-registry snapshot and its
+    Prometheus-style exposition (exemplar trace ids included), the slowest
+    request's span tree, the head-sampling tally, and the fleet event log;
+    optionally exports every committed span as JSONL.
+    """
+    from ..obs import Observability, render_spans
+    from ..service import LoadGenerator, ShardedValidationService, build_workload
+
+    if not 0.0 <= args.sample_rate <= 1.0:
+        raise SystemExit("--sample-rate must be within [0, 1]")
+    _, service, datasets = _service_setup(args)
+    obs = Observability.for_clock(
+        seed=args.seed, sample_rate=args.sample_rate, trace_capacity=4096
+    )
+    if isinstance(service, ShardedValidationService):
+        service.set_observability(obs)
+    else:
+        service.set_observability(obs.tracer, obs.events)
+    workload = build_workload(
+        list(datasets.values()), args.methods, args.models, args.requests, seed=args.seed
+    )
+    report = LoadGenerator(service, workload, concurrency=args.concurrency).run_sync()
+    stream.write(report.format_table("Traced load run") + "\n\n")
+    stream.write(service.metrics.snapshot().format_table() + "\n\n")
+    title = "Metrics exposition"
+    stream.write(f"{title}\n{'-' * len(title)}\n")
+    stream.write(service.metrics.exposition() + "\n")
+
+    tracer = obs.tracer
+    worst_spans: list = []
+    worst_duration = -1.0
+    for spans in tracer.traces().values():
+        roots = [span for span in spans if span.parent_id is None]
+        duration = max((span.duration_s for span in roots), default=0.0)
+        if duration > worst_duration:
+            worst_duration = duration
+            worst_spans = spans
+    if worst_spans:
+        title = "Slowest trace"
+        stream.write(f"{title}\n{'-' * len(title)}\n")
+        stream.write(render_spans(worst_spans) + "\n\n")
+    stream.write(
+        f"traces committed: {len(tracer.trace_ids())}; "
+        f"head-sampled away: {tracer.sampled_out}\n"
+    )
+    if len(obs.events):
+        stream.write("\n" + obs.events.format_table() + "\n")
+    if args.trace_jsonl:
+        count = tracer.export_jsonl(args.trace_jsonl)
+        stream.write(f"\n{count} spans written to {args.trace_jsonl}\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-factcheck",
@@ -730,6 +815,8 @@ def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
             return _run_compact(service_args, stream)
         if service_args.command == "chaos":
             return _run_chaos(service_args, stream)
+        if service_args.command == "obs":
+            return _run_obs(service_args, stream)
         return _run_loadgen(service_args, stream)
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(

@@ -68,6 +68,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs import Observability
+from ..obs.trace import slowest_path as _slowest_path
 from ..retrieval.corpus import Document
 from ..service.config import ServiceConfig
 from ..service.loadgen import LoadGenerator, LoadReport
@@ -468,6 +470,14 @@ class CellResult:
     checks: List[InvariantCheck]
     verdict_digest: str
     reference: bool = False
+    #: Trace-derived: root-to-leaf span names along the slowest child at
+    #: every level of the cell's worst trace ("" when tracing found none).
+    slowest_path: str = ""
+    #: Trace-derived: the trace id of the cell's slowest request — the
+    #: exemplar to pull (``repro obs`` / JSONL) when its p99 looks wrong.
+    worst_trace: str = ""
+    #: Event-log tally for the cell (kills, health transitions, quiesces).
+    event_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cell_id(self) -> str:
@@ -510,6 +520,11 @@ class RunTable:
         "p50_ms",
         "p99_ms",
         "wall_s",
+        # Trace-derived (which child was slowest depends on real timing, so
+        # these stay out of the deterministic view even though the span
+        # *trees* themselves are deterministic under a virtual clock).
+        "slowest_path",
+        "worst_trace",
     )
 
     def __init__(self, scenario: Scenario, cells: Sequence[CellResult]) -> None:
@@ -554,6 +569,8 @@ class RunTable:
                         "p50_ms": f"{cell.snapshot.p50_latency_s * 1000:.2f}",
                         "p99_ms": f"{cell.snapshot.p99_latency_s * 1000:.2f}",
                         "wall_s": f"{cell.report.wall_seconds:.3f}",
+                        "slowest_path": cell.slowest_path,
+                        "worst_trace": cell.worst_trace,
                     }
                 )
             rows.append(row)
@@ -727,6 +744,13 @@ class ScenarioRunner:
             retry_policy=scenario.retry_policy,
             clock=self.clock,
         )
+        # Per-cell observability: a fresh seeded tracer + event log on the
+        # runner's clock, so each cell's span trees stand alone (and are
+        # byte-identical under a virtual clock for the same scenario seed).
+        obs = Observability.for_clock(
+            self.clock, seed=scenario.seed, trace_capacity=4096
+        )
+        router.set_observability(obs)
         injector: Optional[FaultInjector] = None
         driver: Optional[asyncio.Task] = None
         async with router:
@@ -752,6 +776,16 @@ class ScenarioRunner:
         checks = self._check_invariants(
             topology, case, report, reference_verdicts, ring
         )
+        worst_trace = ""
+        slowest = ""
+        worst_duration = -1.0
+        for trace_id, spans in obs.tracer.traces().items():
+            roots = [span for span in spans if span.parent_id is None]
+            duration = max((span.duration_s for span in roots), default=0.0)
+            if duration > worst_duration:
+                worst_duration = duration
+                worst_trace = trace_id
+                slowest = _slowest_path(spans)
         return CellResult(
             topology=topology,
             traffic=traffic,
@@ -761,6 +795,9 @@ class ScenarioRunner:
             checks=checks,
             verdict_digest=_verdict_digest(report.verdicts()),
             reference=case is None,
+            slowest_path=slowest,
+            worst_trace=worst_trace,
+            event_counts=obs.events.counts(),
         )
 
     def _check_invariants(

@@ -1,0 +1,106 @@
+"""Observability layer: tracing, unified metrics, structured events.
+
+Three cooperating pieces, all deterministic under the injectable
+:class:`~repro.chaos.clock.Clock`:
+
+* :mod:`repro.obs.trace` — seeded distributed tracing with contextvar
+  propagation, head sampling, JSONL export, and an ASCII tree renderer;
+* :mod:`repro.obs.registry` — the metrics registry (counters, gauges,
+  fixed-bucket histograms with exemplars) every ``MetricsSnapshot``
+  derives from, with Prometheus-style text exposition;
+* :mod:`repro.obs.events` — the structured event log of discrete fleet
+  transitions (health, failover, quiesce, kills, budget exhaustion).
+
+:class:`Observability` bundles one of each for one-call wiring:
+``router.set_observability(Observability.for_clock(clock, seed))`` arms
+every layer the router fronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..chaos.clock import Clock, MonotonicClock
+from .events import EVENT_KINDS, Event, EventLog
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    parse_exposition,
+    percentile,
+    render_exposition,
+)
+from .trace import (
+    SPAN_TAXONOMY,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    Span,
+    SpanContext,
+    Tracer,
+    maybe_span,
+    render_spans,
+    slowest_path,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "EVENT_KINDS",
+    "SPAN_TAXONOMY",
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "Counter",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "maybe_span",
+    "parse_exposition",
+    "percentile",
+    "render_exposition",
+    "render_spans",
+    "slowest_path",
+]
+
+
+@dataclass
+class Observability:
+    """One tracer + one event log, built over one clock and one seed.
+
+    The metrics registries stay owned by the services' ``ServiceMetrics``
+    (each replica's counters are its own); this bundle carries the pieces
+    that are genuinely fleet-global.
+    """
+
+    tracer: Tracer
+    events: EventLog
+
+    @classmethod
+    def for_clock(
+        cls,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        sample_rate: float = 1.0,
+        trace_capacity: int = 512,
+        event_capacity: int = 4096,
+    ) -> "Observability":
+        clock = clock or MonotonicClock()
+        return cls(
+            tracer=Tracer(
+                clock=clock, seed=seed, sample_rate=sample_rate, capacity=trace_capacity
+            ),
+            events=EventLog(clock=clock, capacity=event_capacity),
+        )

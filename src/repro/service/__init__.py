@@ -65,9 +65,14 @@ from .loadgen import (
     build_mixed_workload,
     build_workload,
 )
-from .metrics import MetricsSnapshot, ServiceMetrics, percentile
+from .metrics import SERVICE_METRIC_NAMES, MetricsSnapshot, ServiceMetrics, percentile
 from .policy import RetryPolicy
-from .router import ReplicaHealth, RouterMetrics, ShardedValidationService
+from .router import (
+    ROUTER_METRIC_NAMES,
+    ReplicaHealth,
+    RouterMetrics,
+    ShardedValidationService,
+)
 from .server import (
     RequestOutcome,
     ServiceRequest,
@@ -79,6 +84,8 @@ from .server import (
 __all__ = [
     "CacheStats",
     "IngestRequest",
+    "ROUTER_METRIC_NAMES",
+    "SERVICE_METRIC_NAMES",
     "LoadGenerator",
     "LoadReport",
     "MetricsSnapshot",

@@ -16,9 +16,17 @@ Response::
      "method": "dka", "model": "gemma2:9b"}
 
 Control commands: ``{"cmd": "metrics"}`` returns a
-:class:`~repro.service.metrics.MetricsSnapshot` as JSON.  Malformed input
-and unknown facts produce ``{"outcome": "error", "error": ...}`` instead of
-closing the connection.
+:class:`~repro.service.metrics.MetricsSnapshot` as JSON;
+``{"cmd": "metrics", "format": "exposition"}`` returns
+``{"exposition": <Prometheus-style text>}`` rendered from the unified
+metrics registry.  Malformed input and unknown facts produce
+``{"outcome": "error", "error": ...}`` instead of closing the connection.
+
+Tracing: with :meth:`TCPValidationFrontend.set_observability` armed, every
+validation request runs under a ``frontend.request`` root span (re-parented
+from the optional ``trace`` payload field — the wire form of
+:meth:`~repro.obs.trace.Tracer.inject` — so client spans connect), and the
+reply carries the ``trace_id``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import json
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..datasets.base import FactDataset
+from ..obs.trace import STATUS_DEGRADED, STATUS_FAILED, STATUS_SHED, Tracer
 from .server import RequestOutcome, ServiceRequest, ValidationService
 
 __all__ = ["TCPValidationFrontend"]
@@ -71,10 +80,29 @@ class TCPValidationFrontend:
         #: flushed, so a max-requests watcher never tears the service down
         #: while the counted request is still in flight.
         self.requests_handled = 0
+        #: Optional :class:`~repro.obs.trace.Tracer`; when armed, every
+        #: validation request gets a ``frontend.request`` root span.
+        self.tracer: Optional[Tracer] = None
 
     def set_fault_injection(self, injector) -> None:
         """Arm (or with ``None`` disarm) the ``frontend`` chaos fault point."""
         self.fault_injector = injector
+
+    def set_observability(self, obs) -> None:
+        """Arm (or with ``obs=None`` disarm) tracing at the frontend *and*
+        in the service behind it (``obs`` is an
+        :class:`~repro.obs.Observability` bundle; the service fans it out
+        to whatever layers it fronts)."""
+        self.tracer = obs.tracer if obs is not None else None
+        if isinstance(self.service, ValidationService):
+            self.service.set_observability(
+                obs.tracer if obs is not None else None,
+                obs.events if obs is not None else None,
+            )
+        else:
+            # The sharded router (or any fleet-shaped service) takes the
+            # whole bundle and fans it out itself.
+            self.service.set_observability(obs)
 
     async def start(self) -> None:
         """Bind and start accepting connections; with ``port=0`` the
@@ -158,10 +186,32 @@ class TCPValidationFrontend:
         if not isinstance(payload, dict):
             return {"outcome": "error", "error": "request must be a JSON object"}, True
         if payload.get("cmd") == "metrics":
+            if payload.get("format") == "exposition":
+                return {"exposition": self.service.metrics.exposition()}, False
             return dataclasses.asdict(self.service.metrics.snapshot()), False
         return await self._validate(payload), True
 
     async def _validate(self, payload: dict) -> dict:
+        if self.tracer is None:
+            return await self._validate_inner(payload)
+        # Re-parent from the wire context when the client sent one; the
+        # frontend span is the local root either way and commits the trace.
+        remote = Tracer.extract(payload.get("trace"))
+        with self.tracer.span("frontend.request", "frontend", parent=remote) as span:
+            span.attributes["dataset"] = str(payload.get("dataset", ""))
+            reply = await self._validate_inner(payload)
+            outcome = reply.get("outcome", "")
+            span.attributes["outcome"] = outcome
+            if outcome in ("error", "failed"):
+                span.status = STATUS_FAILED
+            elif outcome == "rejected":
+                span.status = STATUS_SHED
+            elif outcome == "degraded":
+                span.status = STATUS_DEGRADED
+            reply["trace_id"] = span.trace_id
+            return reply
+
+    async def _validate_inner(self, payload: dict) -> dict:
         correlation = payload.get("id")
         dataset_name = payload.get("dataset", "")
         dataset = self.datasets.get(dataset_name)

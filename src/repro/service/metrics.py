@@ -2,34 +2,50 @@
 
 The muBench-style load experiments this subsystem replicates are judged on
 per-run latency/throughput collection; this module is the service-side
-collector.  It keeps a bounded ring of per-request latencies plus counters,
-and renders an immutable :class:`MetricsSnapshot` on demand (the shape the
-benchmark floors and the ``serve``/``loadgen`` CLI tables consume).
+collector.  Since the observability PR, every instrument lives in a
+:class:`~repro.obs.registry.MetricsRegistry` — named, typed, labelled,
+renderable as Prometheus-style text — and :class:`MetricsSnapshot` is
+*derived* from that one registry instead of ad-hoc counter attributes.
+Latency percentiles come from the registry histogram's bounded raw-sample
+window (exact, interpolated — see :func:`repro.obs.registry.percentile`),
+and the histogram's per-bucket exemplars link the snapshot back to trace
+ids.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence
+from typing import List, Optional, Tuple
 
 from ..llm.telemetry import TelemetryCollector
+from ..obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    percentile,
+    render_exposition,
+)
 
-__all__ = ["MetricsSnapshot", "ServiceMetrics", "percentile"]
+__all__ = [
+    "SERVICE_METRIC_NAMES",
+    "MetricsSnapshot",
+    "ServiceMetrics",
+    "percentile",
+]
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 for empty input."""
-    if not values:
-        return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError("q must be within [0, 100]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+#: Every registry metric one :class:`ServiceMetrics` owns — the docs lint
+#: checks the observability runbook documents each of these by name.
+SERVICE_METRIC_NAMES = (
+    "service_requests_total",
+    "service_verdict_cache_lookups_total",
+    "service_batches_total",
+    "service_batched_requests_total",
+    "service_queue_depth",
+    "service_ingests_total",
+    "service_ingested_ops_total",
+    "service_request_latency_seconds",
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +83,10 @@ class MetricsSnapshot:
     #: Requests whose whole retry budget was spent without a live answer
     #: (each then either degraded or failed).
     budget_exhausted: int = 0
+    #: ``(bucket le label, trace_id)`` pairs from the latency histogram:
+    #: the most recent traced request observed in each bucket, so a tail
+    #: bucket links straight to a concrete trace (empty without tracing).
+    exemplars: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def shed_count(self) -> int:
@@ -100,6 +120,7 @@ class MetricsSnapshot:
             ("degraded", f"{self.degraded}"),
             ("budget exhausted", f"{self.budget_exhausted}"),
             ("unhealthy replicas", f"{self.unhealthy_replicas}"),
+            ("exemplars", f"{len(self.exemplars)}"),
             ("wall time", f"{self.wall_seconds:.3f} s"),
         ]
         width = max(len(name) for name, _ in rows)
@@ -109,7 +130,13 @@ class MetricsSnapshot:
 
 
 class ServiceMetrics:
-    """Collects serving telemetry; thread-safe, cheap to update.
+    """One worker's serving telemetry, backed by a metrics registry.
+
+    Every counter/gauge/histogram is a named instrument in
+    :attr:`registry` (by default a private
+    :class:`~repro.obs.registry.MetricsRegistry` — replicas must not share
+    one, their per-worker series would collide); :meth:`snapshot` and
+    :meth:`exposition` are two views over the same instruments.
 
     When a :class:`~repro.llm.telemetry.TelemetryCollector` is attached,
     every completed request is also recorded there under a
@@ -122,44 +149,61 @@ class ServiceMetrics:
         self,
         window: int = 4096,
         telemetry: Optional[TelemetryCollector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.telemetry = telemetry
-        self._latencies: Deque[float] = deque(maxlen=window)
+        self.registry = registry or MetricsRegistry()
         self._lock = threading.Lock()
-        self._completed = 0
-        self._rejected = 0
-        self._errors = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._queue_depth = 0
-        self._ingests = 0
-        self._ingested_ops = 0
         self._started_at: Optional[float] = None
+        requests = self.registry.counter(
+            "service_requests_total",
+            "Requests by final outcome at this worker.",
+            ("outcome",),
+        )
+        self._completed = requests.labels(outcome="completed")
+        self._rejected = requests.labels(outcome="rejected")
+        self._errors = requests.labels(outcome="error")
+        lookups = self.registry.counter(
+            "service_verdict_cache_lookups_total",
+            "Verdict-cache lookups on served (non-shed) traffic.",
+            ("result",),
+        )
+        self._cache_hits = lookups.labels(result="hit")
+        self._cache_misses = lookups.labels(result="miss")
+        self._batches = self.registry.counter(
+            "service_batches_total", "Micro-batches dispatched."
+        )
+        self._batched_requests = self.registry.counter(
+            "service_batched_requests_total", "Requests carried by those batches."
+        )
+        self._queue_depth = self.registry.gauge(
+            "service_queue_depth", "Admitted-but-unanswered requests right now."
+        )
+        self._ingests = self.registry.counter(
+            "service_ingests_total", "Mutation batches applied."
+        )
+        self._ingested_ops = self.registry.counter(
+            "service_ingested_ops_total", "Mutations inside those batches."
+        )
+        self._latency = self.registry.histogram(
+            "service_request_latency_seconds",
+            "In-service request latency (queue wait + batch execution).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            window=window,
+        )
 
     # ------------------------------------------------------------- recording
 
     def start(self) -> None:
         """(Re)start the measurement window; called when the service starts.
 
-        Counters and latencies reset together with the throughput clock —
+        The whole registry resets together with the throughput clock —
         a stopped-and-restarted service must not divide the old completion
         count by the new elapsed time.
         """
         with self._lock:
             self._started_at = time.perf_counter()
-            self._latencies.clear()
-            self._completed = 0
-            self._rejected = 0
-            self._errors = 0
-            self._cache_hits = 0
-            self._cache_misses = 0
-            self._batches = 0
-            self._batched_requests = 0
-            self._queue_depth = 0
-            self._ingests = 0
-            self._ingested_ops = 0
+        self.registry.reset()
 
     def observe_completion(
         self,
@@ -169,12 +213,13 @@ class ServiceMetrics:
         model: str = "unknown",
         prompt_tokens: int = 0,
         completion_tokens: int = 0,
+        trace_id: Optional[str] = None,
     ) -> None:
-        """One answered request: record its measured in-service latency and
-        forward the token/latency accounting to the attached telemetry."""
-        with self._lock:
-            self._completed += 1
-            self._latencies.append(latency_seconds)
+        """One answered request: record its measured in-service latency
+        (``trace_id`` becomes the latency bucket's exemplar when tracing is
+        on) and forward the token accounting to the attached telemetry."""
+        self._completed.inc()
+        self._latency.observe(latency_seconds, exemplar=trace_id)
         if self.telemetry is not None:
             self.telemetry.record_call(
                 model=model,
@@ -186,8 +231,7 @@ class ServiceMetrics:
 
     def observe_shed(self) -> None:
         """One request refused by admission control (``REJECTED``)."""
-        with self._lock:
-            self._rejected += 1
+        self._rejected.inc()
 
     def observe_error(self) -> None:
         """An admitted request whose batch failed (strategy exception).
@@ -195,74 +239,71 @@ class ServiceMetrics:
         Keeps the ``completed + rejected + errors == submitted`` invariant
         the snapshot consumers rely on.
         """
-        with self._lock:
-            self._errors += 1
+        self._errors.inc()
 
     def observe_cache(self, hit: bool) -> None:
         """One verdict-cache lookup on served (non-shed) traffic."""
-        with self._lock:
-            if hit:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
+        (self._cache_hits if hit else self._cache_misses).inc()
 
     def observe_batch(self, size: int) -> None:
         """One dispatched micro-batch of ``size`` requests."""
-        with self._lock:
-            self._batches += 1
-            self._batched_requests += size
+        self._batches.inc()
+        self._batched_requests.inc(size)
 
     def observe_ingest(self, ops: int) -> None:
         """One applied mutation batch of ``ops`` operations."""
-        with self._lock:
-            self._ingests += 1
-            self._ingested_ops += ops
+        self._ingests.inc()
+        self._ingested_ops.inc(ops)
 
     def set_queue_depth(self, depth: int) -> None:
         """Update the admitted-but-unanswered gauge shown in snapshots."""
-        with self._lock:
-            self._queue_depth = depth
+        self._queue_depth.set(depth)
 
     def latencies(self) -> List[float]:
-        """A copy of the latency ring, for cross-shard percentile roll-ups.
+        """A copy of the histogram's raw-sample window, for cross-shard
+        percentile roll-ups.
 
         Per-shard percentiles cannot be averaged into fleet percentiles;
         the sharded router aggregates the raw windows instead.
         """
-        with self._lock:
-            return list(self._latencies)
+        return self._latency.window()
 
     # ------------------------------------------------------------- snapshot
 
     def snapshot(self) -> MetricsSnapshot:
         """An immutable, internally consistent :class:`MetricsSnapshot`
-        (percentiles computed over the current latency ring; throughput
-        over the wall time since :meth:`start`)."""
+        derived from the registry instruments (percentiles over the
+        histogram's raw window; throughput over the wall time since
+        :meth:`start`)."""
         with self._lock:
-            latencies: List[float] = list(self._latencies)
             elapsed = (
                 time.perf_counter() - self._started_at
                 if self._started_at is not None
                 else 0.0
             )
-            completed = self._completed
-            mean_batch = (
-                self._batched_requests / self._batches if self._batches else 0.0
-            )
-            return MetricsSnapshot(
-                completed=completed,
-                rejected=self._rejected,
-                errors=self._errors,
-                cache_hits=self._cache_hits,
-                cache_misses=self._cache_misses,
-                batches=self._batches,
-                mean_batch_size=mean_batch,
-                queue_depth=self._queue_depth,
-                wall_seconds=elapsed,
-                throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
-                p50_latency_s=percentile(latencies, 50),
-                p95_latency_s=percentile(latencies, 95),
-                p99_latency_s=percentile(latencies, 99),
-                ingests=self._ingests,
-                ingested_ops=self._ingested_ops,
-            )
+        latencies = self._latency.window()
+        completed = int(self._completed.value)
+        batches = int(self._batches.value)
+        batched_requests = int(self._batched_requests.value)
+        return MetricsSnapshot(
+            completed=completed,
+            rejected=int(self._rejected.value),
+            errors=int(self._errors.value),
+            cache_hits=int(self._cache_hits.value),
+            cache_misses=int(self._cache_misses.value),
+            batches=batches,
+            mean_batch_size=batched_requests / batches if batches else 0.0,
+            queue_depth=int(self._queue_depth.value),
+            wall_seconds=elapsed,
+            throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            p99_latency_s=percentile(latencies, 99),
+            ingests=int(self._ingests.value),
+            ingested_ops=int(self._ingested_ops.value),
+            exemplars=tuple(self._latency.exemplars()),
+        )
+
+    def exposition(self, extra_labels=None) -> str:
+        """This worker's instruments as Prometheus-style text."""
+        return render_exposition(self.registry.collect(extra_labels))

@@ -55,6 +55,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..chaos.clock import Clock, MonotonicClock
 from ..llm.telemetry import TelemetryCollector
+from ..obs import Observability
+from ..obs.registry import MetricsRegistry, render_exposition
+from ..obs.trace import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_SHED,
+    Span,
+    Tracer,
+    maybe_span,
+)
 from ..store import Mutation, ReplicaGroup, ShardApplyReport, ShardedStore
 from ..store.sharding import HashRing, ReplicaDivergedError
 from ..validation.base import ValidationResult
@@ -64,7 +74,25 @@ from .metrics import MetricsSnapshot, percentile
 from .policy import RetryPolicy
 from .server import RequestOutcome, ServiceRequest, ServiceResponse, ValidationService
 
-__all__ = ["ReplicaHealth", "RouterMetrics", "ShardedValidationService"]
+__all__ = [
+    "ROUTER_METRIC_NAMES",
+    "ReplicaHealth",
+    "RouterMetrics",
+    "ShardedValidationService",
+]
+
+#: Every registry metric :class:`RouterMetrics` owns on top of the
+#: per-replica ``SERVICE_METRIC_NAMES`` — the docs lint checks the
+#: observability runbook documents each of these by name.
+ROUTER_METRIC_NAMES = (
+    "router_failures_total",
+    "router_timeout_failures_total",
+    "router_failovers_total",
+    "router_retries_total",
+    "router_degraded_total",
+    "router_budget_exhausted_total",
+    "router_unhealthy_replicas",
+)
 
 
 @dataclass
@@ -139,12 +167,38 @@ class RouterMetrics:
     ) -> None:
         self._groups = [list(group) for group in groups]
         self._health = health
-        self._failures = 0
-        self._timeout_failures = 0
-        self._failovers = 0
-        self._retries = 0
-        self._degraded = 0
-        self._budget_exhausted = 0
+        #: The router's own instruments (fleet counters the replicas cannot
+        #: see); :meth:`exposition` merges it with every replica registry.
+        self.registry = MetricsRegistry()
+        self._failures_total = self.registry.counter(
+            "router_failures_total", "FAILED responses after every replica was tried."
+        )
+        self._timeout_failures_total = self.registry.counter(
+            "router_timeout_failures_total",
+            "The subset of failures involving a stalled replica.",
+        )
+        self._failovers_total = self.registry.counter(
+            "router_failovers_total",
+            "Requests rescued by a sibling replica after >= 1 faulted attempts.",
+        )
+        self._retries_total = self.registry.counter(
+            "router_retries_total",
+            "Extra full passes over a shard's replicas under the retry policy.",
+        )
+        self._degraded_total = self.registry.counter(
+            "router_degraded_total",
+            "DEGRADED responses served from the stale verdict cache.",
+        )
+        self._budget_exhausted_total = self.registry.counter(
+            "router_budget_exhausted_total",
+            "Requests whose whole retry budget was spent without a live answer.",
+        )
+        self._unhealthy_gauge = self.registry.gauge(
+            "router_unhealthy_replicas",
+            "Replicas currently out of the regular routing rotation.",
+        )
+        # Snapshot bookkeeping (not a metric): reconciles worker-counted
+        # errors with router outcomes so the fleet total stays exact.
         self._error_adjustment = 0
         self._lock = threading.Lock()
 
@@ -158,28 +212,26 @@ class RouterMetrics:
         workers already folded into their own ``errors`` counters (the
         snapshot keeps the total at exactly one per failed request).
         """
+        self._failures_total.inc()
+        if timeout:
+            self._timeout_failures_total.inc()
         with self._lock:
-            self._failures += 1
-            if timeout:
-                self._timeout_failures += 1
             self._error_adjustment += 1 - counted_errors
 
     def observe_failover(self, counted_errors: int = 0) -> None:
         """One request rescued by a sibling after >= 1 faulted attempts."""
+        self._failovers_total.inc()
         with self._lock:
-            self._failovers += 1
             self._error_adjustment -= counted_errors
 
     def observe_retry(self) -> None:
         """One extra full pass over a shard's replicas under a retry policy."""
-        with self._lock:
-            self._retries += 1
+        self._retries_total.inc()
 
     def observe_budget_exhausted(self) -> None:
         """One request whose whole retry budget was spent without an answer
         (it then either degrades to a stale verdict or fails)."""
-        with self._lock:
-            self._budget_exhausted += 1
+        self._budget_exhausted_total.inc()
 
     def observe_degraded(self, counted_errors: int = 0) -> None:
         """One ``DEGRADED`` response served from the stale verdict cache.
@@ -190,8 +242,8 @@ class RouterMetrics:
         invariant becomes ``completed + rejected + errors + degraded ==
         submitted``.
         """
+        self._degraded_total.inc()
         with self._lock:
-            self._degraded += 1
             self._error_adjustment -= counted_errors
 
     # ------------------------------------------------------------- properties
@@ -199,45 +251,41 @@ class RouterMetrics:
     @property
     def failures(self) -> int:
         """``FAILED`` responses produced by the router."""
-        with self._lock:
-            return self._failures
+        return int(self._failures_total.value)
 
     @property
     def timeout_failures(self) -> int:
         """The subset of :attr:`failures` involving a stalled replica."""
-        with self._lock:
-            return self._timeout_failures
+        return int(self._timeout_failures_total.value)
 
     @property
     def failovers(self) -> int:
         """Requests answered by a sibling after their first choice faulted."""
-        with self._lock:
-            return self._failovers
+        return int(self._failovers_total.value)
 
     @property
     def retries(self) -> int:
         """Extra full passes made over a shard's replicas (policy-driven)."""
-        with self._lock:
-            return self._retries
+        return int(self._retries_total.value)
 
     @property
     def degraded(self) -> int:
         """``DEGRADED`` responses served from the stale verdict cache."""
-        with self._lock:
-            return self._degraded
+        return int(self._degraded_total.value)
 
     @property
     def budget_exhausted(self) -> int:
         """Requests whose whole retry budget was spent without a live answer."""
-        with self._lock:
-            return self._budget_exhausted
+        return int(self._budget_exhausted_total.value)
 
     @property
     def unhealthy_replicas(self) -> int:
         """Replicas currently out of the regular routing rotation."""
-        return sum(
+        count = sum(
             1 for shard in self._health for health in shard if not health.healthy
         )
+        self._unhealthy_gauge.set(count)
+        return count
 
     # ------------------------------------------------------------- snapshots
 
@@ -261,6 +309,15 @@ class RouterMetrics:
             round(snapshot.mean_batch_size * snapshot.batches) for snapshot in snapshots
         )
         wall = max((snapshot.wall_seconds for snapshot in snapshots), default=0.0)
+
+        def _exemplar_key(pair: Tuple[str, str]) -> Tuple[float, str]:
+            le, trace_id = pair
+            return (float("inf") if le == "+Inf" else float(le), trace_id)
+
+        exemplars = sorted(
+            {pair for snapshot in snapshots for pair in snapshot.exemplars},
+            key=_exemplar_key,
+        )
         return MetricsSnapshot(
             completed=completed,
             rejected=sum(snapshot.rejected for snapshot in snapshots),
@@ -282,25 +339,42 @@ class RouterMetrics:
             retries=retries,
             degraded=degraded,
             budget_exhausted=budget_exhausted,
+            exemplars=tuple(exemplars),
         )
 
     def snapshot(self) -> MetricsSnapshot:
         """One fleet-wide roll-up across every replica of every shard."""
         with self._lock:
             adjustment = self._error_adjustment
-            failovers = self._failovers
-            retries = self._retries
-            degraded = self._degraded
-            budget_exhausted = self._budget_exhausted
         return self._aggregate(
             [service for group in self._groups for service in group],
             extra_errors=adjustment,
-            failovers=failovers,
+            failovers=self.failovers,
             unhealthy=self.unhealthy_replicas,
-            retries=retries,
-            degraded=degraded,
-            budget_exhausted=budget_exhausted,
+            retries=self.retries,
+            degraded=self.degraded,
+            budget_exhausted=self.budget_exhausted,
         )
+
+    def exposition(self) -> str:
+        """The whole fleet's instruments as one Prometheus-style text page.
+
+        Per-replica registries are collected with injected ``shard`` and
+        ``replica`` labels (they own identical unlabeled series — merging
+        without the labels would collide), then merged with the router's
+        own fleet counters.
+        """
+        self.unhealthy_replicas  # refresh the gauge before collecting
+        families = []
+        for shard_index, group in enumerate(self._groups):
+            for replica_index, service in enumerate(group):
+                families.extend(
+                    service.metrics.registry.collect(
+                        {"shard": str(shard_index), "replica": str(replica_index)}
+                    )
+                )
+        families.extend(self.registry.collect())
+        return render_exposition(families)
 
     def per_shard(self) -> List[MetricsSnapshot]:
         """One aggregated snapshot per logical shard (its replicas summed)."""
@@ -510,6 +584,10 @@ class ShardedValidationService:
         # Chaos: armed via set_fault_injection; fires the "store" point on
         # the ingest path (replica-level points live on the services).
         self._injector = None
+        # Observability: armed via set_observability; spans/events fan out
+        # to every replica service and attached store.
+        self._tracer: Optional[Tracer] = None
+        self._events = None
         self.health: List[List[ReplicaHealth]] = [
             [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
             for shard_index, group in enumerate(self.groups)
@@ -668,6 +746,10 @@ class ShardedValidationService:
         health.healthy = False
         health.marked_unhealthy_at = self.clock.now()
         self._dead.add((shard_index, replica_index))
+        if self._events is not None:
+            self._events.emit(
+                "replica_killed", f"shard:{shard_index}/replica:{replica_index}"
+            )
         await self.groups[shard_index][replica_index].stop(drain=False)
 
     def mark_unhealthy(self, shard_index: int, replica_index: int) -> None:
@@ -739,10 +821,42 @@ class ShardedValidationService:
         :class:`RuntimeError` when the router is stopped, and propagates
         :class:`asyncio.CancelledError` when the *caller* (or a router
         shutdown) cancels the request.
+
+        With tracing armed (:meth:`set_observability`), the whole journey
+        is one ``router.route`` span with a ``router.attempt`` child per
+        pass and a ``replica.call`` child per replica tried; ``DEGRADED``
+        responses tag the span with the stale verdict's epoch and its
+        staleness, and the response carries the ``trace_id``.
         """
         if self._closed:
             raise RuntimeError("service is stopped")
         shard_index = self.shard_for(request)
+        if self._tracer is None:
+            return await self._submit_inner(request, shard_index, None)
+        with self._tracer.span("router.route", f"shard:{shard_index}") as span:
+            span.attributes["method"] = request.method
+            span.attributes["shard"] = shard_index
+            response = await self._submit_inner(request, shard_index, span)
+            span.attributes["outcome"] = response.outcome.name
+            if response.outcome is RequestOutcome.FAILED:
+                span.status = STATUS_FAILED
+            elif response.outcome is RequestOutcome.REJECTED:
+                span.status = STATUS_SHED
+            elif response.outcome is RequestOutcome.DEGRADED:
+                span.status = STATUS_DEGRADED
+                stale_epoch = response.stale_epoch or 0
+                span.attributes["stale_epoch"] = stale_epoch
+                span.attributes["staleness_epochs"] = (
+                    self.epoch_vector[shard_index] - stale_epoch
+                )
+            return dataclasses.replace(response, trace_id=span.trace_id)
+
+    async def _submit_inner(
+        self,
+        request: ServiceRequest,
+        shard_index: int,
+        span: Optional[Span],
+    ) -> ServiceResponse:
         started = time.perf_counter()
         policy = self.retry_policy
         max_attempts = policy.max_attempts if policy is not None else 1
@@ -771,14 +885,28 @@ class ShardedValidationService:
                     f"after {attempt} of {max_attempts} attempts"
                 )
                 break
-            response, pass_counted, pass_timed_out = await self._attempt(
-                request, shard_index, errors, deadline
-            )
+            with maybe_span(
+                self._tracer, "router.attempt", f"shard:{shard_index}", parent=span
+            ) as attempt_span:
+                if attempt_span is not None:
+                    attempt_span.attributes["attempt"] = attempt + 1
+                response, pass_counted, pass_timed_out = await self._attempt(
+                    request, shard_index, errors, deadline
+                )
+                if attempt_span is not None and response is None:
+                    attempt_span.status = STATUS_FAILED
+                    attempt_span.attributes["error"] = "all replicas faulted"
             counted_errors += pass_counted
             timed_out = timed_out or pass_timed_out
             if response is not None:
                 if errors:
                     self.metrics.observe_failover(counted_errors)
+                    if self._events is not None:
+                        self._events.emit(
+                            "failover",
+                            f"shard:{shard_index}",
+                            faulted_attempts=len(errors),
+                        )
                 self._remember_verdict(request, response)
                 if retries:
                     response = dataclasses.replace(response, retries=retries)
@@ -787,6 +915,13 @@ class ShardedValidationService:
             errors.append(f"shard {shard_index} has no serving replicas")
         if policy is not None:
             self.metrics.observe_budget_exhausted()
+            if self._events is not None:
+                self._events.emit(
+                    "budget_exhausted",
+                    f"shard:{shard_index}",
+                    attempts=max_attempts,
+                    retries=retries,
+                )
             degraded = self._degraded_response(request, started, retries, errors)
             if degraded is not None:
                 self.metrics.observe_degraded(counted_errors)
@@ -829,12 +964,22 @@ class ShardedValidationService:
                 self._record_failure(shard_index, replica_index)
                 continue
             try:
-                if timeout_s is not None:
-                    response = await asyncio.wait_for(
-                        service.submit(request), timeout=timeout_s
-                    )
-                else:
-                    response = await service.submit(request)
+                with maybe_span(
+                    self._tracer,
+                    "replica.call",
+                    f"shard:{shard_index}/replica:{replica_index}",
+                ) as call_span:
+                    if timeout_s is not None:
+                        response = await asyncio.wait_for(
+                            service.submit(request), timeout=timeout_s
+                        )
+                    else:
+                        response = await service.submit(request)
+                    if (
+                        call_span is not None
+                        and response.outcome is RequestOutcome.REJECTED
+                    ):
+                        call_span.status = STATUS_SHED
             except asyncio.TimeoutError:
                 timed_out = True
                 errors.append(f"{label} stalled past {timeout_s:.3f}s")
@@ -993,6 +1138,38 @@ class ShardedValidationService:
             for replica_group in self.replica_groups:
                 replica_group.fault_injector = injector
 
+    # ---------------------------------------------------------------- observability
+
+    def set_observability(self, obs: Optional[Observability]) -> None:
+        """Arm (or with ``obs=None`` disarm) tracing and event logging.
+
+        Fans the bundle's tracer and event log out to every layer this
+        router fronts: each replica service traces ``service.submit`` /
+        ``worker.execute`` / ``store.read`` under the point label
+        ``shard:{i}/replica:{j}`` and emits quiesce events; the attached
+        store shards / replica groups trace ``store.apply`` and
+        ``store.ship``; the router itself traces ``router.route`` /
+        ``router.attempt`` / ``replica.call`` and emits health, failover,
+        and budget events.
+        """
+        tracer = obs.tracer if obs is not None else None
+        events = obs.events if obs is not None else None
+        self._tracer = tracer
+        self._events = events
+        for shard_index, group in enumerate(self.groups):
+            for replica_index, service in enumerate(group):
+                service.set_observability(
+                    tracer, events, f"shard:{shard_index}/replica:{replica_index}"
+                )
+        if self.store is not None:
+            for shard in self.store.shards:
+                shard.tracer = tracer
+        if self.replica_groups is not None:
+            for replica_group in self.replica_groups:
+                replica_group.tracer = tracer
+                for store in replica_group.stores:
+                    store.tracer = tracer
+
     # ---------------------------------------------------------------- internals
 
     def _stale_key(self, request: ServiceRequest) -> tuple:
@@ -1100,6 +1277,12 @@ class ShardedValidationService:
             health.healthy = True
             health.marked_unhealthy_at = None
             health.readmissions += 1
+            if self._events is not None:
+                self._events.emit(
+                    "replica_recovered",
+                    f"shard:{shard_index}/replica:{replica_index}",
+                    readmissions=health.readmissions,
+                )
 
     def _record_failure(
         self, shard_index: int, replica_index: int, timeout: bool = False
@@ -1111,6 +1294,13 @@ class ShardedValidationService:
         health.consecutive_failures += 1
         health.probing = False
         if health.consecutive_failures >= self.unhealthy_after:
+            if health.healthy and self._events is not None:
+                self._events.emit(
+                    "replica_unhealthy",
+                    f"shard:{shard_index}/replica:{replica_index}",
+                    consecutive_failures=health.consecutive_failures,
+                    timeout=timeout,
+                )
             health.healthy = False
         # Every fault re-anchors the probe timer, so a failed canary rests
         # the replica for another full interval before the next one.

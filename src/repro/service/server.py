@@ -34,6 +34,7 @@ backpressure):
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from dataclasses import dataclass
 from enum import Enum
@@ -41,6 +42,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..datasets.base import LabeledFact
 from ..llm.telemetry import TelemetryCollector
+from ..obs.events import EventLog
+from ..obs.trace import STATUS_FAILED, STATUS_SHED, Span, SpanContext, Tracer
 from ..store import ApplyReport, Mutation, VersionedKnowledgeStore
 from ..validation.base import ValidationResult, ValidationStrategy
 from ..validation.pipeline import ValidationPipeline
@@ -121,6 +124,10 @@ class ServiceResponse:
     #: the *current* fleet epochs, so ``epoch_vector[shard] - stale_epoch``
     #: is the answer's staleness in epochs.
     stale_epoch: Optional[int] = None
+    #: The distributed trace this response belongs to (``None`` when the
+    #: serving path ran untraced).  The TCP frontend echoes it to clients
+    #: so a slow reply links straight to its span tree.
+    trace_id: Optional[str] = None
 
     @property
     def rejected(self) -> bool:
@@ -143,7 +150,15 @@ class ServiceResponse:
         return self.outcome is RequestOutcome.DEGRADED
 
 
-_QueueItem = Tuple[ServiceRequest, "asyncio.Future[Tuple[ValidationResult, int]]"]
+#: ``(request, future, span context)``: the span context rides the queue so
+#: the micro-batch worker can parent each item's ``worker.execute`` span to
+#: the submitting request's span (a batch mixes parents; the worker task's
+#: own ambient context is useless for attribution).
+_QueueItem = Tuple[
+    ServiceRequest,
+    "asyncio.Future[Tuple[ValidationResult, int]]",
+    Optional[SpanContext],
+]
 
 
 class ValidationService:
@@ -182,6 +197,31 @@ class ValidationService:
         # point before executing (see repro.chaos.faults.FaultInjector).
         self._fault_injector = None
         self._fault_point = ""
+        # Observability hooks (see set_observability): a tracer opening
+        # service.submit/worker.execute/store.read spans, an event log for
+        # quiesce transitions, and this worker's name in span targets.
+        self._tracer: Optional[Tracer] = None
+        self._events: Optional[EventLog] = None
+        self._obs_point = "service"
+
+    def set_observability(
+        self,
+        tracer: Optional[Tracer],
+        events: Optional[EventLog] = None,
+        point: str = "service",
+    ) -> None:
+        """Arm (or with ``tracer=None`` disarm) tracing and event logging.
+
+        ``point`` names this worker in span targets and event lines — the
+        sharded router passes ``shard:{i}/replica:{j}``.  The attached
+        store (when any) gets the tracer too, so ``store.apply`` spans nest
+        under this worker's ingest path.
+        """
+        self._tracer = tracer
+        self._events = events
+        self._obs_point = point
+        if self.store is not None:
+            self.store.tracer = tracer
 
     def set_fault_injection(self, injector, point: str) -> None:
         """Arm (or with ``injector=None`` disarm) chaos fault injection.
@@ -293,7 +333,25 @@ class ValidationService:
         """
         if self._closed:
             raise RuntimeError("service is stopped")
+        if self._tracer is None:
+            return await self._submit_inner(request, None)
+        with self._tracer.span("service.submit", self._obs_point) as span:
+            span.attributes["method"] = request.method
+            span.attributes["model"] = request.model
+            response = await self._submit_inner(request, span)
+            span.attributes["outcome"] = response.outcome.value
+            if response.cached:
+                span.attributes["cached"] = True
+            if response.outcome is RequestOutcome.REJECTED:
+                # Shed requests always survive head sampling: SHED status.
+                span.status = STATUS_SHED
+            return dataclasses.replace(response, trace_id=span.trace_id)
+
+    async def _submit_inner(
+        self, request: ServiceRequest, span: Optional[Span]
+    ) -> ServiceResponse:
         started = time.perf_counter()
+        trace_id = span.trace_id if span is not None else None
         if not self._admission_gate.is_set():
             # An ingest is quiescing the service; hold the request (reads
             # are paused, not shed) until the new epoch is live.  The
@@ -321,6 +379,7 @@ class ValidationService:
                     model=model,
                     prompt_tokens=hit.prompt_tokens,
                     completion_tokens=hit.completion_tokens,
+                    trace_id=trace_id,
                 )
                 return ServiceResponse(
                     RequestOutcome.COMPLETED, hit, True, latency, epoch=epoch
@@ -346,7 +405,9 @@ class ValidationService:
         )
         self._inflight.add(future)
         try:
-            self._queue_for(method, model).put_nowait((request, future))
+            self._queue_for(method, model).put_nowait(
+                (request, future, span.context if span is not None else None)
+            )
             result, batch_size = await future
         except asyncio.CancelledError:
             raise
@@ -367,6 +428,7 @@ class ValidationService:
             model=model,
             prompt_tokens=result.prompt_tokens,
             completion_tokens=result.completion_tokens,
+            trace_id=trace_id,
         )
         if self.cache is not None:
             # Keyed under the admission-time epoch: apply_mutations drains
@@ -402,6 +464,10 @@ class ValidationService:
             raise RuntimeError("service is stopped")
         async with self._ingest_lock:
             self._admission_gate.clear()
+            if self._events is not None:
+                self._events.emit(
+                    "quiesce_start", self._obs_point, pending=self._pending
+                )
             try:
                 while self._pending:
                     await asyncio.sleep(0.001)
@@ -418,6 +484,10 @@ class ValidationService:
                 self.metrics.observe_ingest(report.total_ops)
             finally:
                 self._admission_gate.set()
+                if self._events is not None:
+                    self._events.emit(
+                        "quiesce_end", self._obs_point, epoch=self.epoch
+                    )
         return report
 
     # ---------------------------------------------------------------- internals
@@ -472,11 +542,27 @@ class ValidationService:
                     await self._fault_injector.fire(self._fault_point)
                 except Exception as exc:
                     # Injected fault: fail the whole micro-batch explicitly.
-                    for _, future in batch:
+                    for _, future, _ in batch:
                         if not future.done():
                             future.set_exception(exc)
                     continue
-            outcomes = self._execute(method, model, batch)
+            tracer = self._tracer
+            spans: Optional[List[Optional[Span]]] = None
+            if tracer is not None:
+                # One worker.execute span per *traced* batch item, parented
+                # to its own request (a batch mixes parents): the span
+                # covers the strategy run plus the simulated backend time.
+                spans = [
+                    tracer.start_span("worker.execute", self._obs_point, parent=context)
+                    if context is not None
+                    else None
+                    for _, _, context in batch
+                ]
+                for span in spans:
+                    if span is not None:
+                        span.attributes["batch_size"] = len(batch)
+                        span.attributes["method"] = method
+            outcomes = self._execute(method, model, batch, spans)
             succeeded = [
                 outcome for outcome in outcomes if isinstance(outcome, ValidationResult)
             ]
@@ -485,7 +571,15 @@ class ValidationService:
                     result.latency_seconds for result in succeeded
                 )
                 await asyncio.sleep(simulated * self.config.time_scale)
-            for (_, future), outcome in zip(batch, outcomes):
+            for index, ((_, future, _), outcome) in enumerate(zip(batch, outcomes)):
+                if spans is not None and tracer is not None:
+                    span = spans[index]
+                    if span is not None:
+                        if isinstance(outcome, ValidationResult):
+                            tracer.end_span(span)
+                        else:
+                            span.attributes["error"] = type(outcome).__name__
+                            tracer.end_span(span, status=STATUS_FAILED)
                 if future.done():
                     continue
                 if isinstance(outcome, ValidationResult):
@@ -494,7 +588,11 @@ class ValidationService:
                     future.set_exception(outcome)
 
     def _execute(
-        self, method: str, model: str, batch: List[_QueueItem]
+        self,
+        method: str,
+        model: str,
+        batch: List[_QueueItem],
+        spans: Optional[List[Optional[Span]]] = None,
     ) -> List[Any]:
         """Run one micro-batch through the offline pipeline code path.
 
@@ -504,12 +602,19 @@ class ValidationService:
         isolated to its dataset group: co-batched requests for other
         datasets still succeed.  Returns, per batch item, either its
         :class:`ValidationResult` or the exception its group raised.
+
+        With tracing armed (``spans`` carries the per-item
+        ``worker.execute`` spans), each group's strategy run is recorded as
+        a ``store.read`` child span under every traced item it served —
+        shared work attributed to each request that rode it.
         """
         groups: Dict[str, List[int]] = {}
-        for index, (request, _) in enumerate(batch):
+        for index, (request, _, _) in enumerate(batch):
             groups.setdefault(request.fact.dataset, []).append(index)
         outcomes: List[Any] = [None] * len(batch)
+        tracer = self._tracer
         for dataset, indexes in groups.items():
+            group_start = tracer.clock.now() if tracer is not None else 0.0
             try:
                 strategy = self._strategy(method, dataset, model)
                 facts = [batch[i][0].fact for i in indexes]
@@ -520,4 +625,19 @@ class ValidationService:
                 continue
             for i, result in zip(indexes, results):
                 outcomes[i] = result
+            if tracer is not None and spans is not None:
+                group_end = tracer.clock.now()
+                target = self.store.name if self.store is not None else dataset
+                for i in indexes:
+                    if spans[i] is not None:
+                        tracer.record_span(
+                            "store.read",
+                            target,
+                            spans[i],
+                            group_start,
+                            group_end,
+                            dataset=dataset,
+                            epoch=self.epoch,
+                            facts=len(indexes),
+                        )
         return outcomes

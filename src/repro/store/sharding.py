@@ -218,6 +218,9 @@ class ReplicaGroup:
         #: Chaos hook: when armed (duck-typed ``FaultInjector``), every
         #: log ship checks the synchronous ``store/ship`` fault point.
         self.fault_injector = None
+        #: Optional :class:`~repro.obs.trace.Tracer`; when armed, every
+        #: per-replica log ship records a ``store.ship`` span.
+        self.tracer = None
         epochs = {store.epoch for store in self.stores}
         if len(epochs) != 1:
             raise ValueError(
@@ -302,7 +305,13 @@ class ReplicaGroup:
                 # the primary has applied, so an injected shipping error
                 # surfaces as the divergence it would really cause.
                 self.fault_injector.check("store/ship")
-            shipped = replica.apply(batch)
+            if self.tracer is not None:
+                with self.tracer.span("store.ship", replica.name) as span:
+                    span.attributes["epoch"] = report.epoch
+                    span.attributes["ops"] = len(batch)
+                    shipped = replica.apply(batch)
+            else:
+                shipped = replica.apply(batch)
             if shipped.epoch != report.epoch:
                 raise ReplicaDivergedError(
                     f"replica {replica.name} applied at epoch {shipped.epoch}, "

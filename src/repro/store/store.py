@@ -155,6 +155,10 @@ class VersionedKnowledgeStore:
         self._epoch = 0
         self._removed_since_reintern = 0
         self._listeners: List[MutationListener] = []
+        #: Optional :class:`~repro.obs.trace.Tracer`; when armed, every
+        #: :meth:`apply` records a ``store.apply`` span (set by
+        #: ``set_observability`` on the owning service/router).
+        self.tracer = None
 
     # ------------------------------------------------------------- construction
 
@@ -295,7 +299,13 @@ class VersionedKnowledgeStore:
             raise ValueError("mutation batch must not be empty")
         self._validate(batch)
         epoch = self._epoch + 1
-        report = self._apply_batch(epoch, batch, record=True)
+        if self.tracer is not None:
+            with self.tracer.span("store.apply", self.name) as span:
+                span.attributes["epoch"] = epoch
+                span.attributes["ops"] = len(batch)
+                report = self._apply_batch(epoch, batch, record=True)
+        else:
+            report = self._apply_batch(epoch, batch, record=True)
         for listener in self._listeners:
             listener(epoch, batch)
         return report

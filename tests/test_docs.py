@@ -196,9 +196,46 @@ class TestOperationsReferenceComplete:
             for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
             if path.name in {
                 "bench_hotpaths.py", "bench_service.py", "bench_store.py",
-                "bench_shards.py", "bench_replicas.py",
+                "bench_shards.py", "bench_replicas.py", "bench_chaos.py",
+                "bench_obs.py",
             }
         )
-        assert len(floors) == 5
+        assert len(floors) == 7
         for name in floors:
             assert name in text, f"docs/benchmarks.md misses {name}"
+
+
+class TestObservabilityRunbookComplete:
+    """The observability runbook is the reference for the span taxonomy,
+    the unified registry's metric names, and the event kinds — each is
+    linted against the code so a renamed series must be re-documented."""
+
+    @pytest.fixture(scope="class")
+    def runbook(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        assert "## Observability runbook" in text
+        return text
+
+    def test_every_registry_metric_name_documented(self, runbook):
+        from repro.service import ROUTER_METRIC_NAMES, SERVICE_METRIC_NAMES
+
+        for name in SERVICE_METRIC_NAMES + ROUTER_METRIC_NAMES:
+            assert f"`{name}`" in runbook, f"runbook misses metric `{name}`"
+
+    def test_every_span_name_documented(self, runbook):
+        from repro.obs import SPAN_TAXONOMY
+
+        for name in SPAN_TAXONOMY:
+            assert f"`{name}`" in runbook, f"runbook misses span `{name}`"
+
+    def test_every_event_kind_documented(self, runbook):
+        from repro.obs import EVENT_KINDS
+
+        for kind in EVENT_KINDS:
+            assert f"`{kind}`" in runbook, f"runbook misses event kind `{kind}`"
+
+    def test_runbook_covers_statuses_sampling_and_exemplars(self, runbook):
+        for needle in ("SHED", "DEGRADED", "Head sampling", "sample_rate",
+                       "exemplar", "trace_id", "parse_exposition",
+                       "VirtualClock", "byte-identical"):
+            assert needle in runbook, f"runbook misses {needle!r}"

@@ -1,0 +1,889 @@
+"""Observability layer: registry, tracing, events, and fleet integration.
+
+Covers the unified metrics registry (typed instruments, labels, exemplars,
+Prometheus-style exposition and its parser), the seeded tracer (id
+determinism, context propagation, head sampling, JSONL export), the span
+trees the serving fleet produces for shed / mid-flight failover /
+degraded-after-budget-exhaustion journeys on a :class:`VirtualClock`
+(byte-identical across reruns), the structured event log, and the
+:class:`TelemetryCollector` concurrency contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.chaos import FaultEvent, FaultInjector, FaultSchedule, FaultSpec
+from repro.chaos.clock import VirtualClock
+from repro.llm.telemetry import TelemetryCollector
+from repro.obs import (
+    EVENT_KINDS,
+    SPAN_TAXONOMY,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    EventLog,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    maybe_span,
+    parse_exposition,
+    percentile,
+    render_exposition,
+    render_spans,
+    slowest_path,
+)
+from repro.service import (
+    RequestOutcome,
+    RetryPolicy,
+    ServiceConfig,
+    ServiceMetrics,
+    ServiceRequest,
+    ShardedValidationService,
+    ValidationService,
+)
+
+
+# ------------------------------------------------------------------ fixtures
+
+
+@pytest.fixture(scope="module")
+def obs_runner():
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.03,
+            max_facts_per_dataset=16,
+            world_scale=0.15,
+            methods=("dka",),
+            datasets=("factbench",),
+            models=("gemma2:9b",),
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+def _requests(runner, count=4):
+    dataset = runner.dataset("factbench")
+    return [ServiceRequest(fact, "dka", "gemma2:9b") for fact in dataset[:count]]
+
+
+# ------------------------------------------------------------------ percentile
+
+
+class TestPercentile:
+    def test_empty_window_is_zero_not_an_error(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([], 99) == 0.0
+
+    def test_single_sample_short_window(self):
+        assert percentile([3.0], 0) == 3.0
+        assert percentile([3.0], 99) == 3.0
+
+    def test_two_samples_interpolate(self):
+        assert percentile([1.0, 2.0], 50) == 1.5
+        assert percentile([10.0, 20.0], 25) == 12.5
+        assert percentile([10.0, 20.0], 100) == 20.0
+
+    def test_interpolation_matches_closest_ranks(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.5
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_out_of_range_quantiles_raise(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+
+# ------------------------------------------------------------------ registry
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "Requests.", ("outcome",))
+        requests.labels(outcome="ok").inc()
+        requests.labels(outcome="ok").inc(2)
+        requests.labels(outcome="bad").inc()
+        assert requests.labels(outcome="ok").value == 3
+        depth = registry.gauge("queue_depth", "Depth.")
+        depth.set(7)
+        depth.inc()
+        depth.dec(3)
+        assert depth.value == 5
+        latency = registry.histogram("latency_seconds", "Latency.", window=8)
+        for value in (0.002, 0.004, 0.5):
+            latency.observe(value)
+        assert latency.window() == [0.002, 0.004, 0.5]
+        assert latency.percentile(50) == 0.004
+
+    def test_getters_are_idempotent_but_conflicts_raise(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "A.")
+        assert registry.counter("a_total", "A.") is first
+        with pytest.raises(ValueError):
+            registry.gauge("a_total", "A as a gauge.")
+        with pytest.raises(ValueError):
+            registry.counter("a_total", "A.", ("shard",))  # labelnames differ
+
+    def test_histogram_window_is_bounded(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "Latency.", window=4)
+        for value in range(10):
+            latency.observe(float(value))
+        assert latency.window() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_reset_clears_every_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "C.")
+        gauge = registry.gauge("g", "G.")
+        histogram = registry.histogram("h_seconds", "H.")
+        counter.inc(5)
+        gauge.set(2)
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert gauge.value == 0
+        assert histogram.window() == []
+
+    def test_exposition_renders_and_parses_round_trip(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "Requests.", ("outcome",))
+        requests.labels(outcome="ok").inc(3)
+        registry.gauge("depth", "Depth.").set(2)
+        latency = registry.histogram("latency_seconds", "Latency.")
+        latency.observe(0.003)
+        text = registry.exposition()
+        parsed = parse_exposition(text)
+        assert parsed["requests_total"]["kind"] == "counter"
+        samples = {
+            (name, labels): value
+            for name, labels, value in parsed["requests_total"]["samples"]
+        }
+        assert samples[("requests_total", '{outcome="ok"}')] == 3
+        assert parsed["depth"]["kind"] == "gauge"
+        assert parsed["latency_seconds"]["kind"] == "histogram"
+
+    def test_parse_rejects_samples_without_type(self):
+        with pytest.raises(ValueError):
+            parse_exposition("mystery_metric 3\n")
+
+    def test_exemplars_attach_to_buckets_and_render(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("latency_seconds", "Latency.")
+        latency.observe(0.003, exemplar="aaaa0000aaaa0000")
+        latency.observe(0.004, exemplar="bbbb1111bbbb1111")
+        exemplars = dict(latency.exemplars())
+        assert "bbbb1111bbbb1111" in exemplars.values()
+        text = render_exposition(registry.collect())
+        assert 'trace_id="bbbb1111bbbb1111"' in text
+        assert parse_exposition(text)  # exemplar syntax still parses
+
+    def test_collect_with_extra_labels_merges_fleet_expositions(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("served_total", "Served.").inc(1)
+        b.counter("served_total", "Served.").inc(2)
+        families = a.collect({"replica": "0"}) + b.collect({"replica": "1"})
+        text = render_exposition(families)
+        assert 'served_total{replica="0"} 1' in text
+        assert 'served_total{replica="1"} 2' in text
+        # One family header despite two source registries.
+        assert text.count("# TYPE served_total counter") == 1
+
+    def test_service_metrics_snapshot_derives_from_registry(self):
+        metrics = ServiceMetrics(window=16)
+        metrics.start()
+        metrics.observe_completion(0.004, trace_id="cafe0000cafe0000")
+        metrics.observe_shed()
+        metrics.observe_cache(True)
+        metrics.observe_batch(2)
+        snapshot = metrics.snapshot()
+        assert snapshot.completed == 1
+        assert snapshot.rejected == 1
+        assert snapshot.cache_hits == 1
+        assert any(trace == "cafe0000cafe0000" for _, trace in snapshot.exemplars)
+        registry_text = metrics.exposition()
+        parsed = parse_exposition(registry_text)
+        samples = {
+            (name, labels): value
+            for name, labels, value in parsed["service_requests_total"]["samples"]
+        }
+        assert samples[("service_requests_total", '{outcome="completed"}')] == 1
+
+
+# ------------------------------------------------------------------ tracer
+
+
+class TestTracer:
+    def test_same_seed_mints_identical_ids(self):
+        clock_a, clock_b = VirtualClock(), VirtualClock()
+        a, b = Tracer(clock_a, seed=7), Tracer(clock_b, seed=7)
+        for tracer in (a, b):
+            with tracer.span("frontend.request", "frontend"):
+                pass
+        assert a.trace_ids() == b.trace_ids()
+
+    def test_nested_spans_parent_through_the_contextvar(self):
+        tracer = Tracer(VirtualClock(), seed=1)
+        with tracer.span("router.route", "shard:0") as root:
+            with tracer.span("replica.call", "shard:0/replica:0") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+
+    def test_ambient_context_crosses_wait_for(self):
+        tracer = Tracer(VirtualClock(), seed=1)
+
+        async def go():
+            async def leaf():
+                with tracer.span("service.submit", "service") as span:
+                    return span
+
+            with tracer.span("router.route", "shard:0") as root:
+                inner = await asyncio.wait_for(leaf(), timeout=1.0)
+            return root, inner
+
+        root, inner = asyncio.run(go())
+        assert inner.parent_id == root.span_id
+
+    def test_exception_marks_failed_and_propagates(self):
+        tracer = Tracer(VirtualClock(), seed=1)
+        with pytest.raises(RuntimeError):
+            with tracer.span("worker.execute", "w"):
+                raise RuntimeError("boom")
+        [trace_id] = tracer.trace_ids()
+        [span] = tracer.spans(trace_id)
+        assert span.status == STATUS_FAILED
+        assert span.attributes["error"] == "RuntimeError"
+
+    def test_head_sampling_drops_ok_keeps_bad(self):
+        tracer = Tracer(VirtualClock(), seed=3, sample_rate=0.0)
+        for _ in range(5):
+            with tracer.span("frontend.request", "frontend"):
+                pass
+        assert tracer.trace_ids() == []
+        assert tracer.sampled_out == 5
+        with tracer.span("frontend.request", "frontend") as span:
+            span.status = STATUS_SHED
+        assert len(tracer.trace_ids()) == 1  # bad outcomes always commit
+
+    def test_sample_rate_does_not_shift_the_id_stream(self):
+        ids = []
+        for rate in (1.0, 0.5):
+            tracer = Tracer(VirtualClock(), seed=9, sample_rate=rate)
+            with tracer.span("frontend.request", "frontend") as span:
+                span.status = STATUS_FAILED  # always kept
+            ids.append(tracer.trace_ids())
+        assert ids[0] == ids[1]
+
+    def test_inject_extract_round_trip_and_malformed(self):
+        tracer = Tracer(VirtualClock(), seed=2)
+        with tracer.span("frontend.request", "frontend") as span:
+            carrier = tracer.inject()
+        context = Tracer.extract(carrier)
+        assert context is not None
+        assert context.trace_id == span.trace_id
+        assert Tracer.extract(None) is None
+        assert Tracer.extract({"trace_id": "zz", "span_id": "11"}) is None
+        assert Tracer.extract("not a mapping") is None
+
+    def test_remote_parent_anchors_a_local_subtree(self):
+        upstream = Tracer(VirtualClock(), seed=4)
+        downstream = Tracer(VirtualClock(), seed=5)
+        with upstream.span("client.request", "client"):
+            carrier = upstream.inject()
+        remote = Tracer.extract(carrier)
+        with downstream.span("frontend.request", "frontend", parent=remote) as span:
+            assert span.trace_id == remote.trace_id
+            assert span.parent_id == remote.span_id
+        assert downstream.trace_ids() == [remote.trace_id]
+
+    def test_record_span_attributes_shared_work(self):
+        tracer = Tracer(VirtualClock(), seed=6)
+        with tracer.span("worker.execute", "w") as parent:
+            tracer.record_span(
+                "store.read", "store", parent, 0.0, 0.5, STATUS_OK, facts=3
+            )
+        [trace_id] = tracer.trace_ids()
+        spans = tracer.spans(trace_id)
+        read = next(span for span in spans if span.name == "store.read")
+        assert read.duration_s == 0.5
+        assert read.attributes["facts"] == 3
+
+    def test_export_jsonl_sorted_keys_and_count(self):
+        tracer = Tracer(VirtualClock(), seed=8)
+        with tracer.span("frontend.request", "frontend"):
+            with tracer.span("service.submit", "service"):
+                pass
+        sink = io.StringIO()
+        assert tracer.export_jsonl(sink) == 2
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+            assert record["name"] in SPAN_TAXONOMY
+
+    def test_render_spans_tree_shape(self):
+        tracer = Tracer(VirtualClock(), seed=10)
+        with tracer.span("router.route", "shard:0"):
+            with tracer.span("replica.call", "shard:0/replica:0"):
+                pass
+        [trace_id] = tracer.trace_ids()
+        tree = tracer.render_tree(trace_id)
+        assert tree.splitlines()[0].startswith(f"trace {trace_id}")
+        assert "└─ router.route" in tree
+        assert "   └─ replica.call" in tree
+        assert render_spans([]) == "(empty trace)"
+
+    def test_slowest_path_follows_max_duration_children(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock, seed=11)
+        root = tracer.start_span("router.route", "shard:0")
+        fast = tracer.start_span("replica.call", "r0", parent=root)
+        tracer.end_span(fast)  # zero duration
+        slow = tracer.start_span("replica.call", "r1", parent=root)
+        clock.advance(0.5)
+        tracer.end_span(slow)
+        tracer.end_span(root)
+        [trace_id] = tracer.trace_ids()
+        assert slowest_path(tracer.spans(trace_id)) == "router.route>replica.call"
+        assert slowest_path([]) == ""
+
+    def test_maybe_span_none_tracer_is_a_noop(self):
+        with maybe_span(None, "router.route", "shard:0") as span:
+            assert span is None
+
+
+# ------------------------------------------------------------------ events
+
+
+class TestEventLog:
+    def test_emit_counts_and_order(self):
+        clock = VirtualClock()
+        log = EventLog(clock)
+        log.emit("replica_killed", "shard:0/replica:1")
+        clock.advance(0.5)
+        log.emit("failover", "shard:0", faulted_attempts=1)
+        events = log.events()
+        assert [event.kind for event in events] == ["replica_killed", "failover"]
+        assert events[0].ts_s == 0.0 and events[1].ts_s == 0.5
+        assert events[1].attributes == {"faulted_attempts": 1}
+        assert log.counts() == {"failover": 1, "replica_killed": 1}
+        assert all(kind in EVENT_KINDS for kind in log.counts())
+
+    def test_bounded_capacity_drops_oldest(self):
+        log = EventLog(VirtualClock(), capacity=2)
+        for index in range(4):
+            log.emit("failover", f"shard:{index}")
+        assert [event.target for event in log.events()] == ["shard:2", "shard:3"]
+        assert len(log) == 2
+
+    def test_export_jsonl_and_table(self):
+        log = EventLog(VirtualClock())
+        log.emit("quiesce_start", "service", pending=3)
+        sink = io.StringIO()
+        assert log.export_jsonl(sink) == 1
+        record = json.loads(sink.getvalue())
+        assert record["kind"] == "quiesce_start"
+        assert "quiesce_start" in log.format_table()
+
+
+# ------------------------------------------------------- telemetry threading
+
+
+class TestTelemetryConcurrency:
+    def test_record_call_is_thread_safe_under_contention(self):
+        collector = TelemetryCollector()
+        threads, per_thread = 8, 250
+        start = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            start.wait()
+            for index in range(per_thread):
+                collector.record_call(
+                    model=f"m{worker % 2}",
+                    task="serve/dka",
+                    prompt_tokens=1,
+                    completion_tokens=1,
+                    latency_seconds=0.001,
+                )
+
+        workers = [
+            threading.Thread(target=hammer, args=(index,)) for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        records = collector.records(task="serve/dka")
+        assert len(records) == threads * per_thread
+        assert sum(record.prompt_tokens for record in records) == threads * per_thread
+
+
+# --------------------------------------------------------- fleet span trees
+
+
+def _names(spans):
+    return sorted(span.name for span in spans)
+
+
+def _connected(spans):
+    """Every span except one root chains back to that root."""
+    by_id = {span.span_id: span for span in spans}
+    roots = [span for span in spans if span.parent_id not in by_id]
+    return len(roots) == 1
+
+
+class TestFleetSpanTrees:
+    def _router(self, runner, clock, replicas=2, retry_policy=None, **kwargs):
+        return ShardedValidationService.from_runner(
+            runner,
+            1,
+            ServiceConfig(enable_cache=False),
+            replicas=replicas,
+            retry_policy=retry_policy,
+            clock=clock,
+            **kwargs,
+        )
+
+    def test_shed_request_produces_a_shed_span_despite_sampling(self, obs_runner):
+        clock = VirtualClock()
+        obs = Observability.for_clock(clock, seed=42, sample_rate=0.0)
+
+        async def go():
+            service = ValidationService.from_runner(
+                obs_runner, ServiceConfig(enable_cache=False, queue_depth=1)
+            )
+            service.set_observability(obs.tracer, obs.events)
+            requests = _requests(obs_runner, 4)
+            async with service:
+                # Fill the single admission slot, then submit over budget.
+                tasks = [
+                    asyncio.get_running_loop().create_task(service.submit(request))
+                    for request in requests
+                ]
+                return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(go())
+        shed = [r for r in responses if r.outcome is RequestOutcome.REJECTED]
+        assert shed, "queue_depth=1 under 4 concurrent submits must shed"
+        # sample_rate=0 drops every OK trace; the SHED ones always commit.
+        committed = obs.tracer.traces()
+        assert committed, "shed traces must survive head sampling"
+        for spans in committed.values():
+            assert any(span.status == STATUS_SHED for span in spans)
+        for response in shed:
+            assert response.trace_id in committed
+
+    def test_mid_flight_failover_tree_shows_both_replica_attempts(self, obs_runner):
+        clock = VirtualClock()
+        obs = Observability.for_clock(clock, seed=42)
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    at_s=0.0,
+                    target="shard:0/replica:0",
+                    fault=FaultSpec.parse("error:1.0"),
+                    clear_at_s=None,
+                )
+            ]
+        )
+
+        async def go():
+            router = self._router(obs_runner, clock)
+            router.set_observability(obs)
+            injector = FaultInjector(schedule, clock=clock, seed=1)
+            router.set_fault_injection(injector)
+            async with router:
+                injector.start()
+                return await router.submit(_requests(obs_runner, 1)[0])
+
+        response = asyncio.run(go())
+        assert response.outcome is RequestOutcome.COMPLETED
+        spans = obs.tracer.spans(response.trace_id)
+        assert _connected(spans)
+        calls = [span for span in spans if span.name == "replica.call"]
+        assert len(calls) == 2, "one faulted attempt + the rescuing sibling"
+        statuses = sorted(span.status for span in calls)
+        assert statuses == [STATUS_FAILED, STATUS_OK]
+        root = next(span for span in spans if span.parent_id is None)
+        assert root.name == "router.route" and root.status == STATUS_OK
+        assert any(span.name == "worker.execute" for span in spans)
+        # The metrics exemplar links back to this same trace.
+        assert obs.events.counts().get("failover") == 1
+
+    def test_degraded_after_budget_exhaustion_tags_staleness(self, obs_runner):
+        clock = VirtualClock()
+        obs = Observability.for_clock(clock, seed=42)
+        policy = RetryPolicy(
+            max_attempts=2, base_backoff_s=0.0, max_backoff_s=0.0, jitter=0.0
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(at_s=0.0, target="shard:0", fault=FaultSpec.parse("error:1.0"))]
+        )
+        request = _requests(obs_runner, 1)[0]
+
+        async def go():
+            router = self._router(obs_runner, clock, retry_policy=policy)
+            router.set_observability(obs)
+            async with router:
+                warm = await router.submit(request)
+                injector = FaultInjector(schedule, clock=clock, seed=1)
+                router.set_fault_injection(injector)
+                injector.start()
+                dark = await router.submit(request)
+                return warm, dark
+
+        warm, dark = asyncio.run(go())
+        assert warm.outcome is RequestOutcome.COMPLETED
+        assert dark.outcome is RequestOutcome.DEGRADED
+        spans = obs.tracer.spans(dark.trace_id)
+        assert _connected(spans)
+        root = next(span for span in spans if span.parent_id is None)
+        assert root.status == STATUS_DEGRADED
+        assert root.attributes["stale_epoch"] == dark.stale_epoch
+        assert root.attributes["staleness_epochs"] >= 0
+        attempts = [span for span in spans if span.name == "router.attempt"]
+        assert len(attempts) == policy.max_attempts
+        assert all(span.status == STATUS_FAILED for span in attempts)
+        assert obs.events.counts().get("budget_exhausted") == 1
+
+    def test_replica_kill_emits_event_and_unhealthy_transition(self, obs_runner):
+        clock = VirtualClock()
+        obs = Observability.for_clock(clock, seed=42)
+
+        async def go():
+            router = self._router(obs_runner, clock)
+            router.set_observability(obs)
+            async with router:
+                await router.kill_replica(0, 1)
+                return await router.submit(_requests(obs_runner, 1)[0])
+
+        response = asyncio.run(go())
+        assert response.outcome is RequestOutcome.COMPLETED
+        assert obs.events.counts().get("replica_killed") == 1
+
+    def test_span_trees_are_byte_identical_across_reruns(self, obs_runner):
+        def run_once() -> str:
+            clock = VirtualClock()
+            obs = Observability.for_clock(clock, seed=7)
+            schedule = FaultSchedule(
+                [
+                    FaultEvent(
+                        at_s=0.0,
+                        target="shard:0/replica:0",
+                        fault=FaultSpec.parse("error:1.0"),
+                    )
+                ]
+            )
+
+            async def go():
+                router = self._router(obs_runner, clock)
+                router.set_observability(obs)
+                injector = FaultInjector(schedule, clock=clock, seed=1)
+                router.set_fault_injection(injector)
+                async with router:
+                    injector.start()
+                    for request in _requests(obs_runner, 4):
+                        await router.submit(request)
+
+            asyncio.run(go())
+            sink = io.StringIO()
+            obs.tracer.export_jsonl(sink)
+            events = io.StringIO()
+            obs.events.export_jsonl(events)
+            return sink.getvalue() + "\n---\n" + events.getvalue()
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert first.strip(), "the run must actually produce spans"
+
+    def test_store_apply_and_ship_spans_on_the_ingest_path(self, obs_runner):
+        from repro.store import Mutation
+        from repro.retrieval.corpus import Document
+
+        clock = VirtualClock()
+        obs = Observability.for_clock(clock, seed=13)
+        store = obs_runner.sharded_store("factbench", 1).replay_twin()
+
+        async def go():
+            router = ShardedValidationService.from_runner(
+                obs_runner,
+                1,
+                ServiceConfig(enable_cache=False),
+                store=store,
+                replicas=2,
+                clock=clock,
+            )
+            router.set_observability(obs)
+            async with router:
+                document = Document(
+                    doc_id="obs-ingest-0",
+                    url="https://obs.example/0",
+                    title="Obs ingest",
+                    text="Fresh evidence.",
+                    source="obs.example",
+                    kind="news",
+                )
+                await router.apply_mutations([Mutation.add_document(document)])
+
+        asyncio.run(go())
+        spans = [
+            span for trace in obs.tracer.traces().values() for span in trace
+        ]
+        # Each live replica applies its own store copy: one apply span each.
+        applies = [span for span in spans if span.name == "store.apply"]
+        assert len(applies) == 2
+        assert all(span.attributes["ops"] == 1 for span in applies)
+        counts = obs.events.counts()
+        assert counts.get("quiesce_start") == 2  # both replicas gated
+        assert counts.get("quiesce_end") == 2
+
+    def test_store_ship_span_on_replica_group_log_shipping(self, obs_runner):
+        from repro.store import Mutation
+        from repro.retrieval.corpus import Document
+
+        obs = Observability.for_clock(VirtualClock(), seed=17)
+        sharded = obs_runner.sharded_store("factbench", 1).replay_twin()
+        group = sharded.replicate(2)[0]
+        group.tracer = obs.tracer
+        document = Document(
+            doc_id="obs-ship-0",
+            url="https://obs.example/ship",
+            title="Obs ship",
+            text="Shipped evidence.",
+            source="obs.example",
+            kind="news",
+        )
+        group.apply([Mutation.add_document(document)])
+        spans = [
+            span for trace in obs.tracer.traces().values() for span in trace
+        ]
+        ships = [span for span in spans if span.name == "store.ship"]
+        assert len(ships) == 1  # primary applies, one replica receives the ship
+        assert ships[0].attributes["ops"] == 1
+        assert ships[0].attributes["epoch"] == group.epoch
+
+
+# ----------------------------------------------------------- chaos run table
+
+
+class TestChaosTraceColumns:
+    def test_run_table_gains_trace_derived_timing_columns(self, obs_runner):
+        from repro.chaos import ScenarioRunner, load_scenario
+        from repro.chaos.scenario import RunTable
+
+        scenario = load_scenario(
+            {
+                "name": "obs-columns",
+                "seed": 23,
+                "dataset": "factbench",
+                "methods": ["dka"],
+                "models": ["gemma2:9b"],
+                "requests": 24,
+                "concurrency": 4,
+                "service": {"time_scale": 0.001, "enable_cache": False},
+                "matrix": {
+                    "topology": [{"shards": 1, "replicas": 2}],
+                    "traffic": [{"shape": "steady"}],
+                    "faults": [
+                        {
+                            "name": "kill-one",
+                            "schedule": [
+                                {
+                                    "at_s": 0.0,
+                                    "target": "shard:0/replica:1",
+                                    "fault": "kill",
+                                }
+                            ],
+                        }
+                    ],
+                },
+                "invariants": {"max_failed": 0, "verdict_parity": True},
+            }
+        )
+        table = ScenarioRunner(obs_runner, scenario).run()
+        assert table.ok
+
+        assert "slowest_path" in RunTable.TIMING_COLUMNS
+        assert "worst_trace" in RunTable.TIMING_COLUMNS
+        for column in ("slowest_path", "worst_trace"):
+            assert column not in RunTable.DETERMINISTIC_COLUMNS
+
+        rows = table.rows(include_timings=True)
+        for row in rows:
+            # Every cell served traffic, so every cell has a worst trace
+            # (a 16-hex exemplar id) and a root-to-leaf slowest path.
+            assert re.fullmatch(r"[0-9a-f]{16}", row["worst_trace"])
+            assert row["slowest_path"].startswith("router.route")
+            assert ">" in row["slowest_path"]
+        # The deterministic CSV view stays free of trace-derived columns.
+        deterministic = table.csv(include_timings=False)
+        assert "slowest_path" not in deterministic
+        assert "worst_trace" not in deterministic
+        # The kill cell's event log reached the cell result.
+        killed = next(cell for cell in table.cells if not cell.reference)
+        assert killed.event_counts.get("replica_killed") == 1
+
+
+# --------------------------------------------------------------- end to end
+
+
+class TestFrontendTracing:
+    def test_tcp_request_against_killed_replica_yields_one_connected_tree(
+        self, obs_runner
+    ):
+        """The PR's acceptance journey: a 2x2 fleet, one replica dying
+        mid-flight, one TCP request — a single connected span tree from
+        frontend root through router, both replica attempts, worker, and
+        store, with the trace id in the reply."""
+        from repro.service import TCPValidationFrontend
+
+        obs = Observability.for_clock(seed=42)
+        dataset = obs_runner.dataset("factbench")
+        fact = dataset[0]
+
+        async def go():
+            router = ShardedValidationService.from_runner(
+                obs_runner,
+                2,
+                ServiceConfig(enable_cache=False),
+                replicas=2,
+            )
+            async with router:
+                frontend = TCPValidationFrontend(router, {"factbench": dataset})
+                frontend.set_observability(obs)
+                async with frontend:
+                    shard = router.shard_for(
+                        ServiceRequest(fact, "dka", "gemma2:9b")
+                    )
+                    # The replica the balancer picks first dies mid-call
+                    # (an injected error — a pre-kill would leave the
+                    # rotation before any attempt), so the request's first
+                    # attempt fails over to the sibling mid-flight.
+                    # Peek the balancer's next pick without perturbing its
+                    # round-robin state (the order call advances it).
+                    rr = router._rr[shard]
+                    victim = router._replica_order(shard)[0]
+                    router._rr[shard] = rr
+                    injector = FaultInjector(
+                        FaultSchedule(
+                            [
+                                FaultEvent(
+                                    at_s=0.0,
+                                    target=f"shard:{shard}/replica:{victim}",
+                                    fault=FaultSpec.parse("error:1.0"),
+                                )
+                            ]
+                        ),
+                        clock=router.clock,
+                        seed=1,
+                    )
+                    router.set_fault_injection(injector)
+                    injector.start()
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", frontend.port
+                    )
+                    writer.write(
+                        json.dumps(
+                            {
+                                "dataset": "factbench",
+                                "fact_id": fact.fact_id,
+                                "method": "dka",
+                                "model": "gemma2:9b",
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    writer.write(
+                        json.dumps({"cmd": "metrics", "format": "exposition"}).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    exposition = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    return reply, exposition
+
+        reply, exposition = asyncio.run(go())
+        assert reply["outcome"] == "completed"
+        trace_id = reply["trace_id"]
+        spans = obs.tracer.spans(trace_id)
+        assert _connected(spans)
+        names = [span.name for span in spans]
+        root = next(span for span in spans if span.parent_id is None)
+        assert root.name == "frontend.request"
+        assert "router.route" in names
+        assert names.count("replica.call") == 2, "killed attempt + live sibling"
+        assert "service.submit" in names
+        assert "worker.execute" in names
+        assert "store.read" in names
+        assert every_name_in_taxonomy(names)
+        # The exposition command rendered the unified fleet registry.
+        parsed = parse_exposition(exposition["exposition"])
+        assert "service_requests_total" in parsed
+        assert "router_failovers_total" in parsed
+
+    def test_wire_trace_context_reparents_the_frontend_span(self, obs_runner):
+        from repro.service import TCPValidationFrontend
+
+        obs = Observability.for_clock(seed=42)
+        client = Tracer(VirtualClock(), seed=99)
+        dataset = obs_runner.dataset("factbench")
+        fact = dataset[0]
+
+        async def go():
+            service = ValidationService.from_runner(
+                obs_runner, ServiceConfig(enable_cache=False)
+            )
+            async with service:
+                frontend = TCPValidationFrontend(service, {"factbench": dataset})
+                frontend.set_observability(obs)
+                async with frontend:
+                    with client.span("client.request", "client"):
+                        carrier = client.inject()
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", frontend.port
+                    )
+                    writer.write(
+                        json.dumps(
+                            {
+                                "dataset": "factbench",
+                                "fact_id": fact.fact_id,
+                                "method": "dka",
+                                "model": "gemma2:9b",
+                                "trace": carrier,
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    writer.close()
+                    await writer.wait_closed()
+                    return reply, carrier
+
+        reply, carrier = asyncio.run(go())
+        assert reply["trace_id"] == carrier["trace_id"]
+        spans = obs.tracer.spans(carrier["trace_id"])
+        root = next(span for span in spans if span.name == "frontend.request")
+        assert root.parent_id == carrier["span_id"]
+
+
+def every_name_in_taxonomy(names) -> bool:
+    return all(name in SPAN_TAXONOMY for name in names)

@@ -348,16 +348,23 @@ class TestLifecycleAndFailure:
 
 
 class TestMetrics:
-    def test_percentile_nearest_rank(self):
+    def test_percentile_interpolates(self):
+        # Linear interpolation between closest ranks (the registry is the
+        # single percentile implementation since the observability PR).
         values = [float(v) for v in range(1, 101)]
-        assert percentile(values, 50) == 50.0
-        assert percentile(values, 95) == 95.0
-        assert percentile(values, 99) == 99.0
+        assert percentile(values, 50) == 50.5
+        assert percentile(values, 95) == 95.05
+        assert percentile(values, 0) == 1.0
         assert percentile(values, 100) == 100.0
         assert percentile([], 95) == 0.0
         assert percentile([7.0], 99) == 7.0
+        # Short windows interpolate instead of snapping to one sample.
+        assert percentile([1.0, 2.0], 50) == 1.5
+        assert percentile([1.0, 3.0], 25) == 1.5
         with pytest.raises(ValueError):
             percentile(values, 101)
+        with pytest.raises(ValueError):
+            percentile(values, -1)
 
     def test_snapshot_shape_and_telemetry_wiring(self, service_runner):
         facts = list(service_runner.dataset("factbench"))[:6]
