@@ -28,6 +28,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.benchmark.cli obs --shards 2 --replicas 2 --requests 200
     python -m repro.benchmark.cli obs --sample-rate 0.1 --trace-jsonl spans.jsonl
 
+    # SLOs and alerting: the deterministic fleet dashboard and status payload.
+    python -m repro.benchmark.cli obs top --shards 2 --replicas 2 --frames 6
+    python -m repro.benchmark.cli obs top --once --kill shard:0/replica:1
+    python -m repro.benchmark.cli obs slo --shards 2 --replicas 2 --requests 120
+
 Each experiment prints the corresponding table/figure in the same text
 format the ``benchmarks/`` harness uses, so the CLI is the quickest way to
 reproduce a single result without running pytest.  ``serve`` exposes the
@@ -47,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import sys
 from typing import Callable, Dict, Optional, TextIO
 
@@ -358,6 +364,18 @@ def build_service_parser() -> argparse.ArgumentParser:
             "slowest request's span tree, and the fleet event log."
         ),
     )
+    obs.add_argument(
+        "mode",
+        nargs="?",
+        choices=("load", "top", "slo"),
+        default="load",
+        help=(
+            "load (default): the traced closed-loop run with the full "
+            "printout; top: deterministic fleet-dashboard frames on a "
+            "seeded virtual clock; slo: the SLO monitor's status payload "
+            "as JSON after the same seeded run."
+        ),
+    )
     add_common(obs)
     obs.add_argument("--requests", type=int, default=200, help="Total requests to issue.")
     obs.add_argument("--concurrency", type=int, default=16, help="Closed-loop virtual clients.")
@@ -374,6 +392,33 @@ def build_service_parser() -> argparse.ArgumentParser:
         "--trace-jsonl",
         default=None,
         help="Export every committed span as JSONL here (one object per line).",
+    )
+    obs.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        help="top/slo: virtual seconds the clock advances between frames.",
+    )
+    obs.add_argument(
+        "--frames",
+        type=int,
+        default=6,
+        help="top/slo: dashboard frames to run (the workload is split across them).",
+    )
+    obs.add_argument(
+        "--once",
+        action="store_true",
+        help="top: print only the final frame (what the CI render smoke diffs).",
+    )
+    obs.add_argument(
+        "--kill",
+        default=None,
+        metavar="shard:I/replica:J",
+        help=(
+            "top/slo: kill one replica before the first frame so the burn-rate "
+            "alerts have something to page about (deterministic: the gauge is "
+            "up from t=0)."
+        ),
     )
     return parser
 
@@ -694,6 +739,171 @@ def _run_chaos(args, stream: TextIO) -> int:
     return 0 if table.ok else 1
 
 
+def _fleet_slos(shards: int, replicas: int):
+    """The SLO set the ``obs top`` / ``obs slo`` modes monitor.
+
+    Count- and gauge-derived only (availability from outcome counters,
+    fleet health from the unhealthy-replica gauge) — request latencies
+    read the real wall clock even under the virtual one, so a latency SLO
+    would break the byte-identical-rerun guarantee the CI smoke diffs.
+    """
+    from ..obs import SLO, AvailabilitySLI, HealthSLI
+
+    fleet_size = float(shards * replicas)
+    return [
+        SLO(
+            "availability",
+            objective=0.999,
+            sli=AvailabilitySLI.of(
+                good={
+                    "service_requests_total": {"outcome": "completed"},
+                    "router_degraded_total": {},
+                },
+                bad={"router_failures_total": {}},
+            ),
+            description="FAILED responses vs answered requests",
+        ),
+        SLO(
+            "fleet-availability",
+            objective=0.99,
+            sli=HealthSLI(
+                "router_unhealthy_replicas",
+                bad_when=lambda value: value / fleet_size,
+            ),
+            description="replica-time in the routing rotation",
+        ),
+    ]
+
+
+def _parse_kill_target(raw: str):
+    """``shard:I/replica:J`` -> ``(I, J)``; SystemExit on anything else."""
+    import re
+
+    match = re.fullmatch(r"shard:(\d+)/replica:(\d+)", raw)
+    if match is None:
+        raise SystemExit(f"--kill must look like shard:0/replica:1, got {raw!r}")
+    return int(match.group(1)), int(match.group(2))
+
+
+def _run_obs_dashboard(args, stream: TextIO) -> int:
+    """``obs top`` / ``obs slo``: the deterministic fleet dashboard.
+
+    The seeded workload runs against a fresh fleet on a
+    :class:`~repro.chaos.clock.VirtualClock` with backend sleeps disabled
+    (``time_scale`` forced to 0): each frame submits its slice of the
+    schedule sequentially, advances the virtual clock by ``--refresh``,
+    scrapes + evaluates the SLOs, and renders one ``obs top`` frame.
+    Every rendered value is count- or virtual-clock-derived, so the same
+    seed reproduces the output byte-for-byte — the CI render smoke runs
+    ``obs top --once`` twice and diffs.
+    """
+    from ..chaos.clock import VirtualClock
+    from ..obs import MetricsScraper, Observability, SLOMonitor, render_dashboard
+    from ..service import (
+        ServiceConfig,
+        ShardedValidationService,
+        build_workload,
+    )
+
+    _validate_service_args(args)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.refresh <= 0:
+        raise SystemExit("--refresh must be > 0")
+    if args.frames < 1:
+        raise SystemExit("--frames must be >= 1")
+    kill_target = _parse_kill_target(args.kill) if args.kill else None
+    if kill_target is not None and (
+        kill_target[0] >= args.shards or kill_target[1] >= args.replicas
+    ):
+        raise SystemExit(
+            f"--kill {args.kill} is outside the {args.shards}x{args.replicas} fleet"
+        )
+    config = ExperimentConfig(
+        scale=args.scale,
+        max_facts_per_dataset=args.max_facts or None,
+        world_scale=args.world_scale,
+        methods=tuple(args.methods),
+        datasets=tuple(args.datasets),
+        models=tuple(args.models),
+        include_commercial_in_grid=False,
+        seed=args.seed,
+    )
+    runner = BenchmarkRunner(config)
+    datasets = [runner.dataset(name) for name in config.datasets]
+    schedule = build_workload(
+        datasets, args.methods, args.models, args.requests, seed=args.seed
+    )
+    clock = VirtualClock()
+    obs = Observability.for_clock(
+        clock, seed=args.seed, sample_rate=args.sample_rate, trace_capacity=4096
+    )
+    # Always the sharded router (even 1x1): the dashboard's health table
+    # and the fleet SLOs read RouterMetrics' per-replica quadruples.
+    router = ShardedValidationService.from_runner(
+        runner,
+        args.shards,
+        ServiceConfig(
+            max_batch_size=args.max_batch_size,
+            queue_depth=args.queue_depth,
+            enable_cache=not args.no_cache,
+            time_scale=0.0,
+        ),
+        request_timeout_s=args.request_timeout or None,
+        replicas=args.replicas,
+    )
+    router.set_observability(obs)
+    # The collect source resolves ``router.metrics`` per scrape: start()
+    # swaps in a fresh RouterMetrics, so binding the method here would
+    # scrape the pre-start object forever.
+    monitor = SLOMonitor(
+        MetricsScraper(
+            lambda: router.metrics.collect_families(),
+            clock=clock,
+            interval_s=args.refresh,
+        ),
+        _fleet_slos(args.shards, args.replicas),
+        events=obs.events,
+    )
+    title = f"{args.datasets[0]} {args.shards}x{args.replicas}"
+    per_frame = -(-len(schedule) // args.frames)  # ceil division
+
+    async def go():
+        frames = []
+        async with router:
+            if kill_target is not None:
+                await router.kill_replica(*kill_target)
+            for frame in range(args.frames):
+                for request in schedule[frame * per_frame : (frame + 1) * per_frame]:
+                    await router.submit(request)
+                await clock.run_for(args.refresh)
+                monitor.tick()
+                frames.append(
+                    render_dashboard(
+                        monitor,
+                        fleet=router.metrics,
+                        events=obs.events,
+                        now_s=clock.now(),
+                        title=title,
+                    )
+                )
+        return frames
+
+    frames = asyncio.run(go())
+    if args.mode == "slo":
+        stream.write(
+            json.dumps(monitor.status_payload(), indent=2, sort_keys=True) + "\n"
+        )
+        return 0
+    if args.once:
+        stream.write(frames[-1] + "\n")
+    else:
+        stream.write("\n\n".join(frames) + "\n")
+    return 0
+
+
 def _run_obs(args, stream: TextIO) -> int:
     """A traced load run: the observability PR's one-stop CLI view.
 
@@ -707,6 +917,8 @@ def _run_obs(args, stream: TextIO) -> int:
 
     if not 0.0 <= args.sample_rate <= 1.0:
         raise SystemExit("--sample-rate must be within [0, 1]")
+    if args.mode in ("top", "slo"):
+        return _run_obs_dashboard(args, stream)
     _, service, datasets = _service_setup(args)
     obs = Observability.for_clock(
         seed=args.seed, sample_rate=args.sample_rate, trace_capacity=4096

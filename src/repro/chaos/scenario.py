@@ -33,6 +33,10 @@ product::
       max_failed: 0
       verdict_parity: true
       staleness_bound_epochs: 4
+      expect_alerts:               # fault-case name (or "none") -> alert ids
+        kill-one-replica: ["fleet-availability:page"]
+      forbid_alerts:
+        none: ["*"]                # the fault-free reference must stay silent
 
 For every ``(topology, traffic)`` pair the runner first executes a
 **fault-free reference cell**, then each fault case as its own cell: the
@@ -69,6 +73,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs import Observability
+from ..obs.alerts import SLOMonitor
+from ..obs.slo import SLO, AvailabilitySLI, HealthSLI
+from ..obs.timeseries import MetricsScraper
 from ..obs.trace import slowest_path as _slowest_path
 from ..retrieval.corpus import Document
 from ..service.config import ServiceConfig
@@ -133,11 +140,20 @@ class FaultCase:
 
 @dataclass(frozen=True)
 class Invariants:
-    """Per-cell pass/fail conditions."""
+    """Per-cell pass/fail conditions.
+
+    ``expect_alerts`` / ``forbid_alerts`` map a fault-case name (or
+    ``"none"`` for the fault-free reference cell) to alert ids that must
+    / must not reach *firing* during that cell — stored as sorted tuples
+    of ``(case_name, (alert_id, ...))`` pairs so the dataclass stays
+    frozen and hashable.  ``"*"`` in a forbid list forbids every alert.
+    """
 
     max_failed: int = 0
     verdict_parity: bool = True
     staleness_bound_epochs: Optional[int] = None
+    expect_alerts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    forbid_alerts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
     def __post_init__(self) -> None:
         _require(self.max_failed >= 0, "invariants.max_failed must be >= 0")
@@ -145,6 +161,21 @@ class Invariants:
             self.staleness_bound_epochs is None or self.staleness_bound_epochs >= 0,
             "invariants.staleness_bound_epochs must be >= 0 when set",
         )
+
+    def expected_alerts_for(self, fault_name: str) -> Tuple[str, ...]:
+        """Alert ids that must fire during ``fault_name``'s cell."""
+        for name, ids in self.expect_alerts:
+            if name == fault_name:
+                return ids
+        return ()
+
+    def forbidden_alerts_for(self, fault_name: str) -> Optional[Tuple[str, ...]]:
+        """Alert ids that must stay silent during ``fault_name``'s cell,
+        or ``None`` when the cell is unconstrained."""
+        for name, ids in self.forbid_alerts:
+            if name == fault_name:
+                return ids
+        return None
 
 
 @dataclass(frozen=True)
@@ -289,6 +320,50 @@ def _check_target_bounds(case: FaultCase, topologies: Sequence[Topology]) -> Non
             )
 
 
+def _parse_alert_map(
+    key: str, raw: object, cell_names: set, allow_wildcard: bool
+) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Validate an ``invariants.expect_alerts`` / ``forbid_alerts`` block:
+    a mapping of fault-case name (or ``"none"``) to a list of alert ids
+    (``"slo:severity"``; ``"*"`` forbids everything, forbid only)."""
+    _require(
+        isinstance(raw, dict),
+        f"invariants.{key} must map fault-case names to alert-id lists",
+    )
+    assert isinstance(raw, dict)
+    entries = []
+    for cell_name, ids in raw.items():
+        _require(
+            isinstance(cell_name, str) and cell_name in cell_names,
+            f"invariants.{key} names unknown cell {cell_name!r} "
+            f"(known: {sorted(cell_names)})",
+        )
+        _require(
+            isinstance(ids, list) and bool(ids),
+            f"invariants.{key}[{cell_name!r}] must be a non-empty list of alert ids",
+        )
+        assert isinstance(ids, list)
+        for alert_id in ids:
+            _require(
+                isinstance(alert_id, str) and bool(alert_id),
+                f"invariants.{key}[{cell_name!r}] has a non-string alert id {alert_id!r}",
+            )
+            if alert_id == "*":
+                _require(
+                    allow_wildcard,
+                    f"invariants.{key}[{cell_name!r}] cannot use '*' "
+                    "(only forbid_alerts may forbid everything)",
+                )
+            else:
+                _require(
+                    ":" in alert_id,
+                    f"invariants.{key}[{cell_name!r}] alert id {alert_id!r} "
+                    "must look like 'slo-name:severity'",
+                )
+        entries.append((cell_name, tuple(ids)))
+    return tuple(sorted(entries))
+
+
 def load_scenario(source: Union[str, Path, dict]) -> Scenario:
     """Parse and validate a scenario from a YAML file path or a mapping.
 
@@ -414,10 +489,23 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
 
     invariants_raw = data.get("invariants", {}) or {}
     _require(isinstance(invariants_raw, dict), "'invariants' must be a mapping")
-    unknown = set(invariants_raw) - {"max_failed", "verdict_parity", "staleness_bound_epochs"}
+    unknown = set(invariants_raw) - {
+        "max_failed",
+        "verdict_parity",
+        "staleness_bound_epochs",
+        "expect_alerts",
+        "forbid_alerts",
+    }
     _require(not unknown, f"unknown invariant keys {sorted(unknown)}")
+    cell_names = {case.name for case in fault_cases} | {"none"}
+    invariants_kwargs = dict(invariants_raw)
+    for key in ("expect_alerts", "forbid_alerts"):
+        if key in invariants_kwargs:
+            invariants_kwargs[key] = _parse_alert_map(
+                key, invariants_kwargs[key], cell_names, allow_wildcard=(key == "forbid_alerts")
+            )
     try:
-        invariants = Invariants(**invariants_raw)
+        invariants = Invariants(**invariants_kwargs)
     except TypeError as exc:
         raise ScenarioError(f"invalid invariants: {exc}") from exc
 
@@ -476,8 +564,12 @@ class CellResult:
     #: Trace-derived: the trace id of the cell's slowest request — the
     #: exemplar to pull (``repro obs`` / JSONL) when its p99 looks wrong.
     worst_trace: str = ""
-    #: Event-log tally for the cell (kills, health transitions, quiesces).
+    #: Event-log tally for the cell (kills, health transitions, quiesces,
+    #: alert lifecycle transitions).
     event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Alert ids that reached *firing* during the cell, sorted — what the
+    #: ``expect_alerts`` / ``forbid_alerts`` invariants are checked against.
+    fired_alerts: Tuple[str, ...] = ()
 
     @property
     def cell_id(self) -> str:
@@ -525,6 +617,12 @@ class RunTable:
         # *trees* themselves are deterministic under a virtual clock).
         "slowest_path",
         "worst_trace",
+        # Alert-derived: *when* scrape instants land depends on the wall
+        # clock, so burn-rate windows — and therefore which alerts fire —
+        # are only reproducible under a virtual clock.  The invariant
+        # checks assert the deterministic subset (kill-from-start cells);
+        # the column itself stays out of the deterministic CSV.
+        "alerts",
     )
 
     def __init__(self, scenario: Scenario, cells: Sequence[CellResult]) -> None:
@@ -571,6 +669,7 @@ class RunTable:
                         "wall_s": f"{cell.report.wall_seconds:.3f}",
                         "slowest_path": cell.slowest_path,
                         "worst_trace": cell.worst_trace,
+                        "alerts": ";".join(cell.fired_alerts),
                     }
                 )
             rows.append(row)
@@ -708,6 +807,45 @@ class ScenarioRunner:
                 await router.kill_replica(shard, replica)
             await self.clock.sleep(self.poll_interval_s)
 
+    def _cell_slos(self, topology: Topology) -> List[SLO]:
+        """The SLO set every cell is monitored against.
+
+        Deliberately **count- and gauge-derived only** (no latency SLO):
+        request latencies read the real wall clock even under a virtual
+        one, so a latency alert could flap across reruns and break the
+        ``forbid_alerts`` reference invariant.  Availability and fleet
+        health are exact counts, deterministic on both clocks.
+        """
+        fleet_size = float(topology.shards * topology.replicas)
+        return [
+            SLO(
+                "availability",
+                objective=0.999,
+                sli=AvailabilitySLI.of(
+                    good={
+                        "service_requests_total": {"outcome": "completed"},
+                        "router_degraded_total": {},
+                    },
+                    bad={"router_failures_total": {}},
+                ),
+                description="FAILED responses vs answered requests",
+            ),
+            SLO(
+                "fleet-availability",
+                objective=0.99,
+                sli=HealthSLI(
+                    "router_unhealthy_replicas",
+                    bad_when=lambda value: value / fleet_size,
+                ),
+                description="replica-time in the routing rotation",
+            ),
+        ]
+
+    async def _drive_monitor(self, monitor: SLOMonitor) -> None:
+        while True:
+            monitor.tick()
+            await self.clock.sleep(self.poll_interval_s)
+
     async def _run_cell(
         self,
         topology: Topology,
@@ -751,8 +889,24 @@ class ScenarioRunner:
             self.clock, seed=scenario.seed, trace_capacity=4096
         )
         router.set_observability(obs)
+        # Per-cell SLO monitor: scrapes the fleet's merged families on the
+        # runner's clock and steps burn-rate alerts into the cell's event
+        # log, so "did this fault page?" is checkable like any invariant.
+        # The collect source resolves ``router.metrics`` per scrape:
+        # ``start()`` swaps in a fresh RouterMetrics, so binding the
+        # method now would scrape the pre-start object forever.
+        monitor = SLOMonitor(
+            MetricsScraper(
+                lambda: router.metrics.collect_families(),
+                clock=self.clock,
+                interval_s=self.poll_interval_s,
+            ),
+            self._cell_slos(topology),
+            events=obs.events,
+        )
         injector: Optional[FaultInjector] = None
         driver: Optional[asyncio.Task] = None
+        watcher: Optional[asyncio.Task] = None
         async with router:
             if case is not None:
                 injector = FaultInjector(case.schedule, clock=self.clock, seed=scenario.seed)
@@ -761,6 +915,10 @@ class ScenarioRunner:
                 # Kills due at t=0 land before the first request is issued.
                 for shard, replica in injector.due_kills():
                     await router.kill_replica(shard, replica)
+            watcher = asyncio.get_running_loop().create_task(
+                self._drive_monitor(monitor)
+            )
+            if injector is not None:
                 driver = asyncio.get_running_loop().create_task(
                     self._drive_faults(injector, router)
                 )
@@ -768,13 +926,18 @@ class ScenarioRunner:
             try:
                 report = await generator.run()
             finally:
-                if driver is not None:
-                    driver.cancel()
-                    await asyncio.gather(driver, return_exceptions=True)
+                for task in (driver, watcher):
+                    if task is not None:
+                        task.cancel()
+                        await asyncio.gather(task, return_exceptions=True)
+            # One final scrape + evaluation after the load drains, so a
+            # fault landing after the last in-flight tick still alerts.
+            monitor.tick()
             snapshot = router.metrics.snapshot()
             ring = router.ring
+        fired_alerts = tuple(monitor.manager.fired_ids())
         checks = self._check_invariants(
-            topology, case, report, reference_verdicts, ring
+            topology, case, report, reference_verdicts, ring, fired_alerts
         )
         worst_trace = ""
         slowest = ""
@@ -798,6 +961,7 @@ class ScenarioRunner:
             slowest_path=slowest,
             worst_trace=worst_trace,
             event_counts=obs.events.counts(),
+            fired_alerts=fired_alerts,
         )
 
     def _check_invariants(
@@ -807,6 +971,7 @@ class ScenarioRunner:
         report: LoadReport,
         reference_verdicts: Optional[Dict[Tuple[str, str, str, str], str]],
         ring,
+        fired_alerts: Sequence[str] = (),
     ) -> List[InvariantCheck]:
         invariants = self.scenario.invariants
         checks: List[InvariantCheck] = []
@@ -860,6 +1025,35 @@ class ScenarioRunner:
                     worst <= invariants.staleness_bound_epochs,
                     f"worst DEGRADED staleness {worst} epochs "
                     f"(bound {invariants.staleness_bound_epochs})",
+                )
+            )
+
+        fault_name = case.name if case is not None else "none"
+        expected = invariants.expected_alerts_for(fault_name)
+        if expected:
+            missing = [alert_id for alert_id in expected if alert_id not in fired_alerts]
+            checks.append(
+                InvariantCheck(
+                    "expect-alerts",
+                    not missing,
+                    f"expected {list(expected)} to fire; "
+                    f"missing {missing or 'none'} (fired: {list(fired_alerts) or 'none'})",
+                )
+            )
+        forbidden = invariants.forbidden_alerts_for(fault_name)
+        if forbidden is not None:
+            if "*" in forbidden:
+                offending = list(fired_alerts)
+            else:
+                offending = [
+                    alert_id for alert_id in fired_alerts if alert_id in forbidden
+                ]
+            checks.append(
+                InvariantCheck(
+                    "forbid-alerts",
+                    not offending,
+                    f"forbidden alerts fired: {offending or 'none'} "
+                    f"(forbidden: {list(forbidden)})",
                 )
             )
 

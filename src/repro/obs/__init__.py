@@ -9,9 +9,19 @@ Three cooperating pieces, all deterministic under the injectable
   fixed-bucket histograms with exemplars) every ``MetricsSnapshot``
   derives from, with Prometheus-style text exposition;
 * :mod:`repro.obs.events` — the structured event log of discrete fleet
-  transitions (health, failover, quiesce, kills, budget exhaustion).
+  transitions (health, failover, quiesce, kills, budget exhaustion,
+  alert lifecycle);
+* :mod:`repro.obs.timeseries` — ring-buffered time series scraped from
+  any registry on the clock, with downsampled rollups and range queries;
+* :mod:`repro.obs.slo` — declarative SLOs (availability, latency,
+  health/staleness) with exact error budgets and multi-window
+  multi-burn-rate rules;
+* :mod:`repro.obs.alerts` — the alert manager's
+  pending→firing→resolved lifecycles, emitting into the event log;
+* :mod:`repro.obs.dashboard` — the ``obs top`` ASCII fleet view,
+  byte-identical under seeded virtual-clock reruns.
 
-:class:`Observability` bundles one of each for one-call wiring:
+:class:`Observability` bundles tracer + events for one-call wiring:
 ``router.set_observability(Observability.for_clock(clock, seed))`` arms
 every layer the router fronts.
 """
@@ -22,6 +32,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..chaos.clock import Clock, MonotonicClock
+from .alerts import ALERT_STATES, Alert, AlertManager, SLOMonitor
+from .dashboard import budget_bar, render_dashboard, sparkline
 from .events import EVENT_KINDS, Event, EventLog
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -32,7 +44,27 @@ from .registry import (
     MetricsRegistry,
     parse_exposition,
     percentile,
+    reexpose,
     render_exposition,
+)
+from .slo import (
+    DEFAULT_BURN_RULES,
+    AvailabilitySLI,
+    BurnRule,
+    HealthSLI,
+    LatencySLI,
+    RuleReading,
+    SLO,
+    SLOStatus,
+    WindowSample,
+)
+from .timeseries import (
+    DEFAULT_ROLLUP_TIERS,
+    MetricsScraper,
+    RollupPoint,
+    SeriesPoint,
+    TimeSeries,
+    series_key,
 )
 from .trace import (
     SPAN_TAXONOMY,
@@ -49,30 +81,53 @@ from .trace import (
 )
 
 __all__ = [
+    "ALERT_STATES",
+    "DEFAULT_BURN_RULES",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_ROLLUP_TIERS",
     "EVENT_KINDS",
     "SPAN_TAXONOMY",
     "STATUS_DEGRADED",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_SHED",
+    "Alert",
+    "AlertManager",
+    "AvailabilitySLI",
+    "BurnRule",
     "Counter",
     "Event",
     "EventLog",
     "Gauge",
+    "HealthSLI",
     "Histogram",
+    "LatencySLI",
     "MetricFamily",
     "MetricsRegistry",
+    "MetricsScraper",
     "Observability",
+    "RollupPoint",
+    "RuleReading",
+    "SLO",
+    "SLOMonitor",
+    "SLOStatus",
+    "SeriesPoint",
     "Span",
     "SpanContext",
+    "TimeSeries",
     "Tracer",
+    "WindowSample",
+    "budget_bar",
     "maybe_span",
     "parse_exposition",
     "percentile",
+    "reexpose",
+    "render_dashboard",
     "render_exposition",
     "render_spans",
+    "series_key",
     "slowest_path",
+    "sparkline",
 ]
 
 
@@ -96,11 +151,16 @@ class Observability:
         sample_rate: float = 1.0,
         trace_capacity: int = 512,
         event_capacity: int = 4096,
+        max_spans_per_trace: int = 4096,
     ) -> "Observability":
         clock = clock or MonotonicClock()
         return cls(
             tracer=Tracer(
-                clock=clock, seed=seed, sample_rate=sample_rate, capacity=trace_capacity
+                clock=clock,
+                seed=seed,
+                sample_rate=sample_rate,
+                capacity=trace_capacity,
+                max_spans_per_trace=max_spans_per_trace,
             ),
             events=EventLog(clock=clock, capacity=event_capacity),
         )

@@ -34,6 +34,9 @@ EVENT_KINDS = (
     "quiesce_start",       # an ingest closed a worker's admission gate
     "quiesce_end",         # the gate reopened at the new epoch
     "budget_exhausted",    # a request spent its whole retry budget
+    "alert_pending",       # a burn-rate rule tripped; holding for ``for_s``
+    "alert_firing",        # the alert held long enough and paged
+    "alert_resolved",      # a firing alert's condition cleared
 )
 
 
@@ -64,9 +67,13 @@ class EventLog:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.clock = clock or MonotonicClock()
+        self.capacity = capacity
         self._lock = threading.Lock()
         self._events: Deque[Event] = deque(maxlen=capacity)
         self._seq = 0
+        #: Events overwritten by the ring since construction — ``seq`` is
+        #: still globally monotonic, so ``dropped + len(log)`` == emitted.
+        self.dropped = 0
 
     def emit(self, kind: str, target: str = "", **attributes: Any) -> Event:
         """Record one event (unknown kinds are allowed — the tier may grow
@@ -75,6 +82,8 @@ class EventLog:
         with self._lock:
             event = Event(self._seq, self.clock.now(), kind, target, dict(attributes))
             self._seq += 1
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
             self._events.append(event)
             return event
 
@@ -103,19 +112,21 @@ class EventLog:
 
     def export_jsonl(self, sink: Union[str, TextIO]) -> int:
         """One JSON object per event (sorted keys — deterministic under a
-        virtual clock); returns the event count."""
+        virtual clock); returns the event count.
+
+        Streams line by line so exporting a full ring never materialises
+        a second copy of the buffer as one string.
+        """
         events = self.events()
-        lines = [
-            json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
-            for event in events
-        ]
-        text = "\n".join(lines) + ("\n" if lines else "")
         if isinstance(sink, str):
             with open(sink, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        else:
-            sink.write(text)
-        return len(lines)
+                return self.export_jsonl(handle)
+        for event in events:
+            sink.write(
+                json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+            )
+            sink.write("\n")
+        return len(events)
 
     def format_table(self, title: str = "Fleet events") -> str:
         """The buffer as an aligned text table (the ``obs`` CLI's view)."""

@@ -174,6 +174,12 @@ class Tracer:
         buffer in the meantime).
     capacity:
         Committed traces retained (oldest evicted beyond it).
+    max_spans_per_trace:
+        Spans retained per trace.  Pathological requests (retry storms,
+        huge batches, stragglers re-tracing a committed trace) previously
+        grew span lists without limit; beyond this cap further spans are
+        counted in :attr:`spans_dropped` instead of buffered, so a soak
+        run's memory is bounded by ``capacity * max_spans_per_trace``.
     """
 
     def __init__(
@@ -182,14 +188,18 @@ class Tracer:
         seed: int = 0,
         sample_rate: float = 1.0,
         capacity: int = 512,
+        max_spans_per_trace: int = 4096,
     ) -> None:
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be within [0, 1]")
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_spans_per_trace < 1:
+            raise ValueError("max_spans_per_trace must be >= 1")
         self.clock = clock or MonotonicClock()
         self.sample_rate = sample_rate
         self.capacity = capacity
+        self.max_spans_per_trace = max_spans_per_trace
         self._id_rng = random.Random(seed)
         # A separate stream for sampling draws: the id sequence (and so
         # byte-identical trees) must not depend on the sample rate.
@@ -210,11 +220,22 @@ class Tracer:
         self._traces: "OrderedDict[str, List[Span]]" = OrderedDict()
         #: Traces dropped by head sampling (all-OK, sampled out).
         self.sampled_out = 0
+        #: Spans refused because their trace hit ``max_spans_per_trace``.
+        self.spans_dropped = 0
 
     # ------------------------------------------------------------- ids/context
 
     def _new_id(self) -> str:
         return f"{self._id_rng.getrandbits(64):016x}"
+
+    def _append_bounded(self, spans: List[Span], span: Span) -> None:
+        """Append under the per-trace cap; count the span as dropped
+        otherwise (the span object still closes normally, it just never
+        exports).  Caller holds the lock."""
+        if len(spans) >= self.max_spans_per_trace:
+            self.spans_dropped += 1
+        else:
+            spans.append(span)
 
     def current_context(self) -> Optional[SpanContext]:
         """The ambient span context of the calling task, if any."""
@@ -296,7 +317,7 @@ class Tracer:
                 )
                 active = self._active.get(trace_id)
                 if active is not None:
-                    active.append(span)
+                    self._append_bounded(active, span)
                 elif trace_id not in self._traces:
                     # A remote parent (wire context): this span anchors the
                     # trace's local subtree and commits it when it ends.
@@ -307,7 +328,7 @@ class Tracer:
                     # The local root already committed (a straggler ending
                     # after its root, re-traced): append to the committed
                     # trace so nothing is silently lost.
-                    self._traces[trace_id].append(span)
+                    self._append_bounded(self._traces[trace_id], span)
         return span
 
     def end_span(self, span: Span, status: Optional[str] = None) -> None:
@@ -381,9 +402,9 @@ class Tracer:
             span.status = status
             span.attributes.update(attributes)
             if parent.trace_id in self._active:
-                self._active[parent.trace_id].append(span)
+                self._append_bounded(self._active[parent.trace_id], span)
             elif parent.trace_id in self._traces:
-                self._traces[parent.trace_id].append(span)
+                self._append_bounded(self._traces[parent.trace_id], span)
             # A parent in neither map was sampled out: drop silently.
         return span
 
@@ -413,19 +434,22 @@ class Tracer:
         keys are sorted — with a seeded tracer on a virtual clock the
         output is byte-identical across runs.  Returns the span count.
         ``sink`` is a path or an open text file.
+
+        Streams one line at a time: exporting a full ring at capacity
+        never builds a second whole-buffer string in memory.
         """
-        lines = [
-            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
-            for spans in self.traces().values()
-            for span in sorted(spans, key=lambda span: span.seq)
-        ]
-        text = "\n".join(lines) + ("\n" if lines else "")
         if isinstance(sink, str):
             with open(sink, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        else:
-            sink.write(text)
-        return len(lines)
+                return self.export_jsonl(handle)
+        count = 0
+        for spans in self.traces().values():
+            for span in sorted(spans, key=lambda span: span.seq):
+                sink.write(
+                    json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+                )
+                sink.write("\n")
+                count += 1
+        return count
 
     def render_tree(self, trace_id: str) -> str:
         """One committed trace as an indented ASCII tree."""

@@ -19,8 +19,11 @@ Control commands: ``{"cmd": "metrics"}`` returns a
 :class:`~repro.service.metrics.MetricsSnapshot` as JSON;
 ``{"cmd": "metrics", "format": "exposition"}`` returns
 ``{"exposition": <Prometheus-style text>}`` rendered from the unified
-metrics registry.  Malformed input and unknown facts produce
-``{"outcome": "error", "error": ...}`` instead of closing the connection.
+metrics registry; ``{"cmd": "slo"}`` returns the armed
+:class:`~repro.obs.alerts.SLOMonitor`'s status payload (error budgets,
+burn rates, alert states) after one fresh evaluation.  Malformed input
+and unknown facts produce ``{"outcome": "error", "error": ...}`` instead
+of closing the connection.
 
 Tracing: with :meth:`TCPValidationFrontend.set_observability` armed, every
 validation request runs under a ``frontend.request`` root span (re-parented
@@ -83,10 +86,19 @@ class TCPValidationFrontend:
         #: Optional :class:`~repro.obs.trace.Tracer`; when armed, every
         #: validation request gets a ``frontend.request`` root span.
         self.tracer: Optional[Tracer] = None
+        #: Optional :class:`~repro.obs.alerts.SLOMonitor`; when armed, the
+        #: ``{"cmd": "slo"}`` control command serves its status payload.
+        self.slo_monitor = None
 
     def set_fault_injection(self, injector) -> None:
         """Arm (or with ``None`` disarm) the ``frontend`` chaos fault point."""
         self.fault_injector = injector
+
+    def set_slo_monitor(self, monitor) -> None:
+        """Arm (or with ``None`` disarm) the ``slo`` control command with an
+        :class:`~repro.obs.alerts.SLOMonitor` (the caller owns its scrape
+        cadence; the verb evaluates once per query so replies are fresh)."""
+        self.slo_monitor = monitor
 
     def set_observability(self, obs) -> None:
         """Arm (or with ``obs=None`` disarm) tracing at the frontend *and*
@@ -189,6 +201,14 @@ class TCPValidationFrontend:
             if payload.get("format") == "exposition":
                 return {"exposition": self.service.metrics.exposition()}, False
             return dataclasses.asdict(self.service.metrics.snapshot()), False
+        if payload.get("cmd") == "slo":
+            if self.slo_monitor is None:
+                return {
+                    "outcome": "error",
+                    "error": "no SLO monitor armed on this frontend",
+                }, False
+            self.slo_monitor.tick()
+            return self.slo_monitor.status_payload(), False
         return await self._validate(payload), True
 
     async def _validate(self, payload: dict) -> dict:

@@ -56,7 +56,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..chaos.clock import Clock, MonotonicClock
 from ..llm.telemetry import TelemetryCollector
 from ..obs import Observability
-from ..obs.registry import MetricsRegistry, render_exposition
+from ..obs.registry import MetricFamily, MetricsRegistry, render_exposition
 from ..obs.trace import (
     STATUS_DEGRADED,
     STATUS_FAILED,
@@ -92,6 +92,7 @@ ROUTER_METRIC_NAMES = (
     "router_degraded_total",
     "router_budget_exhausted_total",
     "router_unhealthy_replicas",
+    "router_staleness_epochs",
 )
 
 
@@ -197,6 +198,10 @@ class RouterMetrics:
             "router_unhealthy_replicas",
             "Replicas currently out of the regular routing rotation.",
         )
+        self._staleness_gauge = self.registry.gauge(
+            "router_staleness_epochs",
+            "Epoch lag of the most recent DEGRADED response (0 = serving fresh).",
+        )
         # Snapshot bookkeeping (not a metric): reconciles worker-counted
         # errors with router outcomes so the fleet total stays exact.
         self._error_adjustment = 0
@@ -233,16 +238,23 @@ class RouterMetrics:
         (it then either degrades to a stale verdict or fails)."""
         self._budget_exhausted_total.inc()
 
-    def observe_degraded(self, counted_errors: int = 0) -> None:
+    def observe_degraded(
+        self, counted_errors: int = 0, staleness_epochs: Optional[int] = None
+    ) -> None:
         """One ``DEGRADED`` response served from the stale verdict cache.
 
         ``counted_errors`` faulted attempts already live in the owning
         workers' ``errors`` counters; a degraded request lands in
         ``degraded`` (not ``errors``), so they are subtracted — the fleet
         invariant becomes ``completed + rejected + errors + degraded ==
-        submitted``.
+        submitted``.  ``staleness_epochs`` is how many applied epochs the
+        served verdict lagged the shard's watermark — published on the
+        ``router_staleness_epochs`` gauge so the staleness SLO can watch
+        lag over time.
         """
         self._degraded_total.inc()
+        if staleness_epochs is not None:
+            self._staleness_gauge.set(staleness_epochs)
         with self._lock:
             self._error_adjustment -= counted_errors
 
@@ -356,13 +368,14 @@ class RouterMetrics:
             budget_exhausted=self.budget_exhausted,
         )
 
-    def exposition(self) -> str:
-        """The whole fleet's instruments as one Prometheus-style text page.
+    def collect_families(self) -> List[MetricFamily]:
+        """Every fleet instrument as collected metric families.
 
         Per-replica registries are collected with injected ``shard`` and
         ``replica`` labels (they own identical unlabeled series — merging
         without the labels would collide), then merged with the router's
-        own fleet counters.
+        own fleet counters.  This is the :class:`~repro.obs.timeseries.MetricsScraper`
+        source for SLO evaluation and the ``obs top`` dashboard.
         """
         self.unhealthy_replicas  # refresh the gauge before collecting
         families = []
@@ -374,7 +387,11 @@ class RouterMetrics:
                     )
                 )
         families.extend(self.registry.collect())
-        return render_exposition(families)
+        return families
+
+    def exposition(self) -> str:
+        """The whole fleet's instruments as one Prometheus-style text page."""
+        return render_exposition(self.collect_families())
 
     def per_shard(self) -> List[MetricsSnapshot]:
         """One aggregated snapshot per logical shard (its replicas summed)."""
@@ -924,7 +941,10 @@ class ShardedValidationService:
                 )
             degraded = self._degraded_response(request, started, retries, errors)
             if degraded is not None:
-                self.metrics.observe_degraded(counted_errors)
+                lag = None
+                if degraded.stale_epoch is not None:
+                    lag = max(self.epoch_vector[shard_index] - degraded.stale_epoch, 0)
+                self.metrics.observe_degraded(counted_errors, staleness_epochs=lag)
                 return degraded
         self.metrics.observe_failure(timeout=timed_out, counted_errors=counted_errors)
         return self._failed_response(started, shard_index, "; ".join(errors), retries)

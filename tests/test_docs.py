@@ -197,10 +197,10 @@ class TestOperationsReferenceComplete:
             if path.name in {
                 "bench_hotpaths.py", "bench_service.py", "bench_store.py",
                 "bench_shards.py", "bench_replicas.py", "bench_chaos.py",
-                "bench_obs.py",
+                "bench_obs.py", "bench_slo.py",
             }
         )
-        assert len(floors) == 7
+        assert len(floors) == 8
         for name in floors:
             assert name in text, f"docs/benchmarks.md misses {name}"
 
@@ -238,4 +238,28 @@ class TestObservabilityRunbookComplete:
         for needle in ("SHED", "DEGRADED", "Head sampling", "sample_rate",
                        "exemplar", "trace_id", "parse_exposition",
                        "VirtualClock", "byte-identical"):
+            assert needle in runbook, f"runbook misses {needle!r}"
+
+    def test_slo_section_pins_every_state_rule_and_slo_name(self, runbook):
+        # The SLOs-and-alerting section is the reference for the alert
+        # lifecycle, the burn-rate windows, and the fleet SLO set — each
+        # is linted against the code so a rename must be re-documented.
+        from repro.benchmark.cli import _fleet_slos
+        from repro.obs import ALERT_STATES, DEFAULT_BURN_RULES
+
+        assert "### SLOs and alerting" in runbook
+        for state in ALERT_STATES:
+            assert f"`{state}`" in runbook, f"runbook misses alert state `{state}`"
+        for rule in DEFAULT_BURN_RULES:
+            assert f"`{rule.severity}`" in runbook, (
+                f"runbook misses burn severity `{rule.severity}`"
+            )
+            factor = f"{rule.factor:g}"
+            assert factor in runbook, f"runbook misses burn factor {factor}"
+        for slo in _fleet_slos(2, 2):
+            assert f"`{slo.name}`" in runbook, f"runbook misses SLO `{slo.name}`"
+        for needle in ("MetricsScraper", "burn rate", "error budget",
+                       "expect_alerts", "forbid_alerts", "obs top", "obs slo",
+                       '{"cmd": "slo"}', "bench_slo.py",
+                       "slo-name:severity", "max_series", "rollup"):
             assert needle in runbook, f"runbook misses {needle!r}"

@@ -18,6 +18,8 @@ import re
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.benchmark import BenchmarkRunner, ExperimentConfig
 from repro.chaos import FaultEvent, FaultInjector, FaultSchedule, FaultSpec
@@ -37,6 +39,7 @@ from repro.obs import (
     maybe_span,
     parse_exposition,
     percentile,
+    reexpose,
     render_exposition,
     render_spans,
     slowest_path,
@@ -366,6 +369,18 @@ class TestTracer:
         with maybe_span(None, "router.route", "shard:0") as span:
             assert span is None
 
+    def test_max_spans_per_trace_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(VirtualClock(), seed=1, max_spans_per_trace=3)
+        with tracer.span("router.route", "shard:0"):
+            for _ in range(5):
+                with tracer.span("replica.call", "shard:0/replica:0"):
+                    pass
+        [trace_id] = tracer.trace_ids()
+        assert len(tracer.spans(trace_id)) == 3, "root + first two children"
+        assert tracer.spans_dropped == 3
+        with pytest.raises(ValueError, match="max_spans_per_trace"):
+            Tracer(VirtualClock(), seed=1, max_spans_per_trace=0)
+
 
 # ------------------------------------------------------------------ events
 
@@ -390,6 +405,18 @@ class TestEventLog:
             log.emit("failover", f"shard:{index}")
         assert [event.target for event in log.events()] == ["shard:2", "shard:3"]
         assert len(log) == 2
+
+    def test_dropped_counter_accounts_for_every_eviction(self):
+        log = EventLog(VirtualClock(), capacity=2)
+        assert log.dropped == 0
+        for index in range(5):
+            log.emit("failover", f"shard:{index}")
+        assert log.dropped == 3
+        assert log.dropped + len(log) == 5, "emitted == retained + dropped"
+        # seq numbers stay globally monotonic across evictions.
+        assert [event.seq for event in log.events()] == [3, 4]
+        with pytest.raises(ValueError):
+            EventLog(VirtualClock(), capacity=0)
 
     def test_export_jsonl_and_table(self):
         log = EventLog(VirtualClock())
@@ -887,3 +914,165 @@ class TestFrontendTracing:
 
 def every_name_in_taxonomy(names) -> bool:
     return all(name in SPAN_TAXONOMY for name in names)
+
+
+# ----------------------------------------------- exposition round-trip property
+
+
+@st.composite
+def _registries(draw):
+    """A registry with a drawn mix of counters, gauges, histograms,
+    label values, and exemplars — plus optional fleet extra-labels."""
+    registry = MetricsRegistry()
+    outcomes = draw(
+        st.lists(
+            st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    counter = registry.counter("req_total", "Requests.", ("outcome",))
+    for outcome in outcomes:
+        counter.labels(outcome=outcome).inc(
+            draw(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+        )
+    if draw(st.booleans()):
+        registry.gauge("depth", "Depth.").set(
+            draw(
+                st.floats(
+                    min_value=-1e12,
+                    max_value=1e12,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            )
+        )
+    histogram = registry.histogram("lat_seconds", "Latency.")
+    for value in draw(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=6)
+    ):
+        histogram.observe(
+            value,
+            exemplar=draw(
+                st.one_of(st.none(), st.from_regex(r"[0-9a-f]{16}", fullmatch=True))
+            ),
+        )
+    extra = draw(
+        st.one_of(
+            st.none(),
+            st.fixed_dictionaries(
+                {
+                    "shard": st.from_regex(r"[0-9]{1,2}", fullmatch=True),
+                    "replica": st.from_regex(r"[0-9]{1,2}", fullmatch=True),
+                }
+            ),
+        )
+    )
+    return registry, extra
+
+
+class TestExpositionRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(_registries())
+    def test_expose_parse_reexpose_is_byte_identical(self, drawn):
+        """``reexpose(parse_exposition(text)) == text`` for every family
+        kind, label set, sample value, and exemplar the registry can
+        render — the property the chaos boundary relies on when it
+        ingests fleet expositions."""
+        registry, extra = drawn
+        text = render_exposition(registry.collect(extra or {}))
+        parsed = parse_exposition(text)
+        assert reexpose(parsed) == text
+
+    def test_round_trip_preserves_help_exemplars_and_inf_bounds(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("lat_seconds", "Latency seconds.")
+        latency.observe(0.003, exemplar="cafe0000cafe0000")
+        registry.counter("plain_total", "Plain.").inc(2)
+        text = render_exposition(registry.collect({"replica": "1"}))
+        parsed = parse_exposition(text)
+        assert parsed["lat_seconds"]["help"] == "Latency seconds."
+        exemplars = [e for e in parsed["lat_seconds"]["exemplars"] if e is not None]
+        assert exemplars[0][0] == "cafe0000cafe0000"
+        assert 'le="+Inf"' in text
+        assert reexpose(parsed) == text
+
+
+# ------------------------------------------- frontend scrape-while-serving
+
+
+class TestFrontendMetricsConcurrency:
+    def test_concurrent_scrapes_are_untorn_and_monotonic(self, obs_runner):
+        """Two clients hammer the ``metrics`` exposition verb while a
+        third streams validation requests through a 2x2 fleet.  Every
+        scrape must parse under the strict parser (a torn or interleaved
+        exposition raises), re-expose byte-identically, and read
+        monotonically non-decreasing completion counters."""
+        from repro.service import TCPValidationFrontend
+
+        dataset = obs_runner.dataset("factbench")
+        facts = list(dataset[:6])
+
+        async def request_client(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            replies = []
+            for fact in facts:
+                writer.write(
+                    json.dumps(
+                        {
+                            "dataset": "factbench",
+                            "fact_id": fact.fact_id,
+                            "method": "dka",
+                            "model": "gemma2:9b",
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return replies
+
+        async def scrape_client(port, count):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            texts = []
+            for _ in range(count):
+                writer.write(b'{"cmd": "metrics", "format": "exposition"}\n')
+                await writer.drain()
+                texts.append(json.loads(await reader.readline())["exposition"])
+                await asyncio.sleep(0)
+            writer.close()
+            await writer.wait_closed()
+            return texts
+
+        async def go():
+            router = ShardedValidationService.from_runner(
+                obs_runner, 2, ServiceConfig(enable_cache=False), replicas=2
+            )
+            async with router:
+                frontend = TCPValidationFrontend(router, {"factbench": dataset})
+                async with frontend:
+                    return await asyncio.gather(
+                        request_client(frontend.port),
+                        scrape_client(frontend.port, 8),
+                        scrape_client(frontend.port, 8),
+                    )
+
+        replies, *scrape_streams = asyncio.run(go())
+        assert [reply["outcome"] for reply in replies] == ["completed"] * len(facts)
+        for texts in scrape_streams:
+            previous = 0.0
+            for text in texts:
+                parsed = parse_exposition(text)  # strict: torn output raises
+                assert reexpose(parsed) == text
+                family = parsed.get("service_requests_total")
+                completed = sum(
+                    value
+                    for _, labels, value in (family["samples"] if family else [])
+                    if 'outcome="completed"' in labels
+                )
+                assert 0.0 <= completed <= float(len(facts))
+                assert completed >= previous, "counters never run backwards"
+                previous = completed
