@@ -96,7 +96,17 @@ __all__ = [
 
 #: Subcommands dispatched to the online-serving / store path instead of
 #: the table/figure renderers.
-SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact", "chaos", "obs")
+SERVICE_COMMANDS = ("serve", "loadgen", "ingest", "compact", "convert", "chaos", "obs")
+
+#: Choices of the store persistence ``--format`` knob: ``auto`` keeps the
+#: store's current format (sniffed from the file magic on load).
+STORE_FORMAT_CHOICES = ("auto", "jsonl", "segment")
+
+
+def _chosen_format(args) -> Optional[str]:
+    """The ``--format`` flag as a ``store.save`` argument (auto -> None)."""
+    fmt = getattr(args, "format", "auto")
+    return None if fmt == "auto" else fmt
 
 
 def _render_table2(runner: BenchmarkRunner) -> str:
@@ -334,13 +344,47 @@ def build_service_parser() -> argparse.ArgumentParser:
             "1 = the single-log store."
         ),
     )
+    ingest.add_argument(
+        "--format",
+        choices=STORE_FORMAT_CHOICES,
+        default="auto",
+        help=(
+            "Persistence format for the saved log: jsonl (line-per-mutation), "
+            "segment (paged binary with checkpoints), or auto (keep the "
+            "store's current format; new stores default to jsonl)."
+        ),
+    )
 
     compact = commands.add_parser(
         "compact", help="Collapse a store log's history into one canonical batch."
     )
-    compact.add_argument("--store", required=True, help="Store log (JSONL) to compact.")
+    compact.add_argument(
+        "--store", required=True, help="Store log (JSONL or segment) to compact."
+    )
     compact.add_argument(
         "--output", default=None, help="Write the compacted log here instead of back to --store."
+    )
+    compact.add_argument(
+        "--format",
+        choices=STORE_FORMAT_CHOICES,
+        default="auto",
+        help="Persistence format for the compacted log (auto = keep current).",
+    )
+
+    convert = commands.add_parser(
+        "convert",
+        help=(
+            "Re-encode a store log between the jsonl and segment formats "
+            "(state digest is identical either way)."
+        ),
+    )
+    convert.add_argument("--store", required=True, help="Store log (JSONL or segment) to read.")
+    convert.add_argument("--output", required=True, help="Path for the re-encoded log.")
+    convert.add_argument(
+        "--format",
+        choices=("jsonl", "segment"),
+        required=True,
+        help="Target persistence format.",
     )
 
     chaos = commands.add_parser(
@@ -585,7 +629,7 @@ def _run_sharded_ingest(args, stream: TextIO) -> int:
     except ValueError as exc:
         raise SystemExit(f"mutation batch rejected: {exc}")
     target = args.output or args.store
-    paths = fleet.save(target)
+    paths = fleet.save(target, format=_chosen_format(args))
     for index, shard_report in report.shard_reports:
         stream.write(
             f"shard {index} -> epoch {shard_report.epoch}: "
@@ -604,14 +648,14 @@ def _run_sharded_ingest(args, stream: TextIO) -> int:
 def _run_ingest(args, stream: TextIO) -> int:
     import os
 
-    from ..store import VersionedKnowledgeStore, read_mutations_jsonl
+    from ..store import CorruptSegmentError, VersionedKnowledgeStore, read_mutations_jsonl
 
     if args.shards > 1:
         return _run_sharded_ingest(args, stream)
     if os.path.exists(args.store):
         try:
             store = VersionedKnowledgeStore.load(args.store)
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, CorruptSegmentError) as exc:
             raise SystemExit(f"cannot read store log: {exc}")
         stream.write(
             f"loaded {args.store}: epoch {store.epoch}, {len(store.graph)} triples, "
@@ -631,7 +675,7 @@ def _run_ingest(args, stream: TextIO) -> int:
     except ValueError as exc:
         raise SystemExit(f"mutation batch rejected: {exc}")
     target = args.output or args.store
-    store.save(target)
+    store.save(target, format=_chosen_format(args))
     stream.write(
         f"epoch {report.epoch}: +{report.triples_added} triples, "
         f"-{report.triples_removed} triples, +{report.documents_added} documents "
@@ -647,22 +691,46 @@ def _run_ingest(args, stream: TextIO) -> int:
 
 
 def _run_compact(args, stream: TextIO) -> int:
-    from ..store import VersionedKnowledgeStore
+    from ..store import CorruptSegmentError, VersionedKnowledgeStore
 
     try:
         store = VersionedKnowledgeStore.load(args.store)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, CorruptSegmentError) as exc:
         raise SystemExit(f"cannot read store log: {exc}")
     before = len(store.log)
     dropped = store.compact()
     target = args.output or args.store
-    store.save(target)
+    store.save(target, format=_chosen_format(args))
     stream.write(
         f"compacted {args.store}: {before} -> {len(store.log)} records "
         f"({dropped} dropped), epoch {store.epoch} "
         f"(snapshot floor {store.log.floor_epoch})\n"
     )
     stream.write(f"saved to {target}\n")
+    return 0
+
+
+def _run_convert(args, stream: TextIO) -> int:
+    """Re-encode a store log between formats, proving digest parity."""
+    from ..store import CorruptSegmentError, VersionedKnowledgeStore
+
+    try:
+        store = VersionedKnowledgeStore.load(args.store)
+    except (OSError, ValueError, CorruptSegmentError) as exc:
+        raise SystemExit(f"cannot read store log: {exc}")
+    digest = store.state_digest(include_index=False)
+    store.save(args.output, format=args.format)
+    reloaded = VersionedKnowledgeStore.load(args.output)
+    if reloaded.state_digest(include_index=False) != digest:
+        raise SystemExit(
+            f"digest mismatch after conversion: {args.output} does not "
+            f"reproduce {args.store}"
+        )
+    stream.write(
+        f"converted {args.store} -> {args.output} ({args.format}): "
+        f"epoch {store.epoch}, {len(store.log)} log records\n"
+    )
+    stream.write(f"state digest {digest[:16]} (verified identical)\n")
     return 0
 
 
@@ -1025,6 +1093,8 @@ def main(argv: Optional[list] = None, stream: Optional[TextIO] = None) -> int:
             return _run_ingest(service_args, stream)
         if service_args.command == "compact":
             return _run_compact(service_args, stream)
+        if service_args.command == "convert":
+            return _run_convert(service_args, stream)
         if service_args.command == "chaos":
             return _run_chaos(service_args, stream)
         if service_args.command == "obs":

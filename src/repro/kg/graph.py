@@ -14,6 +14,16 @@ search: a backward breadth-first sweep from the target labels every node
 with its distance lower bound, and the forward enumeration prunes any
 branch that provably cannot meet the target within the hop budget.  The
 result (content *and* order) is identical to a plain forward BFS.
+
+The interned **core** (interning tables + per-node edge lists) is the
+graph's source of truth; the string-keyed SPO/POS/OSP indexes and the
+triple set are *derived* views, rebuilt from the core on demand.  A graph
+restored from a binary storage-engine checkpoint
+(:meth:`KnowledgeGraph.from_core_state`) starts with the core only and
+hydrates the derived indexes lazily on first string-level access, which is
+what lets a cold start serve its first traversal verdict without paying
+for index materialisation (the page-cache/lazy-hydration shape borrowed
+from the ESE database explorers; see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -39,6 +49,10 @@ _IdStep = Tuple[int, int, int]
 class KnowledgeGraph:
     """A directed, labelled multigraph of triples with standard KG indexes."""
 
+    #: Derived string-index attributes hydrated lazily from the interned
+    #: core when the graph was restored from a storage-engine checkpoint.
+    _DERIVED = ("_triples", "_spo", "_pos", "_osp")
+
     def __init__(self, name: str = "kg") -> None:
         self.name = name
         self._triples: Set[Triple] = set()
@@ -57,6 +71,50 @@ class KnowledgeGraph:
         # Lazily materialised per-node step lists used by the traversal
         # kernels; entry is None when the node's adjacency changed.
         self._steps_cache: List[Optional[List[_IdStep]]] = []
+        # Live triple count, maintained on the core so ``len()`` never
+        # forces hydration of the derived indexes.
+        self._edge_count = 0
+
+    # -- lazy hydration ------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Only reached when an attribute is *missing*: a checkpoint-restored
+        # graph carries the interned core only, and the first access to a
+        # derived string index materialises all four in one pass.
+        if name in KnowledgeGraph._DERIVED:
+            self._hydrate()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def hydrated(self) -> bool:
+        """Whether the derived string indexes are materialised."""
+        return "_triples" in self.__dict__
+
+    def _hydrate(self) -> None:
+        """Build the triple set and SPO/POS/OSP indexes from the core."""
+        triples: Set[Triple] = set()
+        spo: Dict[str, Dict[str, Set[str]]] = {}
+        pos: Dict[str, Dict[str, Set[str]]] = {}
+        osp: Dict[str, Dict[str, Set[str]]] = {}
+        names, preds = self._node_names, self._pred_names
+        for s_id, edges in enumerate(self._out):
+            if not edges:
+                continue
+            s = names[s_id]
+            s_spo = spo.setdefault(s, {})
+            for p_id, o_id in edges:
+                p, o = preds[p_id], names[o_id]
+                triples.add(Triple(s, p, o))
+                s_spo.setdefault(p, set()).add(o)
+                pos.setdefault(p, {}).setdefault(o, set()).add(s)
+                osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._triples = triples
+        self._spo = spo
+        self._pos = pos
+        self._osp = osp
 
     # -- interning ----------------------------------------------------------
 
@@ -90,15 +148,29 @@ class KnowledgeGraph:
 
     # -- mutation -----------------------------------------------------------
 
+    def _core_contains(self, s: str, p: str, o: str) -> bool:
+        """Membership test against the interned core (never hydrates)."""
+        s_id = self._node_ids.get(s)
+        if s_id is None:
+            return False
+        p_id = self._pred_ids.get(p)
+        if p_id is None:
+            return False
+        o_id = self._node_ids.get(o)
+        if o_id is None:
+            return False
+        return (p_id, o_id) in self._out[s_id]
+
     def add(self, triple: Triple) -> bool:
         """Add a triple; returns ``False`` when it was already present."""
-        if triple in self._triples:
-            return False
-        self._triples.add(triple)
         s, p, o = triple.as_tuple()
-        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        if self._core_contains(s, p, o):
+            return False
+        if "_triples" in self.__dict__:
+            self._triples.add(triple)
+            self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+            self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+            self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
         s_id = self._intern_node(s)
         o_id = self._intern_node(o)
         p_id = self._intern_predicate(p)
@@ -106,6 +178,7 @@ class KnowledgeGraph:
         self._in[o_id][(p_id, s_id)] = None
         self._steps_cache[s_id] = None
         self._steps_cache[o_id] = None
+        self._edge_count += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -114,13 +187,14 @@ class KnowledgeGraph:
 
     def remove(self, triple: Triple) -> bool:
         """Remove a triple; returns ``False`` when it was not present."""
-        if triple not in self._triples:
-            return False
-        self._triples.discard(triple)
         s, p, o = triple.as_tuple()
-        self._discard_index(self._spo, s, p, o)
-        self._discard_index(self._pos, p, o, s)
-        self._discard_index(self._osp, o, s, p)
+        if not self._core_contains(s, p, o):
+            return False
+        if "_triples" in self.__dict__:
+            self._triples.discard(triple)
+            self._discard_index(self._spo, s, p, o)
+            self._discard_index(self._pos, p, o, s)
+            self._discard_index(self._osp, o, s, p)
         s_id = self._node_ids[s]
         o_id = self._node_ids[o]
         p_id = self._pred_ids[p]
@@ -128,6 +202,7 @@ class KnowledgeGraph:
         del self._in[o_id][(p_id, s_id)]
         self._steps_cache[s_id] = None
         self._steps_cache[o_id] = None
+        self._edge_count -= 1
         return True
 
     @staticmethod
@@ -154,16 +229,17 @@ class KnowledgeGraph:
     # -- basic queries ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return self._edge_count
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triples
+        s, p, o = triple.as_tuple()
+        return self._core_contains(s, p, o)
 
     def __iter__(self) -> Iterator[Triple]:
         return iter(sorted(self._triples))
 
     def contains(self, subject: str, predicate: str, obj: str) -> bool:
-        return Triple(subject, predicate, obj) in self._triples
+        return self._core_contains(subject, predicate, obj)
 
     def triples(self) -> Set[Triple]:
         """A copy of the triple set (unordered; iterate the graph for sorted)."""
@@ -367,16 +443,20 @@ class KnowledgeGraph:
         """
         clone = KnowledgeGraph.__new__(KnowledgeGraph)
         clone.name = self.name
-        clone._triples = set(self._triples)
-        clone._spo = {
-            s: {p: set(objs) for p, objs in inner.items()} for s, inner in self._spo.items()
-        }
-        clone._pos = {
-            p: {o: set(subs) for o, subs in inner.items()} for p, inner in self._pos.items()
-        }
-        clone._osp = {
-            o: {s: set(preds) for s, preds in inner.items()} for o, inner in self._osp.items()
-        }
+        if "_triples" in self.__dict__:
+            clone._triples = set(self._triples)
+            clone._spo = {
+                s: {p: set(objs) for p, objs in inner.items()}
+                for s, inner in self._spo.items()
+            }
+            clone._pos = {
+                p: {o: set(subs) for o, subs in inner.items()}
+                for p, inner in self._pos.items()
+            }
+            clone._osp = {
+                o: {s: set(preds) for s, preds in inner.items()}
+                for o, inner in self._osp.items()
+            }
         clone._node_ids = dict(self._node_ids)
         clone._node_names = list(self._node_names)
         clone._pred_ids = dict(self._pred_ids)
@@ -386,7 +466,50 @@ class KnowledgeGraph:
         clone._steps_cache = [
             None if steps is None else list(steps) for steps in self._steps_cache
         ]
+        clone._edge_count = self._edge_count
         return clone
+
+    # -- storage-engine checkpoint state -------------------------------------
+
+    def core_state(self) -> Dict[str, object]:
+        """The interned core as plain containers, for checkpoint payloads.
+
+        The core (name tables + per-node edge lists, edge order included)
+        is the graph's complete observable state: :meth:`state_digest` is a
+        pure function of it and the derived string indexes are rebuilt from
+        it on demand.  The returned containers are the live ones — callers
+        must serialise (or copy) them before the graph mutates again.
+        """
+        return {
+            "node_names": self._node_names,
+            "pred_names": self._pred_names,
+            "out": self._out,
+            "in": self._in,
+        }
+
+    @classmethod
+    def from_core_state(cls, state: Dict[str, object], name: str = "kg") -> "KnowledgeGraph":
+        """Rebuild a graph from :meth:`core_state` output, **lazily**.
+
+        Only the interned core is materialised; the triple set and the
+        SPO/POS/OSP string indexes hydrate on first access, so a
+        checkpoint-restored graph can serve traversal queries
+        (``find_paths``, ``neighbors``, ``contains``) without paying for
+        them.  The caller owns the containers afterwards.
+        """
+        graph = cls.__new__(cls)
+        graph.name = name
+        node_names = state["node_names"]
+        pred_names = state["pred_names"]
+        graph._node_names = node_names
+        graph._pred_names = pred_names
+        graph._node_ids = {n: i for i, n in enumerate(node_names)}
+        graph._pred_ids = {p: i for i, p in enumerate(pred_names)}
+        graph._out = state["out"]
+        graph._in = state["in"]
+        graph._steps_cache = [None] * len(node_names)
+        graph._edge_count = sum(len(edges) for edges in graph._out)
+        return graph
 
     def state_digest(self) -> str:
         """Hex digest of the full internal state, edge order included.

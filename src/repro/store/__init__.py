@@ -14,6 +14,13 @@ this package makes them *mutable with history*:
   embedder warm cache extended, the interned graph mutated in place, with
   dirty-fraction rebuild fallbacks) verified byte-identical to a
   from-scratch rebuild;
+* :mod:`repro.store.segment` — the paged binary storage engine:
+  :class:`SegmentBackedLog` over fixed-size zlib-compressed CRC-checked
+  blocks with an LRU :class:`PageCache`, a footer epoch index, and
+  interleaved state checkpoints, so cold start and historical
+  ``snapshot(epoch)`` *seek-and-replay* a short suffix instead of
+  replaying from zero; crash damage recovers to the longest valid batch
+  prefix or raises the typed :class:`CorruptSegmentError`;
 * :mod:`repro.store.sharding` — :class:`ShardedStore`: the corpus and
   graph partitioned across N store shards by a consistent-hash
   :class:`HashRing` on the subject entity, each shard with its own
@@ -32,6 +39,7 @@ Quickstart::
                  Mutation.add_document(new_document)])
     offline_view = store.snapshot(store.epoch - 1)   # reproducible past state
     store.save("store.jsonl")                        # replayable history
+    store.save("store.seg", format="segment")        # paged binary engine
 """
 
 from .log import (
@@ -40,7 +48,16 @@ from .log import (
     REMOVE_TRIPLE,
     Mutation,
     MutationLog,
+    atomic_write,
     read_mutations_jsonl,
+)
+from .segment import (
+    CorruptSegmentError,
+    PageCache,
+    SegmentBackedLog,
+    SegmentReader,
+    SegmentWriter,
+    StoreState,
 )
 from .sharding import (
     HashRing,
@@ -56,17 +73,24 @@ __all__ = [
     "ADD_DOCUMENT",
     "ADD_TRIPLE",
     "ApplyReport",
+    "CorruptSegmentError",
     "HashRing",
     "Mutation",
     "MutationLog",
+    "PageCache",
     "REMOVE_TRIPLE",
     "ReplicaDivergedError",
     "ReplicaGroup",
+    "SegmentBackedLog",
+    "SegmentReader",
+    "SegmentWriter",
     "ShardApplyReport",
     "ShardedStore",
     "StoreConfig",
     "StoreSnapshot",
+    "StoreState",
     "VersionedKnowledgeStore",
+    "atomic_write",
     "mutation_shard_key",
     "read_mutations_jsonl",
 ]

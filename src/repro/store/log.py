@@ -18,7 +18,9 @@ the floor are no longer reconstructible.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -28,11 +30,36 @@ from ..retrieval.corpus import Document
 __all__ = [
     "Mutation",
     "MutationLog",
+    "atomic_write",
     "read_mutations_jsonl",
     "ADD_TRIPLE",
     "REMOVE_TRIPLE",
     "ADD_DOCUMENT",
 ]
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "w", encoding: Optional[str] = "utf-8"):
+    """Crash-atomic file replacement: temp file + fsync + ``os.replace``.
+
+    The payload is written to ``{path}.tmp.{pid}`` in the same directory
+    (so the final rename never crosses a filesystem), flushed and fsynced
+    before the atomic :func:`os.replace` into place.  A crash — or any
+    exception — mid-write leaves the previous file untouched and removes
+    the temp file; readers never observe a half-written log.
+    """
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    handle = open(tmp_path, mode, encoding=encoding)
+    try:
+        with handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
 
 ADD_TRIPLE = "add_triple"
 REMOVE_TRIPLE = "remove_triple"
@@ -111,6 +138,14 @@ class Mutation:
             payload = record.get("document")
             if not isinstance(payload, dict):
                 raise ValueError("add_document record requires a 'document' object")
+            # A truncated record must fail loudly, not round-trip into an
+            # empty document: identity and content are required, only the
+            # genuinely optional metadata fields may default.
+            for required in ("doc_id", "text"):
+                if not isinstance(payload.get(required), str):
+                    raise ValueError(
+                        f"add_document record missing required field {required!r}"
+                    )
             fields = {name: payload.get(name, "") for name in _DOC_FIELDS[:-1]}
             fields["kind"] = payload.get("kind", "generic")
             return Mutation(ADD_DOCUMENT, document=Document(**fields))
@@ -176,7 +211,11 @@ class MutationLog:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str, config_payload: Optional[Dict[str, object]] = None) -> None:
-        """Write the log as JSONL: one header line, then one line per record."""
+        """Write the log as JSONL: one header line, then one line per record.
+
+        The write is crash-atomic (see :func:`atomic_write`): an
+        interrupted save leaves any previous log at ``path`` intact.
+        """
         header: Dict[str, object] = {
             "kind": "header",
             "version": 1,
@@ -184,18 +223,50 @@ class MutationLog:
         }
         if config_payload:
             header["config"] = config_payload
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_write(path) as handle:
             handle.write(json.dumps(header, sort_keys=True) + "\n")
-            for epoch, mutation in self._records:
+            for epoch, mutation in self:
                 record = mutation.to_json()
                 record["epoch"] = epoch
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
 
+    def _check_loaded_epoch(
+        self, epoch: object, last_epoch: Optional[int], where: str
+    ) -> int:
+        """Validate one loaded record's epoch against the append contract.
+
+        Loading bypasses :meth:`append_batch` for speed, so the same
+        invariants — integer epochs at or above the floor, grouped
+        strictly-monotonic (equal epochs form one contiguous batch, batch
+        epochs strictly increase) — are enforced here; a hand-edited or
+        corrupted log fails loudly instead of replaying to a wrong state.
+        ``where`` locates the offending record (e.g. ``file.jsonl:17``).
+        """
+        if not isinstance(epoch, int) or isinstance(epoch, bool):
+            raise ValueError(f"{where}: record missing integer 'epoch'")
+        if epoch < self.floor_epoch:
+            raise ValueError(
+                f"{where}: epoch {epoch} is below the log floor {self.floor_epoch}"
+            )
+        if last_epoch is not None and epoch < last_epoch:
+            raise ValueError(
+                f"{where}: epoch {epoch} is not grouped-monotonic "
+                f"(previous record at epoch {last_epoch})"
+            )
+        return epoch
+
     @classmethod
     def load(cls, path: str) -> Tuple["MutationLog", Dict[str, object]]:
-        """Read a JSONL log; returns ``(log, header config payload)``."""
+        """Read a JSONL log; returns ``(log, header config payload)``.
+
+        Raises :class:`ValueError` (with the offending line number) for a
+        record whose epoch is missing, below the header floor, or breaks
+        the grouped-monotonic ordering :meth:`append_batch` would have
+        enforced at write time.
+        """
         log = cls()
         config_payload: Dict[str, object] = {}
+        last_epoch: Optional[int] = None
         with open(path, "r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -208,10 +279,10 @@ class MutationLog:
                     if isinstance(payload, dict):
                         config_payload = payload
                     continue
-                epoch = record.get("epoch")
-                if not isinstance(epoch, int):
-                    raise ValueError(f"{path}:{line_number}: record missing integer 'epoch'")
-                log._records.append((epoch, Mutation.from_json(record)))
+                last_epoch = log._check_loaded_epoch(
+                    record.get("epoch"), last_epoch, f"{path}:{line_number}"
+                )
+                log._records.append((last_epoch, Mutation.from_json(record)))
         return log, config_payload
 
 

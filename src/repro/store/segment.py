@@ -1,0 +1,895 @@
+"""Paged, segmented binary storage engine under the mutation log.
+
+The JSONL log (:mod:`repro.store.log`) replays from zero: cold start and
+``snapshot(historical_epoch)`` both pay a full parse-and-apply pass over
+the whole history.  This module is the binary engine the ROADMAP names as
+the top open bottleneck fix, shaped like the paged ESE-database explorers
+referenced in PAPERS.md — pages walked through a page cache, compression
+at the block boundary, lazy hydration of expensive views:
+
+* **Blocks.**  Mutation records are struct-packed into fixed-size blocks
+  (``block_size`` uncompressed bytes), each zlib-compressed independently
+  and guarded by a CRC32 over the compressed payload.  A torn final
+  record or a truncated segment fails its CRC/length check and recovery
+  truncates to the longest valid *batch* prefix instead of loading
+  garbage.
+* **Page cache.**  Reads decompress and decode one block at a time
+  through a bounded LRU :class:`PageCache`, so historical snapshots touch
+  only the blocks their epoch window needs.
+* **Footer index.**  A per-segment footer maps every block to its
+  ``(offset, first_epoch, last_epoch)`` so ``snapshot(epoch)`` and cold
+  start *seek* to the needed suffix instead of replaying from zero.
+* **Checkpoints.**  Interleaved checkpoint blocks carry the materialised
+  store state (the graph's interned core, the corpus documents, and the
+  replay counters) at their epoch.  Restoring a checkpoint and replaying
+  the short record suffix behind it is byte-identical to a from-zero
+  replay — the graph's derived string indexes hydrate lazily
+  (:meth:`~repro.kg.graph.KnowledgeGraph.from_core_state`), which is what
+  makes cold-start-to-first-verdict ~an order of magnitude faster than
+  JSONL replay (floor enforced by ``benchmarks/bench_segment.py``).
+
+Checkpoint payloads are serialised with :mod:`pickle` *inside* the
+CRC-checked block envelope — segment files are trusted local state, the
+same trust model as the JSONL log.  Record blocks use a plain
+length-prefixed struct encoding and are readable without unpickling.
+
+Layout::
+
+    [ header ]  magic, version + JSON (floor_epoch, config)
+    [ block ]*  u8 kind | u8 flags | u32 count | u32 raw | u32 comp
+                | u32 crc | payload
+    [ footer ]  zlib(JSON block index) | u32 len | u32 crc | end magic
+
+Writes are crash-atomic (temp file + fsync + ``os.replace``).  When the
+footer is missing or corrupt — the crash-mid-append case — the reader
+scans the blocks forward, CRC-checking each, and recovers the longest
+valid prefix, dropping any trailing records of a batch that continued
+into the lost tail (``FLAG_CONTINUES``) so no half-applied batch is ever
+replayed.  Any other inconsistency raises :class:`CorruptSegmentError`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..kg.graph import KnowledgeGraph
+from ..kg.triples import Triple
+from ..retrieval.corpus import Corpus, Document
+from .log import ADD_DOCUMENT, ADD_TRIPLE, REMOVE_TRIPLE, Mutation, MutationLog, atomic_write
+
+__all__ = [
+    "CorruptSegmentError",
+    "PageCache",
+    "SegmentBackedLog",
+    "SegmentReader",
+    "SegmentWriter",
+    "StoreState",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_PAGE_CACHE_BLOCKS",
+    "SEGMENT_MAGIC",
+]
+
+SEGMENT_MAGIC = b"RSEGMT01"
+_END_MAGIC = b"RSEGEND1"
+SEGMENT_VERSION = 1
+
+#: Uncompressed record bytes per block before the writer cuts a new one.
+DEFAULT_BLOCK_SIZE = 64 * 1024
+#: Records between interleaved state checkpoints.
+DEFAULT_CHECKPOINT_INTERVAL = 5_000
+#: Decoded blocks the LRU page cache keeps resident.
+DEFAULT_PAGE_CACHE_BLOCKS = 64
+
+BLOCK_RECORDS = 0
+BLOCK_CHECKPOINT = 1
+
+#: The block's final batch continues in the next block: recovery that
+#: loses the next block must drop this batch's trailing records too.
+FLAG_CONTINUES = 1
+
+_BLOCK_HEADER = struct.Struct("<BBIIII")  # kind, flags, count, raw, comp, crc
+_FOOTER_TAIL = struct.Struct("<II8s")  # footer len, footer crc, end magic
+_RECORD_HEAD = struct.Struct("<IB")  # epoch, op
+
+_OP_CODES = {ADD_TRIPLE: 0, REMOVE_TRIPLE: 1, ADD_DOCUMENT: 2}
+_OP_NAMES = {code: op for op, code in _OP_CODES.items()}
+
+_DOC_FIELDS = ("doc_id", "url", "title", "text", "source", "fact_id", "kind")
+
+
+class CorruptSegmentError(RuntimeError):
+    """A segment file failed a structural, CRC, or epoch-order check.
+
+    Raised instead of ever returning silently-wrong state; crash-shaped
+    damage (a truncated tail behind an intact prefix) is *recovered*
+    rather than raised — see :meth:`SegmentReader.open`.
+    """
+
+
+# --------------------------------------------------------------------------
+# record codec
+
+
+def encode_record(epoch: int, mutation: Mutation) -> bytes:
+    """One mutation as length-prefixed struct bytes (epoch stamped)."""
+    parts = [_RECORD_HEAD.pack(epoch, _OP_CODES[mutation.op])]
+    if mutation.op == ADD_DOCUMENT:
+        fields = [getattr(mutation.document, name) for name in _DOC_FIELDS]
+    else:
+        triple = mutation.triple
+        fields = [triple.subject, triple.predicate, triple.object]
+    for value in fields:
+        raw = value.encode("utf-8")
+        parts.append(struct.pack("<I", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_records(payload: bytes, count: int, where: str) -> List[Tuple[int, Mutation]]:
+    """Decode one record block's payload; inverse of :func:`encode_record`."""
+    records: List[Tuple[int, Mutation]] = []
+    view = memoryview(payload)
+    offset = 0
+    limit = len(payload)
+    try:
+        for _ in range(count):
+            epoch, code = _RECORD_HEAD.unpack_from(view, offset)
+            offset += _RECORD_HEAD.size
+            op = _OP_NAMES.get(code)
+            if op is None:
+                raise CorruptSegmentError(f"{where}: unknown op code {code}")
+            n_fields = 7 if op == ADD_DOCUMENT else 3
+            fields: List[str] = []
+            for _ in range(n_fields):
+                (length,) = struct.unpack_from("<I", view, offset)
+                offset += 4
+                if offset + length > limit:
+                    raise CorruptSegmentError(f"{where}: record overruns block")
+                fields.append(str(view[offset : offset + length], "utf-8"))
+                offset += length
+            if op == ADD_DOCUMENT:
+                mutation = Mutation(
+                    ADD_DOCUMENT, document=Document(**dict(zip(_DOC_FIELDS, fields)))
+                )
+            else:
+                mutation = Mutation.__new__(Mutation)
+                # Bypass __post_init__ re-validation on the hot decode path;
+                # the op/payload pairing is correct by construction here.
+                object.__setattr__(mutation, "op", op)
+                object.__setattr__(mutation, "triple", Triple(*fields))
+                object.__setattr__(mutation, "document", None)
+            records.append((epoch, mutation))
+    except struct.error as exc:
+        raise CorruptSegmentError(f"{where}: truncated record ({exc})") from exc
+    if offset != limit:
+        raise CorruptSegmentError(f"{where}: {limit - offset} trailing bytes in block")
+    return records
+
+
+# --------------------------------------------------------------------------
+# checkpoint payloads
+
+
+@dataclass
+class StoreState:
+    """Materialised store state carried by one checkpoint block.
+
+    ``graph_core`` is :meth:`KnowledgeGraph.core_state` output — the
+    interned name tables and edge lists, *not* the derived string indexes,
+    so restoring stays cheap and the restored graph hydrates lazily.
+    """
+
+    epoch: int
+    graph_core: Dict[str, object]
+    documents: List[Document]
+    removed_since_reintern: int
+
+    def restore(self, name: str) -> Tuple[KnowledgeGraph, Corpus]:
+        """Materialise the graph (lazily hydrated) and corpus."""
+        graph = KnowledgeGraph.from_core_state(self.graph_core, name=f"{name}-kg")
+        corpus = Corpus()
+        for document in self.documents:
+            corpus.add(document)
+        return graph, corpus
+
+
+# --------------------------------------------------------------------------
+# block index
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Footer-index entry locating one block inside the segment file."""
+
+    kind: int
+    offset: int
+    flags: int
+    count: int
+    raw_len: int
+    comp_len: int
+    crc: int
+    first_epoch: int
+    last_epoch: int
+
+    @property
+    def continues(self) -> bool:
+        return bool(self.flags & FLAG_CONTINUES)
+
+    def to_json(self) -> List[int]:
+        return [
+            self.kind, self.offset, self.flags, self.count, self.raw_len,
+            self.comp_len, self.crc, self.first_epoch, self.last_epoch,
+        ]
+
+    @staticmethod
+    def from_json(row: Sequence[int]) -> "BlockInfo":
+        return BlockInfo(*row)
+
+
+class PageCache:
+    """Bounded LRU cache of decoded record blocks, keyed by file offset.
+
+    One entry is one block's decoded ``(epoch, Mutation)`` list — the unit
+    a historical snapshot or suffix replay touches.  Thread-safe: replica
+    stores forked off one segment share a single reader and cache.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PAGE_CACHE_BLOCKS) -> None:
+        if capacity < 1:
+            raise ValueError("page cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._pages: "OrderedDict[int, List[Tuple[int, Mutation]]]" = OrderedDict()
+
+    def get(self, offset: int) -> Optional[List[Tuple[int, Mutation]]]:
+        with self._lock:
+            page = self._pages.get(offset)
+            if page is None:
+                self.misses += 1
+                return None
+            self._pages.move_to_end(offset)
+            self.hits += 1
+            return page
+
+    def put(self, offset: int, page: List[Tuple[int, Mutation]]) -> None:
+        with self._lock:
+            self._pages[offset] = page
+            self._pages.move_to_end(offset)
+            while len(self._pages) > self.capacity:
+                self._pages.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._pages),
+                "capacity": self.capacity,
+            }
+
+
+# --------------------------------------------------------------------------
+# writer
+
+
+class SegmentWriter:
+    """Streams batches and checkpoints into a crash-atomic segment file.
+
+    Use as a context manager; the target path is only replaced on a clean
+    :meth:`close` (the ``atomic_write`` contract), so an interrupted save
+    leaves any previous segment intact.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        floor_epoch: int = 0,
+        config_payload: Optional[Dict[str, object]] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        compression_level: int = 6,
+    ) -> None:
+        if block_size < 256:
+            raise ValueError("block_size must be >= 256 bytes")
+        self.path = path
+        self.block_size = block_size
+        self.compression_level = compression_level
+        self.blocks: List[BlockInfo] = []
+        self._tmp_path = f"{path}.tmp.{os.getpid()}"
+        self._handle = open(self._tmp_path, "wb")
+        self._buffer: List[Tuple[int, Mutation]] = []
+        self._buffer_bytes = 0
+        self._encoded: List[bytes] = []
+        self._closed = False
+        header = {
+            "version": SEGMENT_VERSION,
+            "floor_epoch": floor_epoch,
+            "config": config_payload or {},
+        }
+        header_raw = json.dumps(header, sort_keys=True).encode("utf-8")
+        self._handle.write(SEGMENT_MAGIC)
+        self._handle.write(struct.pack("<II", len(header_raw), zlib.crc32(header_raw)))
+        self._handle.write(header_raw)
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- appending -----------------------------------------------------------
+
+    def append_batch(self, epoch: int, mutations: Sequence[Mutation]) -> None:
+        """Buffer one batch, cutting blocks as the size threshold passes.
+
+        A block boundary may fall inside a batch; the earlier block then
+        carries :data:`FLAG_CONTINUES` so crash recovery can tell a
+        complete batch from one whose tail was lost.
+        """
+        for mutation in mutations:
+            raw = encode_record(epoch, mutation)
+            self._buffer.append((epoch, mutation))
+            self._encoded.append(raw)
+            self._buffer_bytes += len(raw)
+        while self._buffer_bytes >= self.block_size:
+            self._flush_records(partial_ok=True)
+
+    def checkpoint(self, state: StoreState) -> None:
+        """Write one checkpoint block carrying ``state`` at its epoch."""
+        self._flush_records(partial_ok=False)
+        payload = pickle.dumps(
+            {
+                "epoch": state.epoch,
+                "graph_core": state.graph_core,
+                "documents": state.documents,
+                "removed_since_reintern": state.removed_since_reintern,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._write_block(
+            BLOCK_CHECKPOINT, 0, 0, payload, state.epoch, state.epoch,
+            compression_level=1,  # pickled int tuples: favour speed
+        )
+
+    def copy_raw_block(self, info: BlockInfo, payload: bytes) -> None:
+        """Append one already-compressed block verbatim (incremental save)."""
+        self._flush_records(partial_ok=False)
+        offset = self._handle.tell()
+        self._handle.write(
+            _BLOCK_HEADER.pack(
+                info.kind, info.flags, info.count, info.raw_len, len(payload), info.crc
+            )
+        )
+        self._handle.write(payload)
+        self.blocks.append(
+            BlockInfo(
+                info.kind, offset, info.flags, info.count, info.raw_len,
+                len(payload), info.crc, info.first_epoch, info.last_epoch,
+            )
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_records(self, partial_ok: bool) -> None:
+        if not self._buffer:
+            return
+        if partial_ok and self._buffer_bytes > self.block_size:
+            # Cut at the record whose encoded bytes cross the threshold.
+            size = 0
+            cut = 0
+            for raw in self._encoded:
+                size += len(raw)
+                cut += 1
+                if size >= self.block_size:
+                    break
+        else:
+            cut = len(self._buffer)
+        chunk = self._buffer[:cut]
+        chunk_raw = self._encoded[:cut]
+        self._buffer = self._buffer[cut:]
+        self._encoded = self._encoded[cut:]
+        flags = 0
+        if self._buffer and self._buffer[0][0] == chunk[-1][0]:
+            flags |= FLAG_CONTINUES
+        payload = b"".join(chunk_raw)
+        self._buffer_bytes -= len(payload)
+        self._write_block(
+            BLOCK_RECORDS, flags, len(chunk), payload, chunk[0][0], chunk[-1][0]
+        )
+
+    def _write_block(
+        self,
+        kind: int,
+        flags: int,
+        count: int,
+        payload: bytes,
+        first_epoch: int,
+        last_epoch: int,
+        compression_level: Optional[int] = None,
+    ) -> None:
+        level = self.compression_level if compression_level is None else compression_level
+        comp = zlib.compress(payload, level)
+        crc = zlib.crc32(comp)
+        offset = self._handle.tell()
+        self._handle.write(
+            _BLOCK_HEADER.pack(kind, flags, count, len(payload), len(comp), crc)
+        )
+        self._handle.write(comp)
+        self.blocks.append(
+            BlockInfo(
+                kind, offset, flags, count, len(payload), len(comp), crc,
+                first_epoch, last_epoch,
+            )
+        )
+
+    def close(self) -> None:
+        """Flush, write the footer index, fsync, and atomically replace.
+
+        Any failure before the final rename (a full disk, a dying process'
+        fsync) removes the temp file and leaves the previous segment at
+        ``path`` untouched — the same contract as :func:`atomic_write`.
+        """
+        if self._closed:
+            return
+        try:
+            self._flush_records(partial_ok=False)
+            footer_raw = zlib.compress(
+                json.dumps(
+                    {"blocks": [block.to_json() for block in self.blocks]},
+                    separators=(",", ":"),
+                ).encode("utf-8"),
+                6,
+            )
+            self._handle.write(footer_raw)
+            self._handle.write(
+                _FOOTER_TAIL.pack(len(footer_raw), zlib.crc32(footer_raw), _END_MAGIC)
+            )
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            os.replace(self._tmp_path, self.path)
+        except BaseException:
+            self.abort()
+            raise
+        self._closed = True
+
+    def abort(self) -> None:
+        """Drop the temp file without touching the target path."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.close()
+        if os.path.exists(self._tmp_path):
+            os.remove(self._tmp_path)
+
+
+# --------------------------------------------------------------------------
+# reader
+
+
+class SegmentReader:
+    """Random access over one segment file through the page cache."""
+
+    def __init__(
+        self,
+        path: str,
+        floor_epoch: int,
+        config_payload: Dict[str, object],
+        blocks: List[BlockInfo],
+        recovered: bool,
+        page_cache: Optional[PageCache] = None,
+    ) -> None:
+        self.path = path
+        self.floor_epoch = floor_epoch
+        self.config_payload = config_payload
+        self.blocks = blocks
+        #: True when the footer was lost and the index was rebuilt by a
+        #: forward CRC scan (crash recovery path).
+        self.recovered = recovered
+        self.page_cache = page_cache or PageCache()
+        #: Blocks whose on-disk record count no longer matches the logical
+        #: view (a recovered torn batch was trimmed): pinned outside the
+        #: LRU so eviction can never resurrect the dropped records.
+        self._pinned_pages: Dict[int, List[Tuple[int, Mutation]]] = {}
+        self._lock = threading.Lock()
+        self._handle = open(path, "rb")
+        self.record_blocks = [b for b in blocks if b.kind == BLOCK_RECORDS]
+        self.checkpoints = [b for b in blocks if b.kind == BLOCK_CHECKPOINT]
+        self.record_count = sum(b.count for b in self.record_blocks)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, page_cache: Optional[PageCache] = None) -> "SegmentReader":
+        """Open a segment: footer-indexed fast path, scan recovery fallback.
+
+        Raises :class:`CorruptSegmentError` when even the header is
+        unreadable; a valid header with a damaged tail recovers the
+        longest valid batch prefix instead (``reader.recovered``).
+        """
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            magic = handle.read(len(SEGMENT_MAGIC))
+            if magic != SEGMENT_MAGIC:
+                raise CorruptSegmentError(f"{path}: not a segment file (bad magic)")
+            head = handle.read(8)
+            if len(head) != 8:
+                raise CorruptSegmentError(f"{path}: truncated header")
+            header_len, header_crc = struct.unpack("<II", head)
+            header_raw = handle.read(header_len)
+            if len(header_raw) != header_len or zlib.crc32(header_raw) != header_crc:
+                raise CorruptSegmentError(f"{path}: header failed its CRC check")
+            try:
+                header = json.loads(header_raw)
+            except json.JSONDecodeError as exc:
+                raise CorruptSegmentError(f"{path}: header is not JSON ({exc})") from exc
+            if header.get("version") != SEGMENT_VERSION:
+                raise CorruptSegmentError(
+                    f"{path}: unsupported segment version {header.get('version')!r}"
+                )
+            data_start = handle.tell()
+            blocks = cls._read_footer(handle, path, data_start, size)
+            recovered = blocks is None
+            if blocks is None:
+                blocks = cls._scan_blocks(handle, path, data_start, size)
+        floor = int(header.get("floor_epoch", 0))
+        reader = cls(
+            path, floor, dict(header.get("config") or {}), blocks, recovered,
+            page_cache,
+        )
+        reader._validate_index()
+        return reader
+
+    @staticmethod
+    def _read_footer(
+        handle: io.BufferedReader, path: str, data_start: int, size: int
+    ) -> Optional[List[BlockInfo]]:
+        """The footer's block index, or None when it needs scan recovery."""
+        tail_size = _FOOTER_TAIL.size
+        if size < data_start + tail_size:
+            return None
+        handle.seek(size - tail_size)
+        footer_len, footer_crc, magic = _FOOTER_TAIL.unpack(handle.read(tail_size))
+        if magic != _END_MAGIC:
+            return None
+        footer_start = size - tail_size - footer_len
+        if footer_start < data_start:
+            return None
+        handle.seek(footer_start)
+        footer_raw = handle.read(footer_len)
+        if zlib.crc32(footer_raw) != footer_crc:
+            return None
+        try:
+            payload = json.loads(zlib.decompress(footer_raw))
+            return [BlockInfo.from_json(row) for row in payload["blocks"]]
+        except (zlib.error, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _scan_blocks(
+        handle: io.BufferedReader, path: str, data_start: int, size: int
+    ) -> List[BlockInfo]:
+        """Forward CRC scan: index every intact block, stop at damage.
+
+        Every block before the damage point is kept; the damaged tail is
+        logically truncated.  When the last intact block's final batch
+        continued into the lost tail, the partial batch is dropped later
+        by :meth:`_validate_index` via the ``continues`` flag.
+        """
+        blocks: List[BlockInfo] = []
+        offset = data_start
+        handle.seek(data_start)
+        while offset + _BLOCK_HEADER.size <= size:
+            head = handle.read(_BLOCK_HEADER.size)
+            if len(head) != _BLOCK_HEADER.size:
+                break
+            kind, flags, count, raw_len, comp_len, crc = _BLOCK_HEADER.unpack(head)
+            if kind not in (BLOCK_RECORDS, BLOCK_CHECKPOINT):
+                break
+            if offset + _BLOCK_HEADER.size + comp_len > size:
+                break  # torn final block
+            comp = handle.read(comp_len)
+            if zlib.crc32(comp) != crc:
+                break
+            try:
+                payload = zlib.decompress(comp)
+            except zlib.error:
+                break
+            if len(payload) != raw_len:
+                break
+            first = last = 0
+            if kind == BLOCK_RECORDS:
+                try:
+                    records = decode_records(payload, count, f"{path}@{offset}")
+                except CorruptSegmentError:
+                    break
+                if not records:
+                    break
+                first, last = records[0][0], records[-1][0]
+            else:
+                try:
+                    first = last = int(pickle.loads(payload)["epoch"])
+                except Exception:
+                    break
+            blocks.append(
+                BlockInfo(kind, offset, flags, count, raw_len, comp_len, crc, first, last)
+            )
+            offset = handle.tell()
+        return blocks
+
+    def _validate_index(self) -> None:
+        """Enforce epoch ordering across blocks; drop a recovered partial batch."""
+        if self.recovered and self.record_blocks:
+            final = self.record_blocks[-1]
+            if final.continues:
+                # The final batch continued into the lost tail: drop its
+                # records (they are a half-applied batch) by truncating the
+                # index at epoch granularity during reads.
+                self._drop_trailing_epoch(final.last_epoch)
+        last = None
+        for block in self.record_blocks:
+            if block.first_epoch < self.floor_epoch or (
+                last is not None and block.first_epoch < last
+            ):
+                raise CorruptSegmentError(
+                    f"{self.path}@{block.offset}: block epochs "
+                    f"[{block.first_epoch}, {block.last_epoch}] break monotonicity"
+                )
+            if block.last_epoch < block.first_epoch:
+                raise CorruptSegmentError(
+                    f"{self.path}@{block.offset}: inverted block epoch range"
+                )
+            last = block.last_epoch
+
+    def _drop_trailing_epoch(self, epoch: int) -> None:
+        """Remove all trailing records at ``epoch`` (a torn batch) from view."""
+        self.dropped_partial_epoch = epoch
+        kept: List[BlockInfo] = []
+        for block in self.record_blocks:
+            if block.first_epoch >= epoch:
+                continue
+            if block.last_epoch >= epoch:
+                records = [r for r in self._block_records(block) if r[0] < epoch]
+                trimmed = BlockInfo(
+                    block.kind, block.offset, 0, len(records), block.raw_len,
+                    block.comp_len, block.crc, records[0][0] if records else 0,
+                    records[-1][0] if records else 0,
+                )
+                if records:
+                    self._pinned_pages[block.offset] = records
+                    kept.append(trimmed)
+                continue
+            kept.append(block)
+        self.record_blocks = kept
+        self.checkpoints = [b for b in self.checkpoints if b.first_epoch < epoch]
+        self.blocks = sorted(
+            self.record_blocks + self.checkpoints, key=lambda b: b.offset
+        )
+        self.record_count = sum(b.count for b in self.record_blocks)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def max_epoch(self) -> int:
+        return (
+            self.record_blocks[-1].last_epoch if self.record_blocks else self.floor_epoch
+        )
+
+    def _read_payload(self, block: BlockInfo) -> bytes:
+        with self._lock:
+            self._handle.seek(block.offset + _BLOCK_HEADER.size)
+            comp = self._handle.read(block.comp_len)
+        if len(comp) != block.comp_len or zlib.crc32(comp) != block.crc:
+            raise CorruptSegmentError(
+                f"{self.path}@{block.offset}: block failed its CRC check"
+            )
+        try:
+            payload = zlib.decompress(comp)
+        except zlib.error as exc:
+            raise CorruptSegmentError(
+                f"{self.path}@{block.offset}: block does not decompress ({exc})"
+            ) from exc
+        if len(payload) != block.raw_len:
+            raise CorruptSegmentError(
+                f"{self.path}@{block.offset}: block length mismatch"
+            )
+        return payload
+
+    def read_raw_block(self, block: BlockInfo) -> bytes:
+        """One block's still-compressed payload, CRC-checked — for the
+        incremental save path, which copies blocks verbatim."""
+        with self._lock:
+            self._handle.seek(block.offset + _BLOCK_HEADER.size)
+            comp = self._handle.read(block.comp_len)
+        if len(comp) != block.comp_len or zlib.crc32(comp) != block.crc:
+            raise CorruptSegmentError(
+                f"{self.path}@{block.offset}: block failed its CRC check"
+            )
+        return comp
+
+    def _block_records(self, block: BlockInfo) -> List[Tuple[int, Mutation]]:
+        """One block's decoded records, through the page cache."""
+        pinned = self._pinned_pages.get(block.offset)
+        if pinned is not None:
+            return pinned
+        page = self.page_cache.get(block.offset)
+        if page is not None:
+            return page
+        payload = self._read_payload(block)
+        page = decode_records(payload, block.count, f"{self.path}@{block.offset}")
+        self.page_cache.put(block.offset, page)
+        return page
+
+    def iter_records(
+        self, after: Optional[int] = None, upto: Optional[int] = None
+    ) -> Iterator[Tuple[int, Mutation]]:
+        """Records with ``after < epoch <= upto``, seeking past whole blocks."""
+        for block in self.record_blocks:
+            if after is not None and block.last_epoch <= after:
+                continue
+            if upto is not None and block.first_epoch > upto:
+                break
+            for epoch, mutation in self._block_records(block):
+                if after is not None and epoch <= after:
+                    continue
+                if upto is not None and epoch > upto:
+                    return
+                yield epoch, mutation
+
+    def latest_checkpoint(self, upto: Optional[int] = None) -> Optional[BlockInfo]:
+        """The newest checkpoint block at or below ``upto`` (None: any)."""
+        best: Optional[BlockInfo] = None
+        for block in self.checkpoints:
+            if upto is not None and block.first_epoch > upto:
+                continue
+            if best is None or block.first_epoch > best.first_epoch:
+                best = block
+        return best
+
+    def load_checkpoint(self, block: BlockInfo) -> StoreState:
+        """Deserialise one checkpoint block into a :class:`StoreState`."""
+        payload = self._read_payload(block)
+        try:
+            state = pickle.loads(payload)
+            return StoreState(
+                epoch=int(state["epoch"]),
+                graph_core=state["graph_core"],
+                documents=list(state["documents"]),
+                removed_since_reintern=int(state["removed_since_reintern"]),
+            )
+        except CorruptSegmentError:
+            raise
+        except Exception as exc:
+            raise CorruptSegmentError(
+                f"{self.path}@{block.offset}: checkpoint does not deserialise ({exc})"
+            ) from exc
+
+    def records_since_last_checkpoint(self) -> int:
+        """On-disk records behind the newest checkpoint (checkpoint cadence)."""
+        checkpoint = self.latest_checkpoint()
+        if checkpoint is None:
+            return self.record_count
+        return sum(
+            1 for _ in self.iter_records(after=checkpoint.first_epoch)
+        )
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+# --------------------------------------------------------------------------
+# segment-backed mutation log
+
+
+class SegmentBackedLog(MutationLog):
+    """A :class:`MutationLog` whose history lives in a segment file.
+
+    Disk records are decoded lazily through the reader's page cache; new
+    batches append to an in-memory tail (with the same monotonicity check
+    as the plain log) until the next save rewrites the segment — the
+    incremental save path copies the existing compressed blocks verbatim
+    and only encodes the tail.
+    """
+
+    def __init__(self, reader: SegmentReader, tail: Optional[List[Tuple[int, Mutation]]] = None) -> None:
+        super().__init__(floor_epoch=reader.floor_epoch)
+        self.reader = reader
+        self._tail: List[Tuple[int, Mutation]] = list(tail or ())
+        del self._records  # all access goes through disk + tail
+
+    # -- MutationLog surface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.reader.record_count + len(self._tail)
+
+    def __iter__(self) -> Iterator[Tuple[int, Mutation]]:
+        yield from self.reader.iter_records()
+        yield from self._tail
+
+    @property
+    def max_epoch(self) -> int:
+        if self._tail:
+            return self._tail[-1][0]
+        return self.reader.max_epoch
+
+    def append_batch(self, epoch: int, mutations: Sequence[Mutation]) -> None:
+        if epoch <= self.max_epoch:
+            raise ValueError(
+                f"epoch {epoch} is not monotonic (log already at {self.max_epoch})"
+            )
+        self._tail.extend((epoch, mutation) for mutation in mutations)
+
+    def batches(
+        self, upto: Optional[int] = None, after: Optional[int] = None
+    ) -> List[Tuple[int, List[Mutation]]]:
+        grouped: List[Tuple[int, List[Mutation]]] = []
+        for epoch, mutation in self.records_between(after=after, upto=upto):
+            if grouped and grouped[-1][0] == epoch:
+                grouped[-1][1].append(mutation)
+            else:
+                grouped.append((epoch, [mutation]))
+        return grouped
+
+    # -- segment-specific surface --------------------------------------------
+
+    def records_between(
+        self, after: Optional[int] = None, upto: Optional[int] = None
+    ) -> Iterator[Tuple[int, Mutation]]:
+        yield from self.reader.iter_records(after=after, upto=upto)
+        for epoch, mutation in self._tail:
+            if after is not None and epoch <= after:
+                continue
+            if upto is not None and epoch > upto:
+                break
+            yield epoch, mutation
+
+    def replay_base(self, upto: Optional[int] = None) -> Optional[StoreState]:
+        """The newest checkpoint state at or below ``upto``, for seeking.
+
+        ``VersionedKnowledgeStore.replay`` seeds from this instead of
+        replaying from zero, then applies only ``(base.epoch, upto]``.
+        """
+        checkpoint = self.reader.latest_checkpoint(upto=upto)
+        if checkpoint is None:
+            return None
+        return self.reader.load_checkpoint(checkpoint)
+
+    def fork(self) -> "SegmentBackedLog":
+        """A twin sharing the reader (and page cache) with its own tail.
+
+        Replica bootstrap replays the primary's log; forking keeps the
+        disk history shared-read while each copy appends independently.
+        """
+        return SegmentBackedLog(self.reader, tail=self._tail)
+
+    @property
+    def tail_records(self) -> int:
+        """Records appended in memory since the segment was opened/saved."""
+        return len(self._tail)
+
+    def tail_batches(self) -> List[Tuple[int, List[Mutation]]]:
+        """The in-memory tail grouped by epoch (for incremental save)."""
+        grouped: List[Tuple[int, List[Mutation]]] = []
+        for epoch, mutation in self._tail:
+            if grouped and grouped[-1][0] == epoch:
+                grouped[-1][1].append(mutation)
+            else:
+                grouped.append((epoch, [mutation]))
+        return grouped

@@ -40,8 +40,23 @@ from ..retrieval.corpus import Corpus, Document
 from ..retrieval.embeddings import HashingEmbedder
 from ..retrieval.search import SearchEngine
 from .log import ADD_DOCUMENT, ADD_TRIPLE, REMOVE_TRIPLE, Mutation, MutationLog
+from .segment import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_CHECKPOINT_INTERVAL,
+    SEGMENT_MAGIC,
+    SegmentBackedLog,
+    SegmentReader,
+    SegmentWriter,
+    StoreState,
+)
 
 __all__ = ["StoreConfig", "ApplyReport", "StoreSnapshot", "VersionedKnowledgeStore"]
+
+#: Accepted values of the persistence ``format`` knob.  ``segment`` is the
+#: paged binary engine (:mod:`repro.store.segment`); ``jsonl`` stays as the
+#: human-readable compatibility format.  ``load`` sniffs the file magic, so
+#: either format reads back without being told which it is.
+STORE_FORMATS = ("jsonl", "segment")
 
 #: Called after every applied batch: ``listener(epoch, mutations)``.
 MutationListener = Callable[[int, Sequence[Mutation]], None]
@@ -154,6 +169,10 @@ class VersionedKnowledgeStore:
         self._engine: Optional[SearchEngine] = None
         self._epoch = 0
         self._removed_since_reintern = 0
+        #: Format the store was loaded from / last saved as; ``save`` with
+        #: no explicit ``format`` sticks to it (compact + save keeps the
+        #: engine the operator chose).
+        self._save_format: Optional[str] = None
         self._listeners: List[MutationListener] = []
         #: Optional :class:`~repro.obs.trace.Tracer`; when armed, every
         #: :meth:`apply` records a ``store.apply`` span (set by
@@ -237,10 +256,43 @@ class VersionedKnowledgeStore:
         epoch is the last replayed batch's epoch (or the log floor when no
         batch qualifies).  Replaying the full log of a live store yields a
         byte-identical twin (``state_digest`` matches).
+
+        A segment-backed log (:class:`SegmentBackedLog`) is *seeked*, not
+        replayed from zero: the nearest checkpoint at or below ``upto`` is
+        restored (the graph comes back with its derived indexes unhydrated)
+        and only the record suffix behind it is applied.  Checkpoints are
+        themselves produced by this replay, so the seeked result is
+        byte-identical to the from-zero path.
         """
         store = cls(config, name=name)
         store.embedder = embedder
         store._epoch = log.floor_epoch
+        base: Optional[StoreState] = None
+        replay_base = getattr(log, "replay_base", None)
+        if replay_base is not None:
+            base = replay_base(upto=upto)
+        if base is not None:
+            store.graph, store.corpus = base.restore(name)
+            store._epoch = base.epoch
+            store._removed_since_reintern = base.removed_since_reintern
+            if upto is None and hasattr(log, "fork"):
+                # Full replay: the forked log (sharing the reader and page
+                # cache) already holds every record — apply without re-recording.
+                store.log = log.fork()
+                for epoch, mutations in log.batches(after=base.epoch):
+                    store._apply_batch(epoch, mutations, record=False)
+            else:
+                # Bounded replay (snapshot path): record the suffix into a
+                # fresh log floored at the checkpoint epoch.
+                store.log = MutationLog(floor_epoch=base.epoch)
+                for epoch, mutations in log.batches(upto=upto, after=base.epoch):
+                    store._apply_batch(epoch, mutations, record=True)
+            return store
+        if upto is None and hasattr(log, "fork"):
+            store.log = log.fork()
+            for epoch, mutations in log.batches():
+                store._apply_batch(epoch, mutations, record=False)
+            return store
         for epoch, mutations in log.batches(upto=upto):
             store._apply_batch(epoch, mutations, record=True)
         store.log.floor_epoch = log.floor_epoch
@@ -423,9 +475,92 @@ class VersionedKnowledgeStore:
 
     # ------------------------------------------------------------- persistence
 
-    def save(self, path: str) -> None:
-        """Persist the mutation log (with replay-relevant config) as JSONL."""
-        self.log.save(path, config_payload=self.config.as_payload())
+    def save(
+        self,
+        path: str,
+        format: Optional[str] = None,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        """Persist the mutation log (with replay-relevant config).
+
+        ``format`` picks the engine: ``"jsonl"`` (line-per-mutation, human
+        readable) or ``"segment"`` (paged binary with checkpoints — see
+        :mod:`repro.store.segment`).  Omitted, it sticks to the format the
+        store was loaded from or last saved as, defaulting to the log's
+        native format.  Both writers are crash-atomic.
+        """
+        fmt = format or self._save_format
+        if fmt is None:
+            fmt = "segment" if isinstance(self.log, SegmentBackedLog) else "jsonl"
+        if fmt not in STORE_FORMATS:
+            raise ValueError(
+                f"unknown store format {fmt!r}; expected one of {STORE_FORMATS}"
+            )
+        if fmt == "jsonl":
+            self.log.save(path, config_payload=self.config.as_payload())
+        else:
+            self._save_segment(path, checkpoint_interval, block_size)
+        self._save_format = fmt
+
+    def _checkpoint_state(self) -> StoreState:
+        """The live state as a checkpoint payload (serialised immediately
+        by the writer, before any further mutation can alias the live
+        containers :meth:`KnowledgeGraph.core_state` hands out)."""
+        return StoreState(
+            epoch=self._epoch,
+            graph_core=self.graph.core_state(),
+            documents=list(self.corpus),
+            removed_since_reintern=self._removed_since_reintern,
+        )
+
+    def _save_segment(
+        self, path: str, checkpoint_interval: int, block_size: int
+    ) -> None:
+        log = self.log
+        if isinstance(log, SegmentBackedLog) and not log.reader.recovered:
+            self._save_segment_incremental(log, path)
+            return
+        # Conversion path: stream the whole log through a shadow replay so
+        # each interleaved checkpoint carries exactly the state a from-zero
+        # replay would have at that epoch.
+        shadow = VersionedKnowledgeStore(self.config, name=self.name)
+        shadow._epoch = log.floor_epoch
+        shadow.log.floor_epoch = log.floor_epoch
+        since_checkpoint = 0
+        with SegmentWriter(
+            path,
+            floor_epoch=log.floor_epoch,
+            config_payload=self.config.as_payload(),
+            block_size=block_size,
+        ) as writer:
+            for epoch, mutations in log.batches():
+                writer.append_batch(epoch, mutations)
+                shadow._apply_batch(epoch, mutations, record=False)
+                since_checkpoint += len(mutations)
+                if since_checkpoint >= checkpoint_interval:
+                    writer.checkpoint(shadow._checkpoint_state())
+                    since_checkpoint = 0
+            if since_checkpoint > 0 or not writer.blocks:
+                # Always leave a head checkpoint so cold start restores
+                # state instead of replaying a suffix.
+                writer.checkpoint(shadow._checkpoint_state())
+
+    def _save_segment_incremental(self, log: SegmentBackedLog, path: str) -> None:
+        """Append-style save: copy the existing compressed blocks verbatim
+        and encode only the in-memory tail, plus a fresh head checkpoint."""
+        reader = log.reader
+        with SegmentWriter(
+            path,
+            floor_epoch=reader.floor_epoch,
+            config_payload=self.config.as_payload(),
+        ) as writer:
+            for block in reader.blocks:
+                writer.copy_raw_block(block, reader.read_raw_block(block))
+            for epoch, mutations in log.tail_batches():
+                writer.append_batch(epoch, mutations)
+            if log.tail_records:
+                writer.checkpoint(self._checkpoint_state())
 
     @classmethod
     def load(
@@ -434,10 +569,26 @@ class VersionedKnowledgeStore:
         embedder: Optional[HashingEmbedder] = None,
         name: str = "store",
     ) -> "VersionedKnowledgeStore":
-        """Rebuild a store from a saved log, honouring the persisted config."""
-        log, config_payload = MutationLog.load(path)
+        """Rebuild a store from a saved log, honouring the persisted config.
+
+        The on-disk format is sniffed from the file magic: segment files
+        seek-and-replay from their newest checkpoint; JSONL files replay
+        from zero.  Subsequent ``save`` calls keep the sniffed format.
+        """
+        with open(path, "rb") as handle:
+            magic = handle.read(len(SEGMENT_MAGIC))
+        if magic == SEGMENT_MAGIC:
+            reader = SegmentReader.open(path)
+            log: MutationLog = SegmentBackedLog(reader)
+            config_payload = reader.config_payload
+            fmt = "segment"
+        else:
+            log, config_payload = MutationLog.load(path)
+            fmt = "jsonl"
         config = StoreConfig.from_payload(config_payload) if config_payload else None
-        return cls.replay(log, config=config, embedder=embedder, name=name)
+        store = cls.replay(log, config=config, embedder=embedder, name=name)
+        store._save_format = fmt
+        return store
 
     def compact(self) -> int:
         """Collapse history into one canonical batch at the current epoch.

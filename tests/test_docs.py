@@ -197,12 +197,36 @@ class TestOperationsReferenceComplete:
             if path.name in {
                 "bench_hotpaths.py", "bench_service.py", "bench_store.py",
                 "bench_shards.py", "bench_replicas.py", "bench_chaos.py",
-                "bench_obs.py", "bench_slo.py",
+                "bench_obs.py", "bench_slo.py", "bench_segment.py",
             }
         )
-        assert len(floors) == 8
+        assert len(floors) == 9
         for name in floors:
             assert name in text, f"docs/benchmarks.md misses {name}"
+
+
+class TestStorageEngineDocsComplete:
+    """The storage-engine section is the reference for the segment file
+    format and its recovery rules — linted so the layout, the cache
+    semantics, and the migration path stay documented."""
+
+    def test_architecture_documents_the_segment_format(self):
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+        assert "## Storage engine" in text
+        for needle in (
+            "RSEGMT01", "footer", "checkpoint", "page cache", "CRC",
+            "zlib", "CorruptSegmentError", "floor_epoch", "seek",
+            "FLAG_CONTINUES", "torn", "block",
+        ):
+            assert needle in text, f"architecture.md storage section misses {needle!r}"
+
+    def test_operations_documents_the_migration_path(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        for needle in (
+            "`convert`", "--format", "segment", "jsonl",
+            "state digest", "bench_segment.py",
+        ):
+            assert needle in text, f"operations.md migration note misses {needle!r}"
 
 
 class TestObservabilityRunbookComplete:

@@ -1,0 +1,486 @@
+"""Tests for the paged binary storage engine and the log durability fixes.
+
+Covers the crash-safety contract end to end:
+
+* segment round-trips are byte-identical to JSONL (``state_digest``);
+* truncating a saved segment at *any* byte offset either recovers the
+  longest valid batch prefix or raises the typed ``CorruptSegmentError``
+  — never silently-wrong state (hypothesis property plus fixed fixtures
+  for a torn final record and a truncated segment);
+* mid-file corruption behind a valid footer raises on read;
+* ``MutationLog.save`` (and the segment writer) are crash-atomic: a
+  simulated crash mid-write leaves the previous log intact;
+* ``MutationLog.load`` rejects non-monotonic / below-floor epochs with
+  the offending line number;
+* ``Mutation.from_json`` requires ``doc_id`` and ``text`` on
+  ``add_document`` records instead of defaulting them to ``""``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.retrieval.corpus import Document
+from repro.store import (
+    CorruptSegmentError,
+    Mutation,
+    MutationLog,
+    PageCache,
+    SegmentBackedLog,
+    SegmentReader,
+    ShardedStore,
+    VersionedKnowledgeStore,
+    atomic_write,
+)
+
+
+def _document(index: int, text: str = "") -> Document:
+    return Document(
+        doc_id=f"doc{index}",
+        url=f"https://example.org/{index}",
+        title=f"Doc {index}",
+        text=text or f"evidence text {index}",
+        source="test",
+        fact_id=f"fact{index % 5}",
+    )
+
+
+def _grow_store(batches: int, rng_seed: int = 11, batch_size: int = 4) -> VersionedKnowledgeStore:
+    """A store with a mixed add/remove/document history of ``batches`` epochs."""
+    rng = random.Random(rng_seed)
+    store = VersionedKnowledgeStore(name="seg-test")
+    live: List[tuple] = []
+    doc_index = 0
+    for _ in range(batches):
+        batch: List[Mutation] = []
+        for _ in range(batch_size):
+            roll = rng.random()
+            if roll < 0.6 or not live:
+                triple = (f"s{rng.randrange(25)}", f"p{rng.randrange(3)}", f"o{rng.randrange(25)}")
+                batch.append(Mutation.add_triple(*triple))
+                live.append(triple)
+            elif roll < 0.8:
+                doc_index += 1
+                batch.append(Mutation.add_document(_document(doc_index)))
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                if store.graph.contains(*victim) and not any(
+                    m.op == "remove_triple" and m.triple.as_tuple() == victim for m in batch
+                ):
+                    batch.append(Mutation.remove_triple(*victim))
+                else:
+                    batch.append(Mutation.add_triple(*victim))
+                    live.append(victim)
+        store.apply(batch)
+    return store
+
+
+# ---------------------------------------------------------------------------
+# round-trip parity
+
+
+def test_segment_round_trip_digest_parity(tmp_path):
+    store = _grow_store(80)
+    jsonl_path = str(tmp_path / "log.jsonl")
+    segment_path = str(tmp_path / "log.seg")
+    store.save(jsonl_path, format="jsonl")
+    store.save(segment_path, format="segment", checkpoint_interval=50)
+
+    via_jsonl = VersionedKnowledgeStore.load(jsonl_path)
+    via_segment = VersionedKnowledgeStore.load(segment_path)
+    assert via_segment.epoch == via_jsonl.epoch == store.epoch
+    assert via_segment.state_digest() == via_jsonl.state_digest() == store.state_digest()
+
+
+def test_segment_smaller_than_jsonl(tmp_path):
+    store = _grow_store(120)
+    jsonl_path = str(tmp_path / "log.jsonl")
+    segment_path = str(tmp_path / "log.seg")
+    store.save(jsonl_path, format="jsonl")
+    store.save(segment_path, format="segment")
+    assert os.path.getsize(segment_path) < os.path.getsize(jsonl_path)
+
+
+def test_historical_snapshot_parity(tmp_path):
+    store = _grow_store(60)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment", checkpoint_interval=40)
+    via_segment = VersionedKnowledgeStore.load(segment_path)
+    for epoch in (1, store.epoch // 2, store.epoch - 1):
+        expected = store.snapshot(epoch)
+        got = via_segment.snapshot(epoch)
+        assert got.graph.state_digest() == expected.graph.state_digest()
+        assert [d.doc_id for d in got.corpus] == [d.doc_id for d in expected.corpus]
+
+
+def test_segment_load_seeks_instead_of_replaying(tmp_path):
+    """Cold start restores the head checkpoint: no record block is decoded."""
+    store = _grow_store(50)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment", checkpoint_interval=10_000)
+    loaded = VersionedKnowledgeStore.load(segment_path)
+    assert isinstance(loaded.log, SegmentBackedLog)
+    stats = loaded.log.reader.page_cache.stats()
+    assert stats["misses"] == 0  # head checkpoint covered the whole history
+    assert loaded.state_digest() == store.state_digest()
+    # The restored graph hydrates its derived indexes lazily.
+    assert not loaded.graph.hydrated
+    assert len(loaded.graph) == len(store.graph)
+
+
+def test_incremental_save_appends_tail(tmp_path):
+    store = _grow_store(30)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment")
+    loaded = VersionedKnowledgeStore.load(segment_path)
+    loaded.apply([Mutation.add_triple("tail", "p0", "tail-object")])
+    loaded.apply([Mutation.add_document(_document(999))])
+    second = str(tmp_path / "log2.seg")
+    loaded.save(second)  # sticks to segment format, incremental path
+    reloaded = VersionedKnowledgeStore.load(second)
+    assert reloaded.epoch == loaded.epoch
+    assert reloaded.state_digest() == loaded.state_digest()
+
+
+def test_compact_keeps_segment_format(tmp_path):
+    store = _grow_store(40)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment")
+    loaded = VersionedKnowledgeStore.load(segment_path)
+    loaded.compact()
+    loaded.save(segment_path)
+    reloaded = VersionedKnowledgeStore.load(segment_path)
+    assert isinstance(reloaded.log, SegmentBackedLog)
+    assert reloaded.log.floor_epoch == loaded.epoch
+    assert reloaded.state_digest() == loaded.state_digest()
+
+
+def test_sharded_store_segment_round_trip(tmp_path):
+    rng = random.Random(5)
+    fleet = ShardedStore.partition(
+        triples=[],
+        documents=[],
+        num_shards=2,
+    )
+    fleet.apply(
+        [Mutation.add_triple(f"e{rng.randrange(20)}", "p", f"e{rng.randrange(20)}") for _ in range(30)]
+    )
+    prefix = str(tmp_path / "fleet")
+    fleet.save(prefix, format="segment")
+    loaded = ShardedStore.load(prefix, num_shards=2)
+    assert loaded.state_digest() == fleet.state_digest()
+    assert all(isinstance(shard.log, SegmentBackedLog) for shard in loaded.shards)
+
+
+def test_replication_from_segment_log_shares_reader(tmp_path):
+    from repro.store import ReplicaGroup
+
+    store = _grow_store(25)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment")
+    primary = VersionedKnowledgeStore.load(segment_path)
+    group = ReplicaGroup.replicate(primary, 3, include_index=True)
+    assert group.verify() == primary.state_digest()
+    replica_log = group.stores[1].log
+    assert isinstance(replica_log, SegmentBackedLog)
+    assert replica_log.reader is primary.log.reader  # shared page cache
+
+
+def test_service_ingest_on_segment_loaded_store(tmp_path):
+    """A segment-loaded store keeps serving mutations (quiesce/ingest path)."""
+    store = _grow_store(20)
+    segment_path = str(tmp_path / "log.seg")
+    store.save(segment_path, format="segment")
+    loaded = VersionedKnowledgeStore.load(segment_path)
+    seen = []
+    loaded.subscribe(lambda epoch, batch: seen.append((epoch, len(batch))))
+    report = loaded.apply([Mutation.add_triple("svc", "p0", "obj")])
+    assert report.epoch == store.epoch + 1
+    assert seen == [(report.epoch, 1)]
+    assert loaded.snapshot().epoch == report.epoch
+
+
+# ---------------------------------------------------------------------------
+# crash recovery: truncation fixtures + hypothesis property
+
+
+def _saved_segment(tmp_path, batches: int = 24, block_size: int = 512) -> tuple:
+    store = _grow_store(batches, rng_seed=3)
+    path = str(tmp_path / "crash.seg")
+    store.save(path, format="segment", checkpoint_interval=48, block_size=block_size)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return store, path, data
+
+
+def _assert_valid_prefix(store, truncated_path) -> None:
+    """The recovered log must be an exact batch prefix of the original."""
+    try:
+        reader = SegmentReader.open(truncated_path)
+    except CorruptSegmentError:
+        return  # typed failure is an accepted outcome
+    log = SegmentBackedLog(reader)
+    try:
+        recovered = log.batches()
+        replayed = VersionedKnowledgeStore.replay(log)
+    except CorruptSegmentError:
+        reader.close()
+        return
+    original = store.log.batches()
+    assert recovered == original[: len(recovered)]
+    expected_epoch = recovered[-1][0] if recovered else log.floor_epoch
+    assert replayed.epoch == expected_epoch
+    # Recovered state must equal the genuine historical state at that epoch.
+    if recovered:
+        assert (
+            replayed.graph.state_digest()
+            == store.snapshot(expected_epoch).graph.state_digest()
+        )
+    reader.close()
+
+
+def test_torn_final_record_truncates_to_batch_prefix(tmp_path):
+    store, path, data = _saved_segment(tmp_path)
+    # Cut mid-way through the final record block's payload: the tail block
+    # fails its CRC and the last intact batch boundary wins.
+    reader = SegmentReader.open(path)
+    final_block = reader.record_blocks[-1]
+    reader.close()
+    torn = str(tmp_path / "torn.seg")
+    with open(torn, "wb") as handle:
+        handle.write(data[: final_block.offset + 10])
+    _assert_valid_prefix(store, torn)
+    recovered = SegmentReader.open(torn)
+    assert recovered.recovered
+    assert recovered.max_epoch < store.epoch
+    recovered.close()
+
+
+def test_truncated_segment_missing_footer_recovers(tmp_path):
+    store, path, data = _saved_segment(tmp_path)
+    # Drop the footer + trailer entirely: scan recovery must index every
+    # intact block and still replay to the full final state.
+    reader = SegmentReader.open(path)
+    blocks_end = max(b.offset + 18 + b.comp_len for b in reader.blocks)
+    reader.close()
+    headless = str(tmp_path / "nofooter.seg")
+    with open(headless, "wb") as handle:
+        handle.write(data[:blocks_end])
+    recovered = SegmentReader.open(headless)
+    assert recovered.recovered
+    log = SegmentBackedLog(recovered)
+    assert log.batches() == store.log.batches()
+    assert VersionedKnowledgeStore.replay(log).state_digest() == store.state_digest()
+
+
+def test_empty_and_garbage_files_raise_typed_error(tmp_path):
+    empty = tmp_path / "empty.seg"
+    empty.write_bytes(b"")
+    with pytest.raises(CorruptSegmentError):
+        SegmentReader.open(str(empty))
+    garbage = tmp_path / "garbage.seg"
+    garbage.write_bytes(b"RSEGMT01" + os.urandom(64))
+    with pytest.raises(CorruptSegmentError):
+        SegmentReader.open(str(garbage))
+
+
+def test_midfile_bitflip_raises_on_read(tmp_path):
+    store, path, data = _saved_segment(tmp_path)
+    reader = SegmentReader.open(path)
+    victim = reader.record_blocks[1]
+    reader.close()
+    flipped = bytearray(data)
+    flipped[victim.offset + _headersize() + 2] ^= 0xFF
+    bad = str(tmp_path / "flip.seg")
+    with open(bad, "wb") as handle:
+        handle.write(bytes(flipped))
+    damaged = SegmentReader.open(bad)  # footer still valid: opens fine
+    with pytest.raises(CorruptSegmentError):
+        list(SegmentBackedLog(damaged))
+
+
+def _headersize() -> int:
+    from repro.store.segment import _BLOCK_HEADER
+
+    return _BLOCK_HEADER.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_truncation_at_any_offset_is_prefix_or_typed_error(tmp_path_factory, data):
+    """Core crash-safety property: byte-level truncation never yields
+    silently-wrong state."""
+    base = tmp_path_factory.mktemp("hyp")
+    store, _, payload = _saved_segment(base, batches=12, block_size=384)
+    cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+    truncated = str(base / f"cut{cut}.seg")
+    with open(truncated, "wb") as handle:
+        handle.write(payload[:cut])
+    _assert_valid_prefix(store, truncated)
+
+
+def test_page_cache_eviction_and_stats(tmp_path):
+    store, path, _ = _saved_segment(tmp_path, batches=40, block_size=384)
+    cache = PageCache(capacity=2)
+    reader = SegmentReader.open(path, page_cache=cache)
+    log = SegmentBackedLog(reader)
+    assert log.batches() == store.log.batches()  # full scan through 2 pages
+    stats = cache.stats()
+    assert stats["resident"] <= 2
+    assert stats["misses"] >= len(reader.record_blocks)
+    assert stats["evictions"] > 0
+    # Re-reading the hottest tail blocks now hits.
+    list(reader.iter_records(after=store.epoch - 2))
+    assert cache.stats()["hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# satellite: crash-atomic save
+
+
+def test_jsonl_save_is_crash_atomic(tmp_path, monkeypatch):
+    path = str(tmp_path / "log.jsonl")
+    first = _grow_store(5)
+    first.save(path, format="jsonl")
+    before = open(path, encoding="utf-8").read()
+
+    class Boom(RuntimeError):
+        pass
+
+    # Simulate the process dying mid-write: fsync is the last step before
+    # the atomic rename, so failing there means the rename never happens.
+    monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(Boom()))
+    second = _grow_store(9, rng_seed=99)
+    with pytest.raises(Boom):
+        second.save(path, format="jsonl")
+    monkeypatch.undo()
+    assert open(path, encoding="utf-8").read() == before
+    assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+
+
+def test_segment_save_is_crash_atomic(tmp_path, monkeypatch):
+    path = str(tmp_path / "log.seg")
+    first = _grow_store(5)
+    first.save(path, format="segment")
+    before = open(path, "rb").read()
+
+    class Boom(RuntimeError):
+        pass
+
+    monkeypatch.setattr(os, "fsync", lambda fd: (_ for _ in ()).throw(Boom()))
+    second = _grow_store(9, rng_seed=99)
+    with pytest.raises(Boom):
+        second.save(path, format="segment")
+    monkeypatch.undo()
+    assert open(path, "rb").read() == before
+    assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+
+
+def test_atomic_write_cleans_up_on_error(tmp_path):
+    target = str(tmp_path / "out.txt")
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write("original")
+    with pytest.raises(ValueError):
+        with atomic_write(target) as handle:
+            handle.write("partial")
+            raise ValueError("boom")
+    assert open(target, encoding="utf-8").read() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+# ---------------------------------------------------------------------------
+# satellite: load-time epoch validation
+
+
+def _write_jsonl(path, records) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def test_load_rejects_non_monotonic_epochs(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    _write_jsonl(
+        path,
+        [
+            {"kind": "header", "version": 1, "floor_epoch": 0},
+            {"op": "add_triple", "subject": "a", "predicate": "p", "object": "b", "epoch": 2},
+            {"op": "add_triple", "subject": "c", "predicate": "p", "object": "d", "epoch": 1},
+        ],
+    )
+    with pytest.raises(ValueError, match=r"bad\.jsonl:3.*not grouped-monotonic"):
+        MutationLog.load(path)
+
+
+def test_load_rejects_epoch_below_floor(tmp_path):
+    path = str(tmp_path / "floor.jsonl")
+    _write_jsonl(
+        path,
+        [
+            {"kind": "header", "version": 1, "floor_epoch": 10},
+            {"op": "add_triple", "subject": "a", "predicate": "p", "object": "b", "epoch": 3},
+        ],
+    )
+    with pytest.raises(ValueError, match=r"floor\.jsonl:2.*below the log floor 10"):
+        MutationLog.load(path)
+
+
+def test_load_rejects_missing_epoch(tmp_path):
+    path = str(tmp_path / "noepoch.jsonl")
+    _write_jsonl(
+        path,
+        [{"op": "add_triple", "subject": "a", "predicate": "p", "object": "b"}],
+    )
+    with pytest.raises(ValueError, match=r"noepoch\.jsonl:1.*integer 'epoch'"):
+        MutationLog.load(path)
+
+
+def test_load_accepts_grouped_equal_epochs(tmp_path):
+    path = str(tmp_path / "ok.jsonl")
+    _write_jsonl(
+        path,
+        [
+            {"kind": "header", "version": 1, "floor_epoch": 0},
+            {"op": "add_triple", "subject": "a", "predicate": "p", "object": "b", "epoch": 1},
+            {"op": "add_triple", "subject": "c", "predicate": "p", "object": "d", "epoch": 1},
+            {"op": "add_triple", "subject": "e", "predicate": "p", "object": "f", "epoch": 2},
+        ],
+    )
+    log, _ = MutationLog.load(path)
+    assert [epoch for epoch, _ in log.batches()] == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# satellite: strict add_document deserialisation
+
+
+def test_from_json_requires_doc_id():
+    with pytest.raises(ValueError, match="doc_id"):
+        Mutation.from_json({"op": "add_document", "document": {"text": "body"}})
+
+
+def test_from_json_requires_text_presence():
+    with pytest.raises(ValueError, match="text"):
+        Mutation.from_json({"op": "add_document", "document": {"doc_id": "d1"}})
+
+
+def test_from_json_accepts_empty_text():
+    # ~13% of real extractions are legitimately empty: presence is
+    # required, emptiness is allowed.
+    mutation = Mutation.from_json(
+        {"op": "add_document", "document": {"doc_id": "d1", "text": ""}}
+    )
+    assert mutation.document.doc_id == "d1"
+    assert mutation.document.text == ""
+
+
+def test_from_json_round_trips_full_document():
+    original = Mutation.add_document(_document(7, text="full text"))
+    assert Mutation.from_json(original.to_json()) == original
