@@ -1,0 +1,227 @@
+"""Geo-replication benchmark: async isolation, visible staleness, convergence.
+
+Four floors, mirroring the geo-tier acceptance criteria:
+
+1. **Primary writes are isolated from edge lag.**  The outbound queues are
+   asynchronous: an edge catching up 10x slower must not back-pressure the
+   write path.  Floor: primary-write p99 with a 10x-lagging edge fleet
+   within **1.2x** of the no-edge baseline.
+
+2. **Edge reads carry honest epoch vectors.**  Every edge-served response
+   is stamped with the edge's applied epoch vector and its visible
+   staleness; with a staleness bound configured, no edge read exceeds it.
+
+3. **Post-drain digest parity.**  After the load drains and every queue
+   empties, each edge's per-shard ``state_digest`` is byte-identical to
+   the primary's.
+
+4. **Zero session violations.**  Read-your-writes holds under concurrent
+   load: no session ever observes an epoch vector below its own last
+   write (the load generator raises on any violation; the report is also
+   asserted explicitly).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_geo.py -q -s \
+        --benchmark-json=benchmarks/out/geo.json
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+from conftest import run_once
+
+from repro.benchmark import BenchmarkRunner, ExperimentConfig
+from repro.service import (
+    LoadGenerator,
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ShardedValidationService,
+)
+from repro.service.loadgen import IngestRequest
+from repro.store import Mutation
+
+TOTAL_REQUESTS = 240
+WRITE_EVERY = 4  # one write per four schedule items
+NUM_SHARDS = 2
+CONCURRENCY = 16
+TIME_SCALE = 0.002
+DRAIN_INTERVAL_S = 0.005
+#: The lagging edge's extra per-tick sleep: 10x the drain interval.
+EDGE_LAG_S = 10 * DRAIN_INTERVAL_S
+STALENESS_BOUND_EPOCHS = 16
+WRITE_P99_RATIO_FLOOR = 1.2
+#: Fresh runs per configuration for the p99 floor; best-of keeps the
+#: floor about systematic back-pressure, not one-off scheduler noise.
+TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def geo_bench_runner() -> BenchmarkRunner:
+    return BenchmarkRunner(
+        ExperimentConfig(
+            scale=0.05,
+            max_facts_per_dataset=60,
+            world_scale=0.2,
+            methods=("dka",),
+            datasets=("factbench",),
+            models=("gemma2:9b",),
+            include_commercial_in_grid=False,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def schedule(geo_bench_runner):
+    """A mixed read/write schedule: every fourth item a one-triple ingest."""
+    rng = random.Random(7)
+    facts = list(geo_bench_runner.dataset("factbench"))
+    items = []
+    for index in range(TOTAL_REQUESTS):
+        if index % WRITE_EVERY == WRITE_EVERY - 1:
+            items.append(
+                IngestRequest(
+                    (
+                        Mutation.add_triple(
+                            f"GeoBench{index}", "worksFor", f"Org{index % 9}"
+                        ),
+                    )
+                )
+            )
+        else:
+            items.append(ServiceRequest(rng.choice(facts), "dka", "gemma2:9b"))
+    return items
+
+
+def _router(runner, *, edges: int, **geo_kwargs) -> ShardedValidationService:
+    return ShardedValidationService.from_runner(
+        runner,
+        NUM_SHARDS,
+        ServiceConfig(max_batch_size=8, enable_cache=False, time_scale=TIME_SCALE),
+        store=runner.sharded_store("factbench", NUM_SHARDS).replay_twin(),
+        edges=edges,
+        **geo_kwargs,
+    )
+
+
+def _write_latencies(report) -> List[float]:
+    return sorted(
+        response.latency_seconds
+        for response in report.responses
+        if response.outcome is RequestOutcome.INGESTED
+    )
+
+
+def _p99(latencies: List[float]) -> float:
+    return latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))]
+
+
+def _best_write_p99(runner, schedule, *, edges: int, **geo_kwargs) -> float:
+    """Min write-p99 over ``TRIALS`` fresh runs of one configuration.
+
+    With ~60 write samples the p99 is effectively the max, so a single
+    scheduler hiccup anywhere in the run would dominate it.  Taking the
+    best of a few trials on *both* sides leaves the systematic question —
+    does edge lag back-pressure the write path? — and discards the
+    symmetric one-off noise.
+    """
+    best = float("inf")
+    for _ in range(TRIALS):
+        router = _router(runner, edges=edges, **geo_kwargs)
+        report = LoadGenerator(router, schedule, CONCURRENCY).run_sync()
+        assert report.failures == 0
+        best = min(best, _p99(_write_latencies(report)))
+    return best
+
+
+def test_benchmark_primary_write_p99_immune_to_edge_lag(
+    benchmark, geo_bench_runner, schedule
+):
+    def measure():
+        base = _best_write_p99(geo_bench_runner, schedule, edges=0)
+        lag = _best_write_p99(
+            geo_bench_runner,
+            schedule,
+            edges=2,
+            drain_interval_s=DRAIN_INTERVAL_S,
+            edge_lag_s={"edge-1": EDGE_LAG_S},
+        )
+        return base, lag
+
+    base_p99, lag_p99 = run_once(benchmark, measure)
+    ratio = lag_p99 / base_p99
+    print(
+        f"\nprimary write p99 (best of {TRIALS}): no edges "
+        f"{base_p99 * 1000:.2f} ms, 10x-lagging edge fleet "
+        f"{lag_p99 * 1000:.2f} ms ({ratio:.2f}x)"
+    )
+    assert ratio <= WRITE_P99_RATIO_FLOOR, (
+        f"a 10x-lagging edge fleet inflated primary-write p99 by {ratio:.2f}x "
+        f"(floor: {WRITE_P99_RATIO_FLOOR}x) — the queues are meant to be async"
+    )
+
+
+def test_benchmark_edge_reads_stamped_convergent_and_session_safe(
+    benchmark, geo_bench_runner, schedule
+):
+    def geo_run():
+        router = _router(
+            geo_bench_runner,
+            edges=2,
+            drain_interval_s=DRAIN_INTERVAL_S,
+            edge_lag_s={"edge-1": EDGE_LAG_S},
+            staleness_bound_epochs=STALENESS_BOUND_EPOCHS,
+        )
+        report = LoadGenerator(
+            router,
+            schedule,
+            CONCURRENCY,
+            regions=["edge-0", "edge-1", None],
+        ).run_sync()
+        return router, report
+
+    router, report = run_once(benchmark, geo_run)
+
+    edge_responses = [
+        response
+        for response in report.responses
+        if response.served_by not in (None, "primary")
+    ]
+    worst = max(
+        (response.staleness_epochs or 0 for response in edge_responses), default=0
+    )
+    print(
+        f"\n{len(edge_responses)} edge-served reads of {report.completed} "
+        f"completed; worst visible staleness {worst} epochs "
+        f"(bound {STALENESS_BOUND_EPOCHS})"
+    )
+
+    # Floor: zero FAILED on the primary path, and the edge tier actually
+    # took read traffic (locality is the whole point).
+    assert report.failures == 0
+    assert edge_responses, "no reads were ever served by the edge tier"
+    # Floor: staleness is visible and bounded — every edge-served read is
+    # stamped, and none exceeds the configured bound.
+    assert all(
+        response.staleness_epochs is not None and response.epoch_vector
+        for response in edge_responses
+    )
+    assert worst <= STALENESS_BOUND_EPOCHS
+    # Floor: zero read-your-writes violations (run() raises on any; the
+    # report agrees).
+    assert report.session_violations() == []
+    # Floor: post-drain digest parity — drain the queues dry, then every
+    # edge shard's digest must match the primary's byte-for-byte.
+    geo = router.geo
+    geo.drain_all()
+    expected = router.store.state_digests(include_index=False)
+    for name in sorted(geo.edges):
+        assert geo.verify_converged(name) == expected, (
+            f"edge {name} diverged from the primary after a full drain"
+        )
+    print(f"digest parity proven for {sorted(geo.edges)}")

@@ -400,6 +400,26 @@ def build_service_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--csv", default=None, help="Also write the run table (with timings) as CSV here."
     )
+    chaos.add_argument(
+        "--deterministic-csv",
+        default=None,
+        help=(
+            "Also write the deterministic columns only (no timings) as CSV "
+            "here — byte-identical for the same scenario + seed, so CI can "
+            "diff two runs."
+        ),
+    )
+    chaos.add_argument(
+        "--drain-seed",
+        type=int,
+        default=None,
+        help=(
+            "Override the geo drain scheduler's shard-order seed (default: the "
+            "scenario's geo.drain_seed).  CI runs geo scenarios under two seeds "
+            "and diffs the deterministic columns: convergence must not depend "
+            "on drain ordering."
+        ),
+    )
 
     obs = commands.add_parser(
         "obs",
@@ -798,12 +818,16 @@ def _run_chaos(args, stream: TextIO) -> int:
         f"({len(scenario.topologies)} topologies x {len(scenario.traffics)} "
         f"traffic shapes x {len(scenario.fault_cases)} fault cases + references)\n\n"
     )
-    table = ScenarioRunner(runner, scenario).run()
+    table = ScenarioRunner(runner, scenario, drain_seed=args.drain_seed).run()
     stream.write(table.markdown() + "\n")
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(table.csv(include_timings=True))
         stream.write(f"run table written to {args.csv}\n")
+    if args.deterministic_csv:
+        with open(args.deterministic_csv, "w", encoding="utf-8") as handle:
+            handle.write(table.csv(include_timings=False))
+        stream.write(f"deterministic run table written to {args.deterministic_csv}\n")
     return 0 if table.ok else 1
 
 

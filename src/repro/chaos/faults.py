@@ -13,6 +13,10 @@ point                     where it fires
 ``store/ship``             :meth:`~repro.store.sharding.ReplicaGroup.apply`,
                            before shipping a batch to the secondaries
 ``frontend``               the TCP front-end, per decoded request line
+``edge:{i}``               a geo edge's background drain loop, per tick
+                           (``kill`` removes the edge; ``stall``/``error``
+                           partition it — the queue stalls but the edge
+                           keeps serving stale reads; ``slow`` adds lag)
 ========================  ====================================================
 
 A :class:`FaultSchedule` is a list of :class:`FaultEvent` rows — *at
@@ -61,6 +65,7 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "InjectedFaultError",
+    "parse_edge_target",
     "parse_replica_target",
 ]
 
@@ -74,6 +79,7 @@ FAULT_KINDS = (KILL, STALL, ERROR, SLOW)
 
 _REPLICA_TARGET = re.compile(r"^shard:(\d+)/replica:(\d+)$")
 _SHARD_TARGET = re.compile(r"^shard:(\d+)$")
+_EDGE_TARGET = re.compile(r"^edge:(\d+)$")
 
 
 class InjectedFaultError(RuntimeError):
@@ -100,11 +106,20 @@ def parse_replica_target(target: str) -> Optional[Tuple[int, int]]:
     return int(match.group(1)), int(match.group(2))
 
 
+def parse_edge_target(target: str) -> Optional[int]:
+    """The edge index for an ``edge:{i}`` target, else ``None``."""
+    match = _EDGE_TARGET.match(target)
+    if match is None:
+        return None
+    return int(match.group(1))
+
+
 def _valid_target(target: str) -> bool:
     return bool(
         target in ("store", "store/ship", "frontend")
         or _SHARD_TARGET.match(target)
         or _REPLICA_TARGET.match(target)
+        or _EDGE_TARGET.match(target)
     )
 
 
@@ -203,7 +218,8 @@ class FaultEvent:
         if not _valid_target(self.target):
             raise ValueError(
                 f"unknown fault target {self.target!r}; expected 'store', "
-                "'store/ship', 'frontend', 'shard:<i>', or 'shard:<i>/replica:<j>'"
+                "'store/ship', 'frontend', 'shard:<i>', 'shard:<i>/replica:<j>', "
+                "or 'edge:<i>'"
             )
         if self.fault.kind == KILL and self.clear_at_s is not None:
             raise ValueError("kill faults are permanent; they cannot clear")

@@ -85,8 +85,16 @@ from ..service.policy import RetryPolicy
 from ..service.router import ShardedValidationService
 from ..service.server import ServiceRequest
 from ..store import Mutation
+from ..store.sharding import ReplicaDivergedError
 from .clock import Clock, MonotonicClock
-from .faults import FaultEvent, FaultInjector, FaultSchedule, FaultSpec, parse_replica_target
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    parse_edge_target,
+    parse_replica_target,
+)
 from .traffic import TrafficSpec, build_traffic
 
 __all__ = [
@@ -114,20 +122,24 @@ def _require(condition: bool, message: str) -> None:
 
 @dataclass(frozen=True)
 class Topology:
-    """One fleet shape: ``shards`` logical shards x ``replicas`` workers."""
+    """One fleet shape: ``shards`` logical shards x ``replicas`` workers,
+    plus ``edges`` asynchronous geo edge replicas (0 = no geo tier)."""
 
     shards: int
     replicas: int
+    edges: int = 0
 
     def __post_init__(self) -> None:
         _require(self.shards >= 1, f"topology shards must be >= 1, got {self.shards}")
         _require(
             self.replicas >= 1, f"topology replicas must be >= 1, got {self.replicas}"
         )
+        _require(self.edges >= 0, f"topology edges must be >= 0, got {self.edges}")
 
     @property
     def label(self) -> str:
-        return f"s{self.shards}xr{self.replicas}"
+        base = f"s{self.shards}xr{self.replicas}"
+        return f"{base}xe{self.edges}" if self.edges else base
 
 
 @dataclass(frozen=True)
@@ -154,12 +166,22 @@ class Invariants:
     staleness_bound_epochs: Optional[int] = None
     expect_alerts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
     forbid_alerts: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    #: Require every live edge to be byte-identical to the primary after
+    #: the post-load drain (geo topologies only; killed edges are exempt).
+    geo_converged: bool = False
+    #: Bound (in epochs) on the visible staleness of every edge-served read.
+    edge_staleness_bound_epochs: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(self.max_failed >= 0, "invariants.max_failed must be >= 0")
         _require(
             self.staleness_bound_epochs is None or self.staleness_bound_epochs >= 0,
             "invariants.staleness_bound_epochs must be >= 0 when set",
+        )
+        _require(
+            self.edge_staleness_bound_epochs is None
+            or self.edge_staleness_bound_epochs >= 0,
+            "invariants.edge_staleness_bound_epochs must be >= 0 when set",
         )
 
     def expected_alerts_for(self, fault_name: str) -> Tuple[str, ...]:
@@ -199,6 +221,15 @@ class Scenario:
     probe_interval_s: float = 0.05
     unhealthy_after: int = 1
     service_config: Dict[str, object] = field(default_factory=dict)
+    #: Geo-tier knobs (apply to topologies with ``edges > 0``): routing
+    #: staleness bound, background drain cadence, per-edge extra lag, the
+    #: drain scheduler's seed, and the client-region affinity cycle the
+    #: load generator assigns (``None`` entries pin clients to primary).
+    geo_staleness_bound_epochs: Optional[int] = None
+    geo_drain_interval_s: float = 0.02
+    geo_edge_lag_s: Tuple[Tuple[str, float], ...] = ()
+    geo_drain_seed: int = 0
+    geo_regions: Tuple[Optional[str], ...] = ()
 
     @property
     def cell_count(self) -> int:
@@ -232,8 +263,17 @@ _TOP_KEYS = {
     "service",
     "retry",
     "store",
+    "geo",
     "matrix",
     "invariants",
+}
+
+_GEO_KEYS = {
+    "staleness_bound_epochs",
+    "drain_interval_s",
+    "edge_lag_s",
+    "drain_seed",
+    "regions",
 }
 
 
@@ -298,6 +338,15 @@ def _check_target_bounds(case: FaultCase, topologies: Sequence[Topology]) -> Non
     the matrix runs every fault case against every topology."""
     for event in case.schedule:
         target = event.target
+        edge = parse_edge_target(target)
+        if edge is not None:
+            for topology in topologies:
+                _require(
+                    edge < topology.edges,
+                    f"fault case {case.name!r} targets {target!r} but topology "
+                    f"{topology.label} has only {topology.edges} edge(s)",
+                )
+            continue
         coordinates = parse_replica_target(target)
         shard: Optional[int]
         replica: Optional[int]
@@ -459,11 +508,15 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
     topologies: List[Topology] = []
     for index, raw in enumerate(raw_topologies):
         _require(isinstance(raw, dict), f"matrix.topology[{index}] must be a mapping")
-        unknown = set(raw) - {"shards", "replicas"}
+        unknown = set(raw) - {"shards", "replicas", "edges"}
         _require(not unknown, f"matrix.topology[{index}] has unknown keys {sorted(unknown)}")
         try:
             topologies.append(
-                Topology(int(raw.get("shards", 1)), int(raw.get("replicas", 1)))
+                Topology(
+                    int(raw.get("shards", 1)),
+                    int(raw.get("replicas", 1)),
+                    int(raw.get("edges", 0)),
+                )
             )
         except (TypeError, ValueError) as exc:
             raise ScenarioError(f"matrix.topology[{index}]: {exc}") from exc
@@ -487,6 +540,55 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
     for case in fault_cases:
         _check_target_bounds(case, topologies)
 
+    max_edges = max((topology.edges for topology in topologies), default=0)
+
+    geo_raw = data.get("geo", {}) or {}
+    _require(isinstance(geo_raw, dict), "'geo' must be a mapping")
+    assert isinstance(geo_raw, dict)
+    unknown = set(geo_raw) - _GEO_KEYS
+    _require(not unknown, f"unknown geo keys {sorted(unknown)}")
+    if geo_raw:
+        _require(
+            max_edges > 0,
+            "a 'geo' block needs at least one topology with edges > 0",
+        )
+    geo_bound = geo_raw.get("staleness_bound_epochs")
+    _require(
+        geo_bound is None or (isinstance(geo_bound, int) and geo_bound >= 0),
+        "geo.staleness_bound_epochs must be an integer >= 0 when set",
+    )
+    geo_drain_interval = float(geo_raw.get("drain_interval_s", 0.02))
+    _require(geo_drain_interval > 0, "geo.drain_interval_s must be positive")
+    geo_drain_seed = geo_raw.get("drain_seed", 0)
+    _require(isinstance(geo_drain_seed, int), "geo.drain_seed must be an integer")
+    edge_names = {f"edge-{index}" for index in range(max_edges)}
+    raw_lag = geo_raw.get("edge_lag_s", {}) or {}
+    _require(
+        isinstance(raw_lag, dict), "geo.edge_lag_s must map edge names to seconds"
+    )
+    geo_edge_lag: List[Tuple[str, float]] = []
+    for edge_name, lag in sorted(raw_lag.items()):
+        _require(
+            edge_name in edge_names,
+            f"geo.edge_lag_s names unknown edge {edge_name!r} "
+            f"(topologies define {sorted(edge_names) or 'no edges'})",
+        )
+        _require(
+            isinstance(lag, (int, float)) and lag >= 0,
+            f"geo.edge_lag_s[{edge_name!r}] must be >= 0 seconds",
+        )
+        geo_edge_lag.append((str(edge_name), float(lag)))
+    raw_regions = geo_raw.get("regions", []) or []
+    _require(isinstance(raw_regions, list), "geo.regions must be a list")
+    geo_regions: List[Optional[str]] = []
+    for region in raw_regions:
+        _require(
+            region is None or region in edge_names,
+            f"geo.regions names unknown edge {region!r} "
+            f"(topologies define {sorted(edge_names) or 'no edges'})",
+        )
+        geo_regions.append(region)
+
     invariants_raw = data.get("invariants", {}) or {}
     _require(isinstance(invariants_raw, dict), "'invariants' must be a mapping")
     unknown = set(invariants_raw) - {
@@ -495,6 +597,8 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
         "staleness_bound_epochs",
         "expect_alerts",
         "forbid_alerts",
+        "geo_converged",
+        "edge_staleness_bound_epochs",
     }
     _require(not unknown, f"unknown invariant keys {sorted(unknown)}")
     cell_names = {case.name for case in fault_cases} | {"none"}
@@ -515,6 +619,12 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
             "a traffic shape mixes writes (write_fraction > 0) but 'store' is false; "
             "ingest needs per-cell sharded stores",
         )
+    if max_edges > 0:
+        _require(
+            attach_store,
+            "a topology has edges > 0 but 'store' is false; the geo tier "
+            "replicates per-cell sharded stores",
+        )
 
     return Scenario(
         name=name,
@@ -534,6 +644,11 @@ def load_scenario(source: Union[str, Path, dict]) -> Scenario:
         probe_interval_s=probe_interval_s,
         unhealthy_after=unhealthy_after,
         service_config=config_overrides,
+        geo_staleness_bound_epochs=geo_bound,
+        geo_drain_interval_s=geo_drain_interval,
+        geo_edge_lag_s=tuple(geo_edge_lag),
+        geo_drain_seed=geo_drain_seed,
+        geo_regions=tuple(geo_regions),
     )
 
 
@@ -570,6 +685,14 @@ class CellResult:
     #: Alert ids that reached *firing* during the cell, sorted — what the
     #: ``expect_alerts`` / ``forbid_alerts`` invariants are checked against.
     fired_alerts: Tuple[str, ...] = ()
+    #: Geo tier: whether every live edge digest-matched the primary after
+    #: the post-load drain (``None`` on edge-less cells — deterministic by
+    #: construction: a seeded drain scheduler over a converged queue).
+    geo_converged: Optional[bool] = None
+    #: Geo tier (timing): reads edges answered locally, and the worst
+    #: visible ``staleness_epochs`` any edge-served read carried.
+    edge_reads: int = 0
+    max_edge_staleness: int = 0
 
     @property
     def cell_id(self) -> str:
@@ -602,6 +725,10 @@ class RunTable:
         "failed",
         "invariants",
         "verdict_digest",
+        # "yes"/"no" on geo cells ("-" elsewhere): post-drain digest parity
+        # is scheduler-order-independent, so it stays byte-identical across
+        # drain-scheduler seeds — the two-seed CI re-run diffs exactly this.
+        "geo_converged",
     )
     TIMING_COLUMNS = (
         "completed",
@@ -609,6 +736,10 @@ class RunTable:
         "degraded",
         "retries",
         "failovers",
+        # Geo tier: how many reads edges answered and the worst visible
+        # staleness they carried — both depend on drain/load interleaving.
+        "edge_reads",
+        "edge_stale_max",
         "p50_ms",
         "p99_ms",
         "wall_s",
@@ -655,6 +786,10 @@ class RunTable:
                 "failed": str(cell.report.failures),
                 "invariants": "pass" if cell.ok else "FAIL",
                 "verdict_digest": cell.verdict_digest,
+                "geo_converged": (
+                    "-" if cell.geo_converged is None
+                    else ("yes" if cell.geo_converged else "no")
+                ),
             }
             if include_timings:
                 row.update(
@@ -664,6 +799,8 @@ class RunTable:
                         "degraded": str(cell.report.degraded),
                         "retries": str(cell.report.retries_total),
                         "failovers": str(cell.snapshot.failovers),
+                        "edge_reads": str(cell.edge_reads),
+                        "edge_stale_max": str(cell.max_edge_staleness),
                         "p50_ms": f"{cell.snapshot.p50_latency_s * 1000:.2f}",
                         "p99_ms": f"{cell.snapshot.p99_latency_s * 1000:.2f}",
                         "wall_s": f"{cell.report.wall_seconds:.3f}",
@@ -722,6 +859,7 @@ class ScenarioRunner:
         scenario: Scenario,
         clock: Optional[Clock] = None,
         poll_interval_s: float = 0.005,
+        drain_seed: Optional[int] = None,
     ) -> None:
         if poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
@@ -729,6 +867,12 @@ class ScenarioRunner:
         self.scenario = scenario
         self.clock = clock or MonotonicClock()
         self.poll_interval_s = poll_interval_s
+        #: Drain-scheduler seed override (``chaos --drain-seed``): the CI
+        #: determinism floor re-runs the geo scenario under two seeds and
+        #: diffs the deterministic CSV view byte-for-byte.
+        self.drain_seed = (
+            drain_seed if drain_seed is not None else scenario.geo_drain_seed
+        )
 
     # ------------------------------------------------------------- execution
 
@@ -817,7 +961,7 @@ class ScenarioRunner:
         health are exact counts, deterministic on both clocks.
         """
         fleet_size = float(topology.shards * topology.replicas)
-        return [
+        slos = [
             SLO(
                 "availability",
                 objective=0.999,
@@ -840,6 +984,25 @@ class ScenarioRunner:
                 description="replica-time in the routing rotation",
             ),
         ]
+        if topology.edges > 0:
+            # Geo topologies also watch watermark lag: an instant is bad
+            # when the fleet-summed worst-shard lag exceeds the configured
+            # staleness bound — the burn-rate alert behind the edge-lag
+            # runbook.  Gauge-derived, so deterministic like the others.
+            bound = self.scenario.geo_staleness_bound_epochs
+            lag_budget = float(bound if bound is not None else 8) * topology.edges
+            slos.append(
+                SLO(
+                    "replication-staleness",
+                    objective=0.95,
+                    sli=HealthSLI(
+                        "router_geo_watermark_lag_epochs",
+                        bad_when=lambda lag: 1.0 if lag > lag_budget else 0.0,
+                    ),
+                    description="edge-time inside the staleness bound",
+                )
+            )
+        return slos
 
     async def _drive_monitor(self, monitor: SLOMonitor) -> None:
         while True:
@@ -881,6 +1044,11 @@ class ScenarioRunner:
             probe_interval_s=scenario.probe_interval_s,
             retry_policy=scenario.retry_policy,
             clock=self.clock,
+            edges=topology.edges,
+            staleness_bound_epochs=scenario.geo_staleness_bound_epochs,
+            drain_interval_s=scenario.geo_drain_interval_s,
+            edge_lag_s=dict(scenario.geo_edge_lag_s),
+            drain_seed=self.drain_seed,
         )
         # Per-cell observability: a fresh seeded tracer + event log on the
         # runner's clock, so each cell's span trees stand alone (and are
@@ -922,7 +1090,14 @@ class ScenarioRunner:
                 driver = asyncio.get_running_loop().create_task(
                     self._drive_faults(injector, router)
                 )
-            generator = LoadGenerator(router, schedule, scenario.concurrency)
+            regions = (
+                list(scenario.geo_regions)
+                if topology.edges > 0 and scenario.geo_regions
+                else None
+            )
+            generator = LoadGenerator(
+                router, schedule, scenario.concurrency, regions=regions
+            )
             try:
                 report = await generator.run()
             finally:
@@ -930,14 +1105,45 @@ class ScenarioRunner:
                     if task is not None:
                         task.cancel()
                         await asyncio.gather(task, return_exceptions=True)
+            # Drain every surviving edge to quiescence while the router is
+            # still open, then prove byte-identical convergence: after a
+            # full drain the edge copies must reach the primary's digests
+            # no matter how the fault schedule interleaved their catch-up.
+            geo_converged: Optional[bool] = None
+            geo_diverged: List[str] = []
+            if router.geo is not None:
+                await router.drain_edges()
+                for name in router.live_edge_names:
+                    try:
+                        router.geo.verify_converged(name)
+                    except ReplicaDivergedError as exc:
+                        geo_diverged.append(f"{name}: {exc}")
+                geo_converged = not geo_diverged
             # One final scrape + evaluation after the load drains, so a
             # fault landing after the last in-flight tick still alerts.
             monitor.tick()
             snapshot = router.metrics.snapshot()
             ring = router.ring
         fired_alerts = tuple(monitor.manager.fired_ids())
+        edge_reads = 0
+        max_edge_staleness = 0
+        for response in report.responses:
+            if response.served_by in (None, "primary"):
+                continue
+            edge_reads += 1
+            max_edge_staleness = max(
+                max_edge_staleness, response.staleness_epochs or 0
+            )
         checks = self._check_invariants(
-            topology, case, report, reference_verdicts, ring, fired_alerts
+            topology,
+            case,
+            report,
+            reference_verdicts,
+            ring,
+            fired_alerts,
+            geo_converged=geo_converged,
+            geo_diverged=geo_diverged,
+            max_edge_staleness=max_edge_staleness,
         )
         worst_trace = ""
         slowest = ""
@@ -962,6 +1168,9 @@ class ScenarioRunner:
             worst_trace=worst_trace,
             event_counts=obs.events.counts(),
             fired_alerts=fired_alerts,
+            geo_converged=geo_converged,
+            edge_reads=edge_reads,
+            max_edge_staleness=max_edge_staleness,
         )
 
     def _check_invariants(
@@ -972,6 +1181,9 @@ class ScenarioRunner:
         reference_verdicts: Optional[Dict[Tuple[str, str, str, str], str]],
         ring,
         fired_alerts: Sequence[str] = (),
+        geo_converged: Optional[bool] = None,
+        geo_diverged: Sequence[str] = (),
+        max_edge_staleness: int = 0,
     ) -> List[InvariantCheck]:
         invariants = self.scenario.invariants
         checks: List[InvariantCheck] = []
@@ -1054,6 +1266,31 @@ class ScenarioRunner:
                     not offending,
                     f"forbidden alerts fired: {offending or 'none'} "
                     f"(forbidden: {list(forbidden)})",
+                )
+            )
+
+        if invariants.geo_converged and topology.edges > 0:
+            checks.append(
+                InvariantCheck(
+                    "geo-converged",
+                    bool(geo_converged),
+                    "every surviving edge reached the primary's digests"
+                    if geo_converged
+                    else f"diverged after drain: {list(geo_diverged)}",
+                )
+            )
+
+        if (
+            invariants.edge_staleness_bound_epochs is not None
+            and topology.edges > 0
+        ):
+            bound = invariants.edge_staleness_bound_epochs
+            checks.append(
+                InvariantCheck(
+                    "edge-staleness-bound",
+                    max_edge_staleness <= bound,
+                    f"worst edge-served staleness {max_edge_staleness} epochs "
+                    f"(bound {bound})",
                 )
             )
 

@@ -37,6 +37,9 @@ EVENT_KINDS = (
     "alert_pending",       # a burn-rate rule tripped; holding for ``for_s``
     "alert_firing",        # the alert held long enough and paged
     "alert_resolved",      # a firing alert's condition cleared
+    "edge_bootstrap",      # a geo edge joined the serving tier (snapshot + replay)
+    "edge_drain",          # a geo edge applied queued batches (catch-up tick)
+    "edge_killed",         # a geo edge hard-stopped (chaos kill / drain failure)
 )
 
 

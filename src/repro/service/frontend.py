@@ -7,7 +7,13 @@ is one JSON object per line:
 Request::
 
     {"dataset": "factbench", "fact_id": "factbench-000123",
-     "method": "dka", "model": "gemma2:9b", "id": "optional-correlation-id"}
+     "method": "dka", "model": "gemma2:9b", "id": "optional-correlation-id",
+     "session": "optional-client-token", "region": "optional-edge-name"}
+
+``session``/``region`` ride the wire to a geo-aware router behind the
+frontend (read-your-writes sessions and edge-local reads; see
+:mod:`repro.service.router`); against a plain service they are ignored.
+Edge-involved replies carry ``served_by`` and ``staleness_epochs``.
 
 Response::
 
@@ -36,7 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import inspect
 import json
+from functools import lru_cache
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..datasets.base import FactDataset
@@ -44,6 +52,20 @@ from ..obs.trace import STATUS_DEGRADED, STATUS_FAILED, STATUS_SHED, Tracer
 from .server import RequestOutcome, ServiceRequest, ValidationService
 
 __all__ = ["TCPValidationFrontend"]
+
+
+@lru_cache(maxsize=64)
+def _submit_keywords_for(service_type: type) -> frozenset:
+    try:
+        parameters = inspect.signature(service_type.submit).parameters
+    except (AttributeError, TypeError, ValueError):  # pragma: no cover
+        return frozenset()
+    return frozenset(parameters)
+
+
+def _submit_keywords(service) -> frozenset:
+    """Parameter names of the service's ``submit`` (cached per type)."""
+    return _submit_keywords_for(type(service))
 
 
 class TCPValidationFrontend:
@@ -267,7 +289,21 @@ class TCPValidationFrontend:
                 # stall/slow faults hold the reply on the injector's clock;
                 # error/kill faults surface as an error reply below.
                 await self.fault_injector.fire("frontend")
-            response = await self.service.submit(ServiceRequest(fact, method, model))
+            kwargs = {}
+            # Session tokens and region affinity on the wire: forwarded only
+            # when the backing service is the geo-aware router (the plain
+            # service ignores neither gracefully — it has no such kwargs).
+            session = payload.get("session")
+            region = payload.get("region")
+            if session is not None or region is not None:
+                supported = _submit_keywords(self.service)
+                if session is not None and "session" in supported:
+                    kwargs["session"] = str(session)
+                if region is not None and "region" in supported:
+                    kwargs["region"] = str(region)
+            response = await self.service.submit(
+                ServiceRequest(fact, method, model), **kwargs
+            )
         except Exception as exc:
             return {"id": correlation, "outcome": "error", "error": str(exc)}
         reply = {
@@ -293,4 +329,9 @@ class TCPValidationFrontend:
             reply["retries"] = response.retries
         if response.epoch_vector:
             reply["epoch_vector"] = list(response.epoch_vector)
+        if response.served_by is not None:
+            # Geo-tier visibility on the wire: which tier answered, and how
+            # many epochs an edge-served read trailed the primary.
+            reply["served_by"] = response.served_by
+            reply["staleness_epochs"] = response.staleness_epochs
         return reply

@@ -22,6 +22,7 @@ benchmark exercises epoch-fresh verdicts under live-update traffic.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import random
 import time
 from dataclasses import dataclass, field
@@ -59,6 +60,21 @@ class IngestRequest:
 
 #: One schedule item: a single-fact read or a mutation-batch write.
 WorkItem = Union[ServiceRequest, IngestRequest]
+
+
+def _keyword_names(callable_) -> frozenset:
+    """The keyword-capable parameter names of a callable (empty on doubles
+    whose signatures cannot be introspected)."""
+    try:
+        parameters = inspect.signature(callable_).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic doubles
+        return frozenset()
+    return frozenset(
+        name
+        for name, parameter in parameters.items()
+        if parameter.kind
+        in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+    )
 
 
 def build_workload(
@@ -141,11 +157,20 @@ class LoadReport:
     concurrency: int
     snapshot: MetricsSnapshot = field(repr=False)
     requests: List[WorkItem] = field(default_factory=list, repr=False)
+    #: Index-aligned session tokens: ``sessions[i]`` is the client identity
+    #: that issued item ``i`` (``None`` when sessions were disabled or the
+    #: driven service does not speak them).
+    sessions: List[Optional[str]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.requests and len(self.requests) != len(self.responses):
             raise ValueError(
                 f"requests ({len(self.requests)}) and responses "
+                f"({len(self.responses)}) must be index-aligned"
+            )
+        if self.sessions and len(self.sessions) != len(self.responses):
+            raise ValueError(
+                f"sessions ({len(self.sessions)}) and responses "
                 f"({len(self.responses)}) must be index-aligned"
             )
 
@@ -217,6 +242,49 @@ class LoadReport:
             if response.outcome is RequestOutcome.COMPLETED
         })
 
+    @property
+    def edge_served(self) -> int:
+        """Reads a geo edge answered locally (``served_by`` != primary)."""
+        return sum(
+            1 for response in self.responses
+            if response.served_by not in (None, "primary")
+        )
+
+    def session_violations(self) -> List[str]:
+        """Read-your-writes violations, one line each (empty = the invariant held).
+
+        Per session, in issue order (each closed-loop client pulls strictly
+        increasing schedule indices, so global index order *is* per-session
+        issue order): every write raises the session's floor at the shards
+        it actually landed on (the INGESTED epoch vector is sparse — zero
+        at untouched shards, so other clients' concurrent writes never
+        inflate this session's floor), and every later completed read's
+        epoch vector must cover that floor component-wise.  Degraded
+        responses are exempt — serving stale from the last-known-good
+        cache is their contract."""
+        floors: Dict[str, Dict[int, int]] = {}
+        violations: List[str] = []
+        for index, (response, session) in enumerate(zip(self.responses, self.sessions)):
+            if session is None:
+                continue
+            if response.outcome is RequestOutcome.INGESTED:
+                floor = floors.setdefault(session, {})
+                for shard, epoch in enumerate(response.epoch_vector):
+                    floor[shard] = max(floor.get(shard, 0), epoch)
+            elif response.outcome is RequestOutcome.COMPLETED:
+                floor = floors.get(session)
+                if not floor:
+                    continue
+                vector = response.epoch_vector
+                for shard, epoch in floor.items():
+                    if shard < len(vector) and vector[shard] < epoch:
+                        violations.append(
+                            f"{session} read #{index} observed epoch "
+                            f"{vector[shard]} on shard {shard}, below its own "
+                            f"write at {epoch}"
+                        )
+        return violations
+
     def verdicts(
         self, epoch: Optional[int] = None
     ) -> Dict[Tuple[str, str, str, str], str]:
@@ -276,17 +344,67 @@ class LoadGenerator:
         service: ValidationService,
         requests: Sequence[WorkItem],
         concurrency: int = 8,
+        regions: Optional[Sequence[Optional[str]]] = None,
+        sessions: bool = True,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
         self.service = service
         self.requests = list(requests)
         self.concurrency = concurrency
+        #: Client home regions: client ``i`` reads from ``regions[i % len]``
+        #: (``None`` entries pin clients to the primary tier).  Empty = no
+        #: geo affinity, every read goes to the primary.
+        self.regions: List[Optional[str]] = list(regions) if regions else []
+        # Every client used to share one implicit identity, which made
+        # session-consistency effects invisible under load; each virtual
+        # client is now its own session token — when the driven service
+        # speaks sessions (the sharded router does; the plain service and
+        # older doubles do not, detected by signature, not isinstance, so
+        # wrappers and fakes keep working).
+        submit_params = _keyword_names(service.submit)
+        apply_params = _keyword_names(service.apply_mutations)
+        self._session_kwarg = (
+            sessions and "session" in submit_params and "session" in apply_params
+        )
+        self._region_kwarg = "region" in submit_params
+        if self.regions and not self._region_kwarg:
+            raise ValueError(
+                f"{type(service).__name__}.submit takes no 'region'; "
+                "regions need a geo-aware router"
+            )
 
-    async def _issue(self, item: WorkItem) -> ServiceResponse:
+    def _client_session(self, client_index: int) -> Optional[str]:
+        return f"client-{client_index}" if self._session_kwarg else None
+
+    def _client_region(self, client_index: int) -> Optional[str]:
+        if not self.regions:
+            return None
+        return self.regions[client_index % len(self.regions)]
+
+    async def _issue(self, item: WorkItem, client_index: int) -> ServiceResponse:
+        session = self._client_session(client_index)
         if isinstance(item, IngestRequest):
             started = time.perf_counter()
-            report = await self.service.apply_mutations(list(item.mutations))
+            if session is not None:
+                report = await self.service.apply_mutations(
+                    list(item.mutations), session=session
+                )
+            else:
+                report = await self.service.apply_mutations(list(item.mutations))
+            # The INGESTED epoch vector is the *session's write floor*: the
+            # landed epoch at every shard this batch actually touched, zero
+            # elsewhere.  The full fleet vector would entangle the session
+            # with other clients' concurrent writes on shards it never
+            # wrote — the router's read-your-writes gate (and therefore
+            # :meth:`LoadReport.session_violations`) covers own writes only.
+            vector = getattr(report, "epoch_vector", ())
+            shard_reports = getattr(report, "shard_reports", None)
+            if shard_reports is not None:
+                landed = [0] * len(vector)
+                for shard_index, shard_report in shard_reports:
+                    landed[shard_index] = shard_report.epoch
+                vector = tuple(landed)
             return ServiceResponse(
                 outcome=RequestOutcome.INGESTED,
                 result=None,
@@ -294,27 +412,40 @@ class LoadGenerator:
                 latency_seconds=time.perf_counter() - started,
                 batch_size=report.total_ops,
                 epoch=report.epoch,
+                epoch_vector=vector,
             )
-        return await self.service.submit(item)
+        kwargs = {}
+        if session is not None:
+            kwargs["session"] = session
+        region = self._client_region(client_index)
+        if region is not None:
+            kwargs["region"] = region
+        return await self.service.submit(item, **kwargs)
 
     async def run(self) -> LoadReport:
         """Replay the schedule on the caller's event loop (the service must
-        already be started) and return the index-aligned report."""
+        already be started) and return the index-aligned report.
+
+        Raises :class:`RuntimeError` when outcome accounting breaks or —
+        with sessions active — any client observes an epoch vector below
+        its own last write (:meth:`LoadReport.session_violations`)."""
         responses: List[Optional[ServiceResponse]] = [None] * len(self.requests)
+        sessions: List[Optional[str]] = [None] * len(self.requests)
         next_index = 0
 
-        async def client() -> None:
+        async def client(client_index: int) -> None:
             nonlocal next_index
             while True:
                 index = next_index
                 if index >= len(self.requests):
                     return
                 next_index = index + 1
-                responses[index] = await self._issue(self.requests[index])
+                sessions[index] = self._client_session(client_index)
+                responses[index] = await self._issue(self.requests[index], client_index)
 
         started = time.perf_counter()
         clients = min(self.concurrency, max(1, len(self.requests)))
-        await asyncio.gather(*(client() for _ in range(clients)))
+        await asyncio.gather(*(client(index) for index in range(clients)))
         wall = time.perf_counter() - started
         report = LoadReport(
             responses=[response for response in responses if response is not None],
@@ -322,6 +453,7 @@ class LoadGenerator:
             concurrency=clients,
             snapshot=self.service.metrics.snapshot(),
             requests=self.requests,
+            sessions=sessions[: len(self.requests)],
         )
         # Accounting invariant: every issued schedule item is answered by
         # exactly one outcome — nothing dropped, nothing double-counted.
@@ -331,6 +463,12 @@ class LoadGenerator:
                 f"outcome accounting broke: {counts} sums to "
                 f"{sum(counts.values())} over {report.total} responses for "
                 f"{len(self.requests)} issued requests"
+            )
+        # Session invariant: no client ever reads below its own writes.
+        violations = report.session_violations()
+        if violations:
+            raise RuntimeError(
+                "read-your-writes violated under load: " + "; ".join(violations[:5])
             )
         return report
 

@@ -51,7 +51,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..chaos.clock import Clock, MonotonicClock
 from ..llm.telemetry import TelemetryCollector
@@ -65,7 +65,7 @@ from ..obs.trace import (
     Tracer,
     maybe_span,
 )
-from ..store import Mutation, ReplicaGroup, ShardApplyReport, ShardedStore
+from ..store import GeoReplicator, Mutation, ReplicaGroup, ShardApplyReport, ShardedStore
 from ..store.sharding import HashRing, ReplicaDivergedError
 from ..validation.base import ValidationResult
 from .cache import verdict_cache_key
@@ -93,6 +93,14 @@ ROUTER_METRIC_NAMES = (
     "router_budget_exhausted_total",
     "router_unhealthy_replicas",
     "router_staleness_epochs",
+    # Geo tier (per-edge series carry an ``edge`` label at collect time;
+    # the session-fallback counter is fleet-level):
+    "router_geo_watermark_epoch",
+    "router_geo_watermark_lag_epochs",
+    "router_geo_queue_depth",
+    "router_geo_edge_reads_total",
+    "router_geo_batches_shipped_total",
+    "router_geo_session_fallbacks_total",
 )
 
 
@@ -165,6 +173,7 @@ class RouterMetrics:
         self,
         groups: Sequence[Sequence[ValidationService]],
         health: Sequence[Sequence[ReplicaHealth]],
+        edge_names: Sequence[str] = (),
     ) -> None:
         self._groups = [list(group) for group in groups]
         self._health = health
@@ -202,6 +211,41 @@ class RouterMetrics:
             "router_staleness_epochs",
             "Epoch lag of the most recent DEGRADED response (0 = serving fresh).",
         )
+        self._geo_session_fallbacks_total = self.registry.counter(
+            "router_geo_session_fallbacks_total",
+            "Reads a session's last-write vector forced off an edge to the primary tier.",
+        )
+        #: Per-edge geo instruments; collected with an injected ``edge``
+        #: label (per-edge registries own identical unlabeled series).
+        self._edge_instruments: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        for name in edge_names:
+            registry = MetricsRegistry()
+            self._edge_instruments[name] = {
+                "registry": registry,
+                "watermark": registry.gauge(
+                    "router_geo_watermark_epoch",
+                    "Composite reported watermark (sum of per-shard acked epochs).",
+                ),
+                "lag": registry.gauge(
+                    "router_geo_watermark_lag_epochs",
+                    "Worst per-shard epochs this edge's reported watermark trails the primary.",
+                ),
+                "depth": registry.gauge(
+                    "router_geo_queue_depth",
+                    "Outbound batches queued for this edge across every shard.",
+                ),
+                "reads": registry.counter(
+                    "router_geo_edge_reads_total",
+                    "Reads this edge answered (stamped with visible staleness).",
+                ),
+                "shipped": registry.counter(
+                    "router_geo_batches_shipped_total",
+                    "Queued batches this edge has applied and acknowledged.",
+                ),
+            }
+        #: Optional hook the router installs to refresh the geo gauges
+        #: right before a scrape (watermarks move between requests).
+        self.geo_refresh = None
         # Snapshot bookkeeping (not a metric): reconciles worker-counted
         # errors with router outcomes so the fleet total stays exact.
         self._error_adjustment = 0
@@ -258,6 +302,27 @@ class RouterMetrics:
         with self._lock:
             self._error_adjustment -= counted_errors
 
+    def observe_geo_read(self, edge: str) -> None:
+        """One read answered by ``edge`` (with visible staleness)."""
+        self._edge_instruments[edge]["reads"].inc()
+
+    def observe_geo_ship(self, edge: str) -> None:
+        """One queued batch applied and acknowledged by ``edge``."""
+        self._edge_instruments[edge]["shipped"].inc()
+
+    def observe_geo_session_fallback(self) -> None:
+        """One read routed to the primary tier because no edge's watermark
+        covered the session's last-write vector (or every covering edge was
+        past the staleness bound)."""
+        self._geo_session_fallbacks_total.inc()
+
+    def set_geo_gauges(self, edge: str, watermark: int, lag: int, depth: int) -> None:
+        """Publish one edge's watermark / lag / queue-depth readings."""
+        instruments = self._edge_instruments[edge]
+        instruments["watermark"].set(watermark)
+        instruments["lag"].set(lag)
+        instruments["depth"].set(depth)
+
     # ------------------------------------------------------------- properties
 
     @property
@@ -298,6 +363,27 @@ class RouterMetrics:
         )
         self._unhealthy_gauge.set(count)
         return count
+
+    @property
+    def edge_reads(self) -> int:
+        """Reads answered by the edge tier, every edge summed."""
+        return sum(
+            int(instruments["reads"].value)
+            for instruments in self._edge_instruments.values()
+        )
+
+    @property
+    def batches_shipped(self) -> int:
+        """Queued batches the edge fleet has applied and acknowledged."""
+        return sum(
+            int(instruments["shipped"].value)
+            for instruments in self._edge_instruments.values()
+        )
+
+    @property
+    def session_fallbacks(self) -> int:
+        """Reads forced off the edge tier by read-your-writes coverage."""
+        return int(self._geo_session_fallbacks_total.value)
 
     # ------------------------------------------------------------- snapshots
 
@@ -378,6 +464,8 @@ class RouterMetrics:
         source for SLO evaluation and the ``obs top`` dashboard.
         """
         self.unhealthy_replicas  # refresh the gauge before collecting
+        if self.geo_refresh is not None:
+            self.geo_refresh()  # watermark/lag/depth gauges move between scrapes
         families = []
         for shard_index, group in enumerate(self._groups):
             for replica_index, service in enumerate(group):
@@ -386,6 +474,8 @@ class RouterMetrics:
                         {"shard": str(shard_index), "replica": str(replica_index)}
                     )
                 )
+        for edge_name, instruments in self._edge_instruments.items():
+            families.extend(instruments["registry"].collect({"edge": edge_name}))
         families.extend(self.registry.collect())
         return families
 
@@ -506,6 +596,35 @@ class ShardedValidationService:
     stale_cache_capacity:
         Bound on the last-known-good verdict cache backing graceful
         degradation (LRU-evicted beyond it).
+    geo / edge_services:
+        The asynchronous geo tier: a
+        :class:`~repro.store.GeoReplicator` over the attached store's
+        shards plus, per edge name, one :class:`ValidationService` per
+        shard serving that edge's store copies.  Both or neither.  Edge
+        replicas apply queued batches at their own pace (background drain
+        loops on the router clock); reads carry a ``region`` hint to
+        prefer an edge and are stamped with the edge's epoch vector and
+        visible ``staleness_epochs``.
+    staleness_bound_epochs:
+        Edge reads whose owning-shard watermark trails the primary by
+        more than this many epochs route to the primary tier instead —
+        the visible-staleness bound.  ``None`` disables the bound.
+    drain_interval_s / edge_lag_s:
+        Seconds between drain ticks per edge (plus the per-edge extra lag
+        from ``edge_lag_s`` — the injected-lag knob benches and chaos
+        scenarios turn).  Writes never wait on a drain: the primary
+        acknowledges as soon as its own tier applied.
+    drain_batch_limit:
+        Most queued batches one background drain tick may apply (default
+        8); the rest wait for the next tick.  Bounding the slice keeps a
+        backlogged edge from monopolising the event loop and
+        back-pressuring primary writes through scheduling delay — the
+        very coupling the async queues exist to prevent.  ``None``
+        removes the cap.  :meth:`drain_edges` is never capped.
+    drain_seed:
+        Seed for the drain scheduler's shard-order shuffle.  Deterministic
+        run-table columns must be byte-identical across drain seeds (the
+        CI geo determinism re-run); only timing may move.
 
     Raises
     ------
@@ -526,6 +645,13 @@ class ShardedValidationService:
         retry_policy: Optional[RetryPolicy] = None,
         clock: Optional[Clock] = None,
         stale_cache_capacity: int = 4096,
+        geo: Optional[GeoReplicator] = None,
+        edge_services: Optional[Mapping[str, Sequence[ValidationService]]] = None,
+        staleness_bound_epochs: Optional[int] = None,
+        drain_interval_s: float = 0.02,
+        edge_lag_s: Optional[Mapping[str, float]] = None,
+        drain_batch_limit: Optional[int] = 8,
+        drain_seed: int = 0,
     ) -> None:
         if not shards:
             raise ValueError("a ShardedValidationService needs at least one shard")
@@ -605,11 +731,57 @@ class ShardedValidationService:
         # to every replica service and attached store.
         self._tracer: Optional[Tracer] = None
         self._events = None
+        # Geo tier: replicator + per-edge per-shard services, or neither.
+        if (geo is None) != (edge_services is None):
+            raise ValueError("geo and edge_services come together (or not at all)")
+        if geo is not None and store is None:
+            raise ValueError("the geo tier needs the ShardedStore attached")
+        if staleness_bound_epochs is not None and staleness_bound_epochs < 0:
+            raise ValueError("staleness_bound_epochs must be >= 0 when set")
+        if drain_interval_s <= 0:
+            raise ValueError("drain_interval_s must be positive")
+        if drain_batch_limit is not None and drain_batch_limit < 1:
+            raise ValueError("drain_batch_limit must be >= 1 when set")
+        self.geo = geo
+        self.edge_services: Dict[str, List[ValidationService]] = (
+            {name: list(services) for name, services in edge_services.items()}
+            if edge_services is not None
+            else {}
+        )
+        if self.geo is not None:
+            for name, services in self.edge_services.items():
+                if name not in self.geo.edges:
+                    raise ValueError(f"edge {name!r} has services but no replicator edge")
+                if len(services) != len(self.groups):
+                    raise ValueError(
+                        f"edge {name!r} has {len(services)} services for "
+                        f"{len(self.groups)} shards"
+                    )
+        self.staleness_bound_epochs = staleness_bound_epochs
+        self.drain_interval_s = drain_interval_s
+        self.drain_batch_limit = drain_batch_limit
+        self.edge_lag_s: Dict[str, float] = dict(edge_lag_s or {})
+        self.drain_seed = drain_seed
+        self._drain_rng = random.Random(drain_seed)
+        self._drain_tasks: List[asyncio.Task] = []
+        #: Drain-loop failures (a diverged edge, a crashed apply): the loop
+        #: kills the edge and records the reason here for post-mortems.
+        self.drain_errors: List[str] = []
+        # Read-your-writes sessions: token -> {shard: last-write epoch}.
+        self._sessions: Dict[str, Dict[int, int]] = {}
+        # Edges hard-stopped by kill_edge (never rejoin without a bootstrap).
+        self._edge_dead: set = set()
+        # Edges whose bootstrap event was already emitted (start() is
+        # re-entrant across stop()/start() cycles).
+        self._edge_bootstrapped: set = set()
         self.health: List[List[ReplicaHealth]] = [
             [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
             for shard_index, group in enumerate(self.groups)
         ]
-        self.metrics = RouterMetrics(self.groups, self.health)
+        self.metrics = RouterMetrics(
+            self.groups, self.health, edge_names=sorted(self.edge_services)
+        )
+        self.metrics.geo_refresh = self._refresh_geo_gauges
         self._rr = [0] * len(self.groups)
         self._closed = False
         # Replicas hard-stopped by kill_replica: their store copies missed
@@ -635,6 +807,13 @@ class ShardedValidationService:
         probe_interval_s: float = 0.25,
         retry_policy: Optional[RetryPolicy] = None,
         clock: Optional[Clock] = None,
+        edges: int = 0,
+        staleness_bound_epochs: Optional[int] = None,
+        drain_interval_s: float = 0.02,
+        edge_lag_s: Optional[Mapping[str, float]] = None,
+        drain_batch_limit: Optional[int] = 8,
+        drain_seed: int = 0,
+        queue_dir: Optional[str] = None,
     ) -> "ShardedValidationService":
         """``num_shards`` x ``replicas`` shard services over one runner.
 
@@ -646,13 +825,25 @@ class ShardedValidationService:
         shard's log) so every replica worker serves its own byte-identical
         store copy — the fleet shards remain the group primaries.
 
+        ``edges > 0`` adds the asynchronous geo tier: a
+        :class:`~repro.store.GeoReplicator` over the store (durable queues
+        when ``queue_dir`` is set), with edges named ``edge-0`` …
+        ``edge-{edges-1}``, each serving its own per-shard store copies
+        bootstrapped by snapshot replay and caught up by background drain
+        loops (``drain_interval_s`` plus any per-edge ``edge_lag_s``).
+
         Raises :class:`ValueError` when ``num_shards``/``replicas`` is not
-        positive or the store partitions a different number of ways.
+        positive, the store partitions a different number of ways, or
+        ``edges > 0`` without a store.
         """
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if edges < 0:
+            raise ValueError("edges must be >= 0")
+        if edges and store is None:
+            raise ValueError("the geo tier needs a ShardedStore attached")
         if store is not None and store.num_shards != num_shards:
             raise ValueError(
                 f"store partitions {store.num_shards} ways; asked for {num_shards}"
@@ -676,6 +867,22 @@ class ShardedValidationService:
                     )
                 )
             groups.append(group)
+        geo: Optional[GeoReplicator] = None
+        edge_services: Optional[Dict[str, List[ValidationService]]] = None
+        if edges:
+            geo = GeoReplicator(store, queue_dir=queue_dir)
+            if replica_groups is not None:
+                geo.wire_replicas(replica_groups)
+            edge_services = {}
+            for edge_index in range(edges):
+                name = f"edge-{edge_index}"
+                edge = geo.add_edge(name)
+                edge_services[name] = [
+                    ValidationService.from_runner(
+                        runner, config, telemetry, store=edge.stores[shard_index]
+                    )
+                    for shard_index in range(num_shards)
+                ]
         return cls(
             groups,
             store=store,
@@ -685,6 +892,13 @@ class ShardedValidationService:
             probe_interval_s=probe_interval_s,
             retry_policy=retry_policy,
             clock=clock,
+            geo=geo,
+            edge_services=edge_services,
+            staleness_bound_epochs=staleness_bound_epochs,
+            drain_interval_s=drain_interval_s,
+            edge_lag_s=edge_lag_s,
+            drain_batch_limit=drain_batch_limit,
+            drain_seed=drain_seed,
         )
 
     # ---------------------------------------------------------------- lifecycle
@@ -704,13 +918,34 @@ class ShardedValidationService:
             [ReplicaHealth(shard_index, replica_index) for replica_index in range(len(group))]
             for shard_index, group in enumerate(self.groups)
         ]
-        self.metrics = RouterMetrics(self.groups, self.health)
+        self.metrics = RouterMetrics(
+            self.groups, self.health, edge_names=sorted(self.edge_services)
+        )
+        self.metrics.geo_refresh = self._refresh_geo_gauges if self.geo else None
         for shard_index, group in enumerate(self.groups):
             for replica_index, service in enumerate(group):
                 if (shard_index, replica_index) in self._dead:
                     self.health[shard_index][replica_index].healthy = False
                     continue
                 await service.start()
+        for index, name in enumerate(sorted(self.edge_services)):
+            if name in self._edge_dead:
+                continue
+            for service in self.edge_services[name]:
+                await service.start()
+            if name not in self._edge_bootstrapped:
+                self._edge_bootstrapped.add(name)
+                if self._events is not None:
+                    self._events.emit(
+                        "edge_bootstrap",
+                        f"edge:{index}",
+                        watermark=sum(self.geo.watermark_vector(name)),
+                    )
+        self._drain_tasks = [
+            asyncio.ensure_future(self._drain_loop(name, index))
+            for index, name in enumerate(sorted(self.edge_services))
+            if name not in self._edge_dead
+        ]
 
     async def stop(self, drain: bool = True) -> None:
         """Stop every replica; ``drain=True`` answers admitted requests first.
@@ -727,7 +962,18 @@ class ShardedValidationService:
         an answer for their admitted requests, so they drain normally.
         """
         self._closed = True
+        for task in self._drain_tasks:
+            task.cancel()
+        if self._drain_tasks:
+            await asyncio.gather(*self._drain_tasks, return_exceptions=True)
+        self._drain_tasks = []
         stops = []
+        for name in sorted(self.edge_services):
+            if name in self._edge_dead:
+                continue
+            for service in self.edge_services[name]:
+                if not service._closed:
+                    stops.append(service.stop(drain=drain))
         for shard_index, group in enumerate(self.groups):
             healths = self.health[shard_index]
             has_healthy_sibling = any(
@@ -780,6 +1026,257 @@ class ShardedValidationService:
         health.healthy = False
         health.marked_unhealthy_at = self.clock.now()
 
+    # ---------------------------------------------------------------- geo tier
+
+    @property
+    def edge_names(self) -> List[str]:
+        """Configured edge replica names, sorted (dead edges included)."""
+        return sorted(self.edge_services)
+
+    @property
+    def live_edge_names(self) -> List[str]:
+        """Edges still serving (not removed by :meth:`kill_edge`)."""
+        return [name for name in sorted(self.edge_services) if name not in self._edge_dead]
+
+    def watermark_vector(self, name: str) -> Tuple[int, ...]:
+        """One edge's *reported* per-shard applied-epoch watermarks."""
+        if self.geo is None:
+            raise RuntimeError("no geo tier configured")
+        return self.geo.watermark_vector(name)
+
+    def session_vector(self, session: str) -> Dict[int, int]:
+        """A session token's last-write epochs by shard (empty if unseen)."""
+        return dict(self._sessions.get(session, {}))
+
+    async def kill_edge(self, name: str) -> None:
+        """Hard-stop one edge replica (fault injection / ops eviction).
+
+        The edge leaves read routing immediately and its drain loop stops;
+        its durable queue entries and reported watermarks stay put, so a
+        recovered edge process can re-attach via
+        :meth:`~repro.store.GeoReplicator.adopt_edge` and resume from
+        exactly the batches it never acked.  Raises :class:`KeyError` for
+        an unknown edge name.
+        """
+        if name not in self.edge_services:
+            raise KeyError(f"unknown edge {name!r}")
+        if name in self._edge_dead:
+            return
+        self._edge_dead.add(name)
+        if self._events is not None:
+            index = sorted(self.edge_services).index(name)
+            self._events.emit("edge_killed", f"edge:{index}")
+        await asyncio.gather(
+            *(service.stop(drain=False) for service in self.edge_services[name])
+        )
+
+    async def drain_edges(
+        self, name: Optional[str] = None, max_batches: Optional[int] = None
+    ) -> int:
+        """Drain queued batches into one edge (or every live edge) now.
+
+        The background loops already drain at their own pace; this is the
+        synchronous path for tests and scenario epilogues that must reach a
+        converged state before checking digests.  Returns the number of
+        batches applied.  Raises :class:`RuntimeError` without a geo tier.
+        """
+        if self.geo is None:
+            raise RuntimeError("no geo tier configured")
+        names = [name] if name is not None else self.live_edge_names
+        applied = 0
+        for edge_name in names:
+            if edge_name in self._edge_dead:
+                continue
+            applied += await self._drain_edge(edge_name, max_batches)
+        return applied
+
+    async def _drain_edge(self, name: str, max_batches: Optional[int] = None) -> int:
+        """Apply pending queue batches to one edge through its services.
+
+        Batches land via each edge shard's :class:`ValidationService` (so
+        the quiesce/cache-invalidation contract holds on the edge exactly
+        as on the primary tier), in seeded-shuffled shard order — the drain
+        scheduler whose interleavings the property suite sweeps.  Each
+        landed batch is acked immediately: the edge store's own epoch is
+        the durable watermark, so a crash between apply and ack costs only
+        a redundant re-report, never a double-apply.
+        """
+        services = self.edge_services[name]
+        shard_order = list(range(len(services)))
+        self._drain_rng.shuffle(shard_order)
+        applied = 0
+        for shard_index in shard_order:
+            queue = self.geo.queues[shard_index]
+            service = services[shard_index]
+            edge_store = service.store
+            budget = None if max_batches is None else max_batches - applied
+            if budget is not None and budget <= 0:
+                break
+            for epoch, batch in queue.pending_after(edge_store.epoch, limit=budget):
+                report = await service.apply_mutations(batch)
+                if report.epoch != epoch:
+                    raise ReplicaDivergedError(
+                        f"edge {name} shard {shard_index} landed epoch "
+                        f"{report.epoch}, queue shipped {epoch}"
+                    )
+                queue.ack(name, epoch)
+                self.metrics.observe_geo_ship(name)
+                applied += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        break
+        if applied and self._events is not None:
+            index = sorted(self.edge_services).index(name)
+            self._events.emit("edge_drain", f"edge:{index}", batches=applied)
+        return applied
+
+    async def _drain_loop(self, name: str, index: int) -> None:
+        """One edge's background catch-up pump, on the router clock.
+
+        Each tick sleeps ``drain_interval_s`` plus the edge's configured
+        lag, consults the fault injector at point ``edge:{index}`` (kill →
+        :meth:`kill_edge`; stall/error → skip the tick, the partition
+        case — the edge keeps serving stale reads; slow → extra sleep),
+        then drains at most ``drain_batch_limit`` queued batches so a
+        deep backlog never monopolises the event loop.  Unexpected drain
+        errors
+        (divergence, a validation refusal) kill the edge and are recorded
+        in :attr:`drain_errors` rather than dying silently in a task.
+        """
+        point = f"edge:{index}"
+        try:
+            while not self._closed:
+                await self.clock.sleep(
+                    self.drain_interval_s + self.edge_lag_s.get(name, 0.0)
+                )
+                if self._closed or name in self._edge_dead:
+                    return
+                if self._injector is not None:
+                    events = self._injector.active_for(point)
+                    if any(event.fault.kind == "kill" for event in events):
+                        await self.kill_edge(name)
+                        return
+                    extra = sum(
+                        event.fault.latency_s
+                        for event in events
+                        if event.fault.kind == "slow"
+                    )
+                    if extra:
+                        await self.clock.sleep(extra)
+                    if any(event.fault.kind in ("stall", "error") for event in events):
+                        # The partition case: the queue stalls (no drain
+                        # this tick) but the edge keeps serving stale reads.
+                        continue
+                try:
+                    await self._drain_edge(name, self.drain_batch_limit)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self.drain_errors.append(f"{name}: {exc!r}")
+                    await self.kill_edge(name)
+                    return
+        except asyncio.CancelledError:
+            return
+
+    def _refresh_geo_gauges(self) -> None:
+        """Push current watermark/lag/queue-depth readings per live edge."""
+        if self.geo is None:
+            return
+        for name in self.live_edge_names:
+            try:
+                watermarks = self.geo.watermark_vector(name)
+                lag = self.geo.lag_vector(name)
+                depth = self.geo.depth(name)
+            except KeyError:  # pragma: no cover - edge removed mid-collect
+                continue
+            self.metrics.set_geo_gauges(name, sum(watermarks), max(lag), depth)
+
+    def _edge_for_read(
+        self, shard_index: int, session: Optional[str], region: Optional[str]
+    ) -> Optional[str]:
+        """The edge eligible to serve this read, or ``None`` for primary.
+
+        Eligibility is the read-your-writes contract made routable: the
+        edge must be the caller's region, alive, its *reported* watermark
+        vector must cover the session's whole last-write vector (the
+        served response carries the edge's full epoch vector, so a floor
+        miss on *any* written shard — not just the owning one — would let
+        the session observe state below its own write), and — when a
+        staleness bound is configured — the owning shard must trail the
+        primary by at most that many epochs.  A region-matched edge
+        rejected on the session/staleness check counts a
+        ``session fallback``.
+        """
+        if region is None or self.geo is None:
+            return None
+        if region not in self.edge_services or region in self._edge_dead:
+            return None
+        if self.edge_services[region][shard_index]._closed:
+            return None
+        try:
+            watermark = self.geo.queues[shard_index].watermark(region)
+        except KeyError:
+            return None
+        if session is not None:
+            floor = self._sessions.get(session, {})
+            if floor:
+                watermarks = self.geo.watermark_vector(region)
+                if any(
+                    watermarks[shard] < epoch for shard, epoch in floor.items()
+                ):
+                    self.metrics.observe_geo_session_fallback()
+                    return None
+        if self.staleness_bound_epochs is not None:
+            primary_epoch = self.epoch_vector[shard_index]
+            if primary_epoch - watermark > self.staleness_bound_epochs:
+                self.metrics.observe_geo_session_fallback()
+                return None
+        return region
+
+    async def _submit_edge(
+        self, request: ServiceRequest, shard_index: int, edge_name: str
+    ) -> Optional[ServiceResponse]:
+        """Serve one read from an edge shard copy, or ``None`` to fall back.
+
+        Any edge fault — a stall past the request timeout, a raise, a
+        service stopped under us, or an admission rejection — returns
+        ``None`` and the caller serves from the primary tier instead: the
+        edge tier adds locality, never a new failure mode.  A served
+        response is stamped with the *edge's* applied epoch vector (its
+        true staleness, visible to the caller) and the epochs its owning
+        shard copy trailed the primary at serve time.
+        """
+        service = self.edge_services[edge_name][shard_index]
+        if service._closed:
+            return None
+        try:
+            if self.request_timeout_s is not None:
+                response = await asyncio.wait_for(
+                    service.submit(request), timeout=self.request_timeout_s
+                )
+            else:
+                response = await service.submit(request)
+        except asyncio.CancelledError:
+            if service._closed and not self._closed:
+                return None
+            raise
+        except (asyncio.TimeoutError, Exception):
+            return None
+        if response.outcome is not RequestOutcome.COMPLETED:
+            return None
+        edge = self.geo.edges[edge_name]
+        vector = edge.applied_vector
+        staleness = max(self.epoch_vector[shard_index] - vector[shard_index], 0)
+        self.metrics.observe_geo_read(edge_name)
+        return dataclasses.replace(
+            response,
+            epoch=sum(vector),
+            epoch_vector=vector,
+            served_by=edge_name,
+            staleness_epochs=staleness,
+        )
+
     # ---------------------------------------------------------------- properties
 
     @property
@@ -817,8 +1314,23 @@ class ShardedValidationService:
 
     # ---------------------------------------------------------------- serving
 
-    async def submit(self, request: ServiceRequest) -> ServiceResponse:
+    async def submit(
+        self,
+        request: ServiceRequest,
+        session: Optional[str] = None,
+        region: Optional[str] = None,
+    ) -> ServiceResponse:
         """Route one request to its owning shard, failing over across replicas.
+
+        With a geo tier configured, a ``region`` naming a live edge serves
+        the read from that edge's local store copy when the edge is
+        *eligible*: its reported watermark for the owning shard covers the
+        ``session`` token's last write there (read-your-writes) and trails
+        the primary by at most ``staleness_bound_epochs``.  Edge-served
+        responses carry the edge's applied epoch vector, ``served_by`` and
+        ``staleness_epochs`` — staleness is visible, never silent.  An
+        ineligible, faulted, or unknown region falls back to the primary
+        tier, so the edge tier never adds a failure mode.
 
         The balancer picks the least-loaded healthy replica first (round-
         robin tie-break); a faulted attempt — raise, stall past
@@ -848,12 +1360,21 @@ class ShardedValidationService:
         if self._closed:
             raise RuntimeError("service is stopped")
         shard_index = self.shard_for(request)
+        edge_name = self._edge_for_read(shard_index, session, region)
+        if edge_name is not None:
+            response = await self._submit_edge(request, shard_index, edge_name)
+            if response is not None:
+                return response
         if self._tracer is None:
-            return await self._submit_inner(request, shard_index, None)
+            return self._stamp_tier(
+                await self._submit_inner(request, shard_index, None)
+            )
         with self._tracer.span("router.route", f"shard:{shard_index}") as span:
             span.attributes["method"] = request.method
             span.attributes["shard"] = shard_index
-            response = await self._submit_inner(request, shard_index, span)
+            response = self._stamp_tier(
+                await self._submit_inner(request, shard_index, span)
+            )
             span.attributes["outcome"] = response.outcome.name
             if response.outcome is RequestOutcome.FAILED:
                 span.status = STATUS_FAILED
@@ -1054,8 +1575,16 @@ class ShardedValidationService:
 
     # ---------------------------------------------------------------- ingestion
 
-    async def apply_mutations(self, mutations: Sequence[Mutation]) -> ShardApplyReport:
+    async def apply_mutations(
+        self, mutations: Sequence[Mutation], session: Optional[str] = None
+    ) -> ShardApplyReport:
         """Route a mutation batch to its owning shards; ship to every replica.
+
+        A ``session`` token records the landed per-shard epochs as the
+        session's last-write vector: subsequent :meth:`submit` calls with
+        the same token only route to edges whose watermarks cover it —
+        the read-your-writes contract.  Writes always land on the primary
+        tier; edges catch up asynchronously through their queues.
 
         Each owning shard's replicas quiesce *themselves* (drain their
         in-flight reads, apply the identical batch to their own store copy,
@@ -1129,6 +1658,10 @@ class ShardedValidationService:
             reports = await asyncio.gather(
                 *(apply_to_shard(index) for index in indexes)
             )
+            if session is not None:
+                vector = self._sessions.setdefault(session, {})
+                for index, report in zip(indexes, reports):
+                    vector[index] = max(vector.get(index, 0), report.epoch)
         return ShardApplyReport(tuple(zip(indexes, reports)), self.epoch_vector)
 
     # ---------------------------------------------------------------- chaos
@@ -1145,6 +1678,13 @@ class ShardedValidationService:
         ``kill`` events are *not* fired here — the scenario driver consumes
         :meth:`~repro.chaos.faults.FaultInjector.due_kills` and calls
         :meth:`kill_replica` so kills share the ops-eviction semantics.
+
+        The geo tier's ``edge:{i}`` points are consulted by each edge's
+        background drain loop directly (kill → :meth:`kill_edge`;
+        stall/error → the queue stalls while the edge keeps serving
+        epoch-stamped stale reads; slow → added drain lag).  Edge *read*
+        paths are deliberately not armed: a partitioned edge that still
+        answers is the semantics under test.
         """
         self._injector = injector
         for shard_index, group in enumerate(self.groups):
@@ -1181,6 +1721,13 @@ class ShardedValidationService:
                 service.set_observability(
                     tracer, events, f"shard:{shard_index}/replica:{replica_index}"
                 )
+        for edge_index, name in enumerate(sorted(self.edge_services)):
+            for shard_index, service in enumerate(self.edge_services[name]):
+                service.set_observability(
+                    tracer, events, f"edge:{edge_index}/shard:{shard_index}"
+                )
+                if service.store is not None:
+                    service.store.tracer = tracer
         if self.store is not None:
             for shard in self.store.shards:
                 shard.tracer = tracer
@@ -1364,6 +1911,14 @@ class ShardedValidationService:
         return dataclasses.replace(
             response, epoch=sum(vector), epoch_vector=tuple(vector)
         )
+
+    def _stamp_tier(self, response: ServiceResponse) -> ServiceResponse:
+        """With a geo tier configured, mark primary-served responses as such
+        (``staleness_epochs=0``: the primary is never stale to itself).
+        Without one, responses stay exactly as before the geo tier existed."""
+        if self.geo is None:
+            return response
+        return dataclasses.replace(response, served_by="primary", staleness_epochs=0)
 
     def _failed_response(
         self, started: float, index: int, error: str, retries: int = 0

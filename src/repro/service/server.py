@@ -128,6 +128,14 @@ class ServiceResponse:
     #: serving path ran untraced).  The TCP frontend echoes it to clients
     #: so a slow reply links straight to its span tree.
     trace_id: Optional[str] = None
+    #: Which tier answered: ``"primary"`` or an edge name behind a
+    #: geo-replicated router; ``None`` from a bare :class:`ValidationService`.
+    served_by: Optional[str] = None
+    #: For edge-served reads: how many applied epochs the edge's shard copy
+    #: trailed the primary at serve time (0 = fully caught up).  Staleness
+    #: is *visible*, never silent — ``epoch_vector`` carries the edge's
+    #: actual per-shard epochs alongside.  ``None`` off the geo path.
+    staleness_epochs: Optional[int] = None
 
     @property
     def rejected(self) -> bool:

@@ -51,6 +51,7 @@ from .log import (
     atomic_write,
     read_mutations_jsonl,
 )
+from .geosync import EdgeReplica, GeoReplicator, OutboundQueue
 from .segment import (
     CorruptSegmentError,
     PageCache,
@@ -74,9 +75,12 @@ __all__ = [
     "ADD_TRIPLE",
     "ApplyReport",
     "CorruptSegmentError",
+    "EdgeReplica",
+    "GeoReplicator",
     "HashRing",
     "Mutation",
     "MutationLog",
+    "OutboundQueue",
     "PageCache",
     "REMOVE_TRIPLE",
     "ReplicaDivergedError",

@@ -1,0 +1,629 @@
+"""Asynchronous geo-tier replication: durable outbound queues + edge sync.
+
+PR 5's :class:`~repro.store.sharding.ReplicaGroup` keeps replicas in
+lockstep — every write pays the slowest copy.  This module is the
+*asynchronous* tier modeled on multi-branch enterprise sync over durable
+message queues (arXiv:0912.2134): the primary fleet appends every applied
+batch to a per-shard :class:`OutboundQueue`, and **edge** replica sets
+subscribe and apply those batches at their own pace.  Consistency is
+tracked, not enforced:
+
+* each queue record is an ``(epoch, batch)`` pair mirroring the owning
+  shard's dense monotonic epochs, so an edge's applied epoch *is* its
+  watermark — replaying an edge's own log after a crash resumes exactly
+  where it stopped, and :meth:`OutboundQueue.pending_after` can never
+  skip or double-apply a batch;
+* edges report applied-epoch **watermarks** back to the primary via
+  :meth:`OutboundQueue.ack`; the serving tier reads those reported
+  watermarks to route read-your-writes sessions and to stamp visible
+  staleness on edge-served responses;
+* queues are durable when given a path: every enqueue and ack appends one
+  JSON line (fsynced), so queued-but-unshipped batches survive a primary
+  restart, and a torn final line from a crash is dropped on load;
+* a cold edge **bootstraps** from a snapshot: the primary shard logs are
+  replayed up to a checkpoint epoch (deterministic replay makes the copy
+  byte-identical by construction), the watermark starts there, and the
+  queue replays only the suffix behind it.
+
+Convergence is provable: once every queue drains, each edge's per-shard
+``state_digest`` is byte-identical to the primary's
+(:meth:`GeoReplicator.verify_converged`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .log import Mutation, MutationLog
+from .sharding import ReplicaDivergedError, ShardedStore
+from .store import VersionedKnowledgeStore
+
+__all__ = ["EdgeReplica", "GeoReplicator", "OutboundQueue"]
+
+
+class OutboundQueue:
+    """One shard's durable outbound replication queue with watermark acks.
+
+    Batches enter at the epoch the primary applied them (dense, strictly
+    monotonic — the same contract as :class:`~repro.store.log.MutationLog`,
+    which backs the in-memory state).  Each subscribed edge has a
+    **watermark**: the highest epoch it has acknowledged applying.
+    :meth:`pending_after` answers the suffix an edge still owes, so a
+    consumer that acks after every applied batch resumes exactly at its
+    watermark after a crash.
+
+    ``floor_epoch`` is the epoch the queue started recording at (the
+    primary's epoch when the queue was created): batches at or below the
+    floor predate the queue and must come from a snapshot bootstrap
+    instead (:meth:`GeoReplicator.add_edge`).
+
+    With ``path`` set the queue is durable: every enqueue and ack appends
+    one JSON line, flushed and fsynced, so queued-but-unshipped batches
+    survive a primary restart.  :meth:`load` ignores a torn final line
+    (the crash contract of an append-only log) and replays acks last-wins.
+    """
+
+    def __init__(
+        self, shard_index: int = 0, floor_epoch: int = 0, path: Optional[str] = None
+    ) -> None:
+        self.shard_index = shard_index
+        self._log = MutationLog(floor_epoch=floor_epoch)
+        self._watermarks: Dict[str, int] = {}
+        self._path = path
+        self._handle = None
+        if path is not None and not os.path.exists(path):
+            self._append(
+                {
+                    "kind": "header",
+                    "version": 1,
+                    "shard": shard_index,
+                    "floor_epoch": floor_epoch,
+                }
+            )
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def floor_epoch(self) -> int:
+        """Epochs at or below this predate the queue (snapshot territory)."""
+        return self._log.floor_epoch
+
+    @property
+    def max_epoch(self) -> int:
+        """The newest enqueued batch's epoch (the primary's shard epoch)."""
+        return self._log.max_epoch
+
+    @property
+    def watermarks(self) -> Dict[str, int]:
+        """Reported applied-epoch watermark per edge (a copy)."""
+        return dict(self._watermarks)
+
+    def watermark(self, edge: str) -> int:
+        """``edge``'s reported watermark (its registration epoch before any
+        ack; raises :class:`KeyError` for an unregistered edge)."""
+        return self._watermarks[edge]
+
+    def depth(self, edge: str) -> int:
+        """Batches enqueued but not yet acknowledged by ``edge``."""
+        return len(self.pending_after(self.watermark(edge)))
+
+    # ------------------------------------------------------------- producing
+
+    def enqueue(self, epoch: int, mutations: Sequence[Mutation]) -> bool:
+        """Record one applied batch; returns whether it was new.
+
+        Idempotent on ``epoch``: with replicated primaries every store
+        copy reports the same batch at the same epoch, and only the first
+        report is recorded.  A genuinely non-monotonic epoch (a gap or a
+        regression below the floor) raises :class:`ValueError` — the queue
+        mirrors the shard log's dense-epoch contract.
+        """
+        if epoch <= self.max_epoch:
+            return False
+        batch = list(mutations)
+        self._log.append_batch(epoch, batch)
+        self._append(
+            {
+                "kind": "batch",
+                "epoch": epoch,
+                "mutations": [mutation.to_json() for mutation in batch],
+            }
+        )
+        return True
+
+    # ------------------------------------------------------------- consuming
+
+    def pending_after(
+        self, watermark: int, limit: Optional[int] = None
+    ) -> List[Tuple[int, List[Mutation]]]:
+        """The ``(epoch, batch)`` suffix strictly above ``watermark``.
+
+        Epoch order, at most ``limit`` batches when set.  Raises
+        :class:`ValueError` when ``watermark`` is below the queue floor —
+        those batches predate the queue, so replaying from it would
+        silently skip history (a bootstrap must supply them instead).
+        """
+        if watermark < self.floor_epoch:
+            raise ValueError(
+                f"watermark {watermark} is below the queue floor "
+                f"{self.floor_epoch}; bootstrap from a snapshot first"
+            )
+        pending = [
+            (epoch, batch)
+            for epoch, batch in self._log.batches()
+            if epoch > watermark
+        ]
+        if limit is not None:
+            pending = pending[:limit]
+        return pending
+
+    def register(self, edge: str, watermark: int) -> None:
+        """Start tracking ``edge`` at ``watermark`` (its bootstrap epoch)."""
+        if edge in self._watermarks:
+            raise ValueError(f"edge {edge!r} is already registered")
+        self._watermarks[edge] = watermark
+        self._append({"kind": "ack", "edge": edge, "epoch": watermark})
+
+    def ack(self, edge: str, epoch: int) -> None:
+        """Record ``edge``'s applied-epoch watermark (monotonic, last-wins).
+
+        A stale ack (an epoch at or below the current watermark) is a
+        no-op: watermarks only advance.
+        """
+        current = self._watermarks.get(edge)
+        if current is not None and epoch <= current:
+            return
+        self._watermarks[edge] = epoch
+        self._append({"kind": "ack", "edge": edge, "epoch": epoch})
+
+    def truncate(self) -> int:
+        """Drop batches every registered edge has acknowledged; returns the
+        number dropped.  The floor rises to the lowest watermark, so a
+        *future* edge must bootstrap at or above it.  No-op without
+        registered edges (nothing is provably shipped yet)."""
+        if not self._watermarks:
+            return 0
+        low = min(self._watermarks.values())
+        if low <= self.floor_epoch:
+            return 0
+        kept = [(epoch, batch) for epoch, batch in self._log.batches() if epoch > low]
+        dropped = len(self._log.batches()) - len(kept)
+        log = MutationLog(floor_epoch=low)
+        for epoch, batch in kept:
+            log.append_batch(epoch, batch)
+        self._log = log
+        self._rewrite()
+        return dropped
+
+    # ------------------------------------------------------------- durability
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self._path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _rewrite(self) -> None:
+        """Compact the durable file after :meth:`truncate` (atomic replace)."""
+        if self._path is None:
+            return
+        self.close()
+        from .log import atomic_write
+
+        with atomic_write(self._path) as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "header",
+                        "version": 1,
+                        "shard": self.shard_index,
+                        "floor_epoch": self.floor_epoch,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            for epoch, batch in self._log.batches():
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "batch",
+                            "epoch": epoch,
+                            "mutations": [m.to_json() for m in batch],
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            for edge, epoch in sorted(self._watermarks.items()):
+                handle.write(
+                    json.dumps(
+                        {"kind": "ack", "edge": edge, "epoch": epoch}, sort_keys=True
+                    )
+                    + "\n"
+                )
+
+    def close(self) -> None:
+        """Release the append handle (the queue stays usable; it reopens)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @classmethod
+    def load(cls, path: str, shard_index: int = 0) -> "OutboundQueue":
+        """Rebuild a durable queue from its append-only file.
+
+        Batches and acks replay in file order (acks last-wins); a torn
+        final line — the only damage an fsynced append-only log can take —
+        is dropped.  A malformed line *before* the final one raises
+        :class:`ValueError`: that is corruption, not a crash artifact.
+        """
+        queue = cls(shard_index=shard_index)
+        queue._path = path
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    break  # torn tail from a crash mid-append
+                raise ValueError(f"{path}:{number}: corrupt queue record")
+            kind = record.get("kind")
+            if kind == "header":
+                queue._log.floor_epoch = int(record.get("floor_epoch", 0))
+                queue.shard_index = int(record.get("shard", shard_index))
+            elif kind == "batch":
+                queue._log.append_batch(
+                    int(record["epoch"]),
+                    [Mutation.from_json(m) for m in record["mutations"]],
+                )
+            elif kind == "ack":
+                edge, epoch = str(record["edge"]), int(record["epoch"])
+                current = queue._watermarks.get(edge)
+                if current is None or epoch > current:
+                    queue._watermarks[edge] = epoch
+            else:
+                raise ValueError(f"{path}:{number}: unknown queue record {kind!r}")
+        return queue
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OutboundQueue(shard={self.shard_index}, max_epoch={self.max_epoch}, "
+            f"edges={sorted(self._watermarks)})"
+        )
+
+
+class EdgeReplica:
+    """One edge site: per-shard store copies applying queued batches.
+
+    The edge's **applied vector** is its per-shard store epochs — because
+    shard epochs are dense and batches apply in epoch order, the applied
+    epoch is the durable watermark (replaying the edge's own logs after a
+    crash resumes exactly there; see :meth:`save` / :meth:`load`).
+    """
+
+    def __init__(self, name: str, stores: Sequence[VersionedKnowledgeStore]) -> None:
+        if not stores:
+            raise ValueError("an EdgeReplica needs at least one shard store")
+        self.name = name
+        self.stores: List[VersionedKnowledgeStore] = list(stores)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.stores)
+
+    @property
+    def applied_vector(self) -> Tuple[int, ...]:
+        """Per-shard applied epochs — the edge's true (durable) watermarks."""
+        return tuple(store.epoch for store in self.stores)
+
+    def state_digests(self, include_index: bool = False) -> List[str]:
+        """Per-shard state digests (convergence is digest parity with the
+        primary shards at equal epochs)."""
+        return [store.state_digest(include_index=include_index) for store in self.stores]
+
+    def save(self, prefix: str, format: Optional[str] = None) -> List[str]:
+        """Persist every shard copy as ``{prefix}.shard{i}`` (the edge's
+        durable state — reloading resumes at the applied watermarks)."""
+        paths = []
+        for index, store in enumerate(self.stores):
+            path = f"{prefix}.shard{index}"
+            store.save(path, format=format)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(cls, name: str, prefix: str, num_shards: int) -> "EdgeReplica":
+        """Reload a saved edge; its applied vector is the resume point."""
+        stores = [
+            VersionedKnowledgeStore.load(f"{prefix}.shard{index}", name=f"{name}-s{index}")
+            for index in range(num_shards)
+        ]
+        return cls(name, stores)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeReplica({self.name!r}, applied={self.applied_vector})"
+
+
+class GeoReplicator:
+    """Per-shard outbound queues plus the edge fleet draining them.
+
+    Construction subscribes every primary shard store (and, via
+    :meth:`wire_replicas`, every replica copy — enqueueing is idempotent
+    on the epoch, so replicated primaries report each batch once): any
+    apply path — :meth:`ShardedStore.apply`, a
+    :class:`~repro.store.sharding.ReplicaGroup` ship, the serving tier's
+    ingest — lands the batch in the owning shard's queue with no extra
+    bookkeeping at the call sites.
+
+    ``queue_dir`` makes the queues durable (``queue.shard{i}.jsonl``
+    each); pass the same directory to :meth:`resume` after a primary
+    restart to recover queued-but-unshipped batches and every reported
+    watermark.
+    """
+
+    def __init__(
+        self,
+        primary: ShardedStore,
+        queue_dir: Optional[str] = None,
+        queues: Optional[Sequence[OutboundQueue]] = None,
+    ) -> None:
+        self.primary = primary
+        self.queue_dir = queue_dir
+        if queues is not None:
+            if len(queues) != primary.num_shards:
+                raise ValueError(
+                    f"{len(queues)} queues for {primary.num_shards} shards"
+                )
+            self.queues = list(queues)
+        else:
+            self.queues = [
+                OutboundQueue(
+                    shard_index=index,
+                    floor_epoch=shard.epoch,
+                    path=self._queue_path(index),
+                )
+                for index, shard in enumerate(primary.shards)
+            ]
+        self.edges: Dict[str, EdgeReplica] = {}
+        self._subscribed: set = set()
+        for index, shard in enumerate(primary.shards):
+            self._subscribe(index, shard)
+
+    def _queue_path(self, index: int) -> Optional[str]:
+        if self.queue_dir is None:
+            return None
+        os.makedirs(self.queue_dir, exist_ok=True)
+        return os.path.join(self.queue_dir, f"queue.shard{index}.jsonl")
+
+    @classmethod
+    def resume(cls, primary: ShardedStore, queue_dir: str) -> "GeoReplicator":
+        """Rebuild the replicator after a primary restart.
+
+        Durable queue files in ``queue_dir`` are reloaded — pending
+        batches and reported watermarks intact — so edges resume draining
+        exactly where they acked.  Missing files (a shard that never
+        enqueued) start fresh at the shard's current epoch.
+        """
+        queues = []
+        for index, shard in enumerate(primary.shards):
+            path = os.path.join(queue_dir, f"queue.shard{index}.jsonl")
+            if os.path.exists(path):
+                queues.append(OutboundQueue.load(path, shard_index=index))
+            else:
+                queues.append(
+                    OutboundQueue(shard_index=index, floor_epoch=shard.epoch, path=path)
+                )
+        replicator = cls(primary, queue_dir=queue_dir, queues=queues)
+        return replicator
+
+    # ------------------------------------------------------------- wiring
+
+    def _subscribe(self, index: int, store: VersionedKnowledgeStore) -> None:
+        if id(store) in self._subscribed:
+            return
+        self._subscribed.add(id(store))
+        queue = self.queues[index]
+
+        def on_batch(epoch: int, mutations: Sequence[Mutation]) -> None:
+            queue.enqueue(epoch, mutations)
+
+        store.subscribe(on_batch)
+
+    def wire_replicas(self, replica_groups: Sequence) -> None:
+        """Also subscribe every replica store copy (kill-tolerant feed).
+
+        With lockstep replica groups the primary copy can be killed while
+        siblings keep applying; subscribing every copy (idempotent
+        enqueue) keeps the queue fed by whichever copies stay live.
+        """
+        if len(replica_groups) != len(self.queues):
+            raise ValueError(
+                f"{len(replica_groups)} replica groups for {len(self.queues)} shards"
+            )
+        for index, group in enumerate(replica_groups):
+            for store in group.stores:
+                self._subscribe(index, store)
+
+    # ------------------------------------------------------------- edges
+
+    def add_edge(
+        self, name: str, checkpoint_epoch: Optional[int] = None
+    ) -> EdgeReplica:
+        """Cold-bootstrap an edge: snapshot at a checkpoint, then catch up.
+
+        Each shard is rebuilt by deterministic replay of the primary's log
+        up to ``checkpoint_epoch`` (the snapshot transfer — byte-identical
+        by construction), the edge's watermarks register at the epochs the
+        replay landed on, and subsequent :meth:`drain` calls replay only
+        the queue suffix behind them.  ``None`` checkpoints at the current
+        primary epochs (an empty catch-up).
+
+        Raises :class:`ValueError` for a duplicate name or a checkpoint
+        below a queue floor (those batches predate the queue — nothing
+        could catch the edge up).
+        """
+        if name in self.edges:
+            raise ValueError(f"edge {name!r} already exists")
+        stores = []
+        for index, primary in enumerate(self.primary.shards):
+            upto = checkpoint_epoch
+            store = VersionedKnowledgeStore.replay(
+                primary.log,
+                config=primary.config,
+                embedder=primary.embedder,
+                upto=upto,
+                name=f"{name}-s{index}",
+            )
+            if store.epoch < self.queues[index].floor_epoch:
+                raise ValueError(
+                    f"checkpoint {store.epoch} for shard {index} is below the "
+                    f"queue floor {self.queues[index].floor_epoch}"
+                )
+            stores.append(store)
+        edge = EdgeReplica(name, stores)
+        self.edges[name] = edge
+        for index, store in enumerate(stores):
+            self.queues[index].register(name, store.epoch)
+        return edge
+
+    def adopt_edge(self, edge: EdgeReplica) -> None:
+        """Re-attach a recovered edge (e.g. reloaded from disk after a
+        crash): its applied vector becomes the reported watermarks.  The
+        queue keeps the higher of any previously reported watermark — a
+        recovered edge can only be at or behind what it acked."""
+        self.edges[edge.name] = edge
+        for index, store in enumerate(edge.stores):
+            if edge.name in self.queues[index].watermarks:
+                self.queues[index].ack(edge.name, store.epoch)
+            else:
+                self.queues[index].register(edge.name, store.epoch)
+
+    def remove_edge(self, name: str) -> None:
+        """Forget an edge (it stops holding queue truncation back)."""
+        self.edges.pop(name, None)
+
+    # ------------------------------------------------------------- draining
+
+    def drain(
+        self,
+        name: str,
+        shard_index: Optional[int] = None,
+        max_batches: Optional[int] = None,
+        apply: Optional[Callable[[int, int, Sequence[Mutation]], int]] = None,
+    ) -> int:
+        """Apply pending batches to one edge; returns batches applied.
+
+        Resumes from the edge's **applied** epoch (its durable watermark),
+        not the reported one — a lost ack can only cause a redundant
+        report, never a skipped or double-applied batch.  Each applied
+        batch is acked back to the queue immediately.
+
+        ``apply`` overrides the application step (the serving tier routes
+        it through each edge service so caches quiesce); it receives
+        ``(shard_index, epoch, batch)`` and must return the epoch the
+        edge's store landed on.  A landing epoch that disagrees with the
+        queued epoch raises :class:`ReplicaDivergedError`.
+        """
+        edge = self.edges[name]
+        applied = 0
+        shards = (
+            [shard_index] if shard_index is not None else range(len(self.queues))
+        )
+        for index in shards:
+            queue = self.queues[index]
+            store = edge.stores[index]
+            budget = max_batches
+            for epoch, batch in queue.pending_after(store.epoch, limit=budget):
+                if apply is not None:
+                    landed = apply(index, epoch, batch)
+                else:
+                    landed = store.apply(batch).epoch
+                if landed != epoch:
+                    raise ReplicaDivergedError(
+                        f"edge {name!r} shard {index} applied at epoch {landed}, "
+                        f"queue shipped epoch {epoch}"
+                    )
+                queue.ack(name, epoch)
+                applied += 1
+        return applied
+
+    def drain_all(self, max_batches: Optional[int] = None) -> int:
+        """Drain every edge fully (or ``max_batches`` per shard per edge)."""
+        return sum(
+            self.drain(name, max_batches=max_batches) for name in sorted(self.edges)
+        )
+
+    # ------------------------------------------------------------- accounting
+
+    def watermark_vector(self, name: str) -> Tuple[int, ...]:
+        """``name``'s *reported* per-shard watermarks (what the primary
+        knows — the routing tier's eligibility input)."""
+        return tuple(queue.watermark(name) for queue in self.queues)
+
+    def lag_vector(self, name: str) -> Tuple[int, ...]:
+        """Per-shard epochs the edge's reported watermark trails the primary."""
+        return tuple(
+            max(shard.epoch - queue.watermark(name), 0)
+            for shard, queue in zip(self.primary.shards, self.queues)
+        )
+
+    def depth(self, name: str) -> int:
+        """Total batches queued for ``name`` across every shard."""
+        return sum(queue.depth(name) for queue in self.queues)
+
+    def truncate(self) -> int:
+        """Garbage-collect fully-acknowledged batches across every queue."""
+        return sum(queue.truncate() for queue in self.queues)
+
+    # ------------------------------------------------------------- convergence
+
+    def converged(self, name: str) -> bool:
+        """Whether ``name`` has applied everything the primary has."""
+        edge = self.edges[name]
+        return edge.applied_vector == tuple(s.epoch for s in self.primary.shards)
+
+    def verify_converged(self, name: str, include_index: bool = False) -> List[str]:
+        """Prove one drained edge byte-identical to the primary per shard.
+
+        Returns the shared per-shard digests; raises
+        :class:`ReplicaDivergedError` on any epoch or digest mismatch —
+        with deterministic replay that can only mean a copy was mutated
+        outside the queue path.
+        """
+        edge = self.edges[name]
+        digests = []
+        for index, (primary, store) in enumerate(zip(self.primary.shards, edge.stores)):
+            if store.epoch != primary.epoch:
+                raise ReplicaDivergedError(
+                    f"edge {name!r} shard {index} at epoch {store.epoch}, "
+                    f"primary at {primary.epoch} (queue not drained?)"
+                )
+            ours = store.state_digest(include_index=include_index)
+            theirs = primary.state_digest(include_index=include_index)
+            if ours != theirs:
+                raise ReplicaDivergedError(
+                    f"edge {name!r} shard {index} digest diverged from primary"
+                )
+            digests.append(ours)
+        return digests
+
+    def close(self) -> None:
+        """Release every queue's durable file handle."""
+        for queue in self.queues:
+            queue.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeoReplicator(shards={len(self.queues)}, "
+            f"edges={sorted(self.edges)})"
+        )

@@ -198,11 +198,55 @@ class TestOperationsReferenceComplete:
                 "bench_hotpaths.py", "bench_service.py", "bench_store.py",
                 "bench_shards.py", "bench_replicas.py", "bench_chaos.py",
                 "bench_obs.py", "bench_slo.py", "bench_segment.py",
+                "bench_geo.py",
             }
         )
-        assert len(floors) == 9
+        assert len(floors) == 10
         for name in floors:
             assert name in text, f"docs/benchmarks.md misses {name}"
+
+
+class TestGeoTierDocsComplete:
+    """The geo-tier docs are the reference for the queue layout, the
+    watermark protocol, bootstrap, and the edge-lag response — linted
+    against the code so the protocol and its operator story stay
+    documented."""
+
+    def test_architecture_documents_the_geo_tier(self):
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+        assert "## Geo replication" in text
+        for needle in (
+            "OutboundQueue", "EdgeReplica", "GeoReplicator", "watermark",
+            "floor_epoch", "bootstrap", "staleness_bound_epochs",
+            "drain_batch_limit", "verify_converged", "read-your-writes",
+            "exactly-once",
+        ):
+            assert needle in text, f"architecture.md geo section misses {needle!r}"
+
+    def test_operations_has_the_edge_lag_runbook(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        assert "## Edge lag runbook" in text
+        for needle in (
+            "`router_geo_watermark_lag_epochs`", "`router_geo_queue_depth`",
+            "`replication-staleness`", "staleness_epochs", "kill_edge",
+            "queue_dir", "bench_geo.py",
+        ):
+            assert needle in text, f"edge-lag runbook misses {needle!r}"
+
+    def test_chaos_runbook_documents_geo_scenarios(self):
+        text = (REPO_ROOT / "docs" / "operations.md").read_text(encoding="utf-8")
+        for needle in (
+            "edge:i", "geo_converged", "edge_staleness_bound_epochs",
+            "--drain-seed", "--deterministic-csv",
+            "benchmarks/scenarios/geo.yaml",
+        ):
+            assert needle in text, f"chaos runbook misses geo needle {needle!r}"
+        geo = REPO_ROOT / "benchmarks" / "scenarios" / "geo.yaml"
+        assert geo.is_file(), "benchmarks/scenarios/geo.yaml is missing"
+        for line in ("name: geo", "edges: 2", "geo_converged: true"):
+            assert line in geo.read_text(encoding="utf-8"), (
+                f"geo.yaml lost pinned line {line!r}"
+            )
 
 
 class TestStorageEngineDocsComplete:

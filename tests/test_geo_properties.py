@@ -1,0 +1,276 @@
+"""Property-based geo-replication tests: convergence and session safety.
+
+The geo tier's contract, for *any* write schedule, batch sizing, edge
+count, bootstrap checkpoint, and drain interleaving:
+
+* once every queue drains, each edge's per-shard ``state_digest`` is
+  byte-identical to the primary's (deterministic replay makes convergence
+  provable, not probabilistic);
+* reported watermarks only advance, and draining never skips or
+  double-applies a batch — an edge's applied epochs march densely from
+  its bootstrap checkpoint to the primary's head;
+* through the serving tier, a session never observes an epoch vector
+  below its own last write, no matter how reads race the drain loops
+  (edge-served reads are gated on reported watermarks; everything else
+  falls back to the primary).
+
+Hypothesis drives the interleavings; failures shrink to a minimal
+schedule and replay exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Set
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kg import Triple
+from repro.retrieval.corpus import Document
+from repro.service import (
+    RequestOutcome,
+    ServiceConfig,
+    ServiceRequest,
+    ShardedValidationService,
+)
+from repro.store import GeoReplicator, Mutation, ShardedStore
+
+NUM_SHARDS = 2
+
+
+# ----------------------------------------------------------- history builder
+
+
+def _seed_triples(count: int, rng: random.Random) -> List[Triple]:
+    triples: Set[Triple] = set()
+    while len(triples) < count:
+        triples.add(
+            Triple(
+                f"entity{rng.randrange(20)}",
+                f"pred{rng.randrange(4)}",
+                f"entity{rng.randrange(20)}",
+            )
+        )
+    return sorted(triples)
+
+
+def _document(index: int, rng: random.Random) -> Document:
+    subject = rng.randrange(20)
+    return Document(
+        doc_id=f"geo-doc{index}",
+        url=f"https://corpus.example/geo{index}",
+        title=f"entity{subject} dossier",
+        text=f"entity{subject} links entity{rng.randrange(20)}; item {index}.",
+        source="corpus.example",
+    )
+
+
+def _random_batches(
+    rng: random.Random, count: int, live: Set[Triple]
+) -> List[List[Mutation]]:
+    """``count`` valid mutation batches over ``live`` (the store's triples)."""
+    next_doc = 0
+    batches: List[List[Mutation]] = []
+    for _ in range(count):
+        batch: List[Mutation] = []
+        for _ in range(rng.randrange(1, 5)):
+            roll = rng.random()
+            if roll < 0.5:
+                triple = Triple(
+                    f"entity{rng.randrange(20)}",
+                    f"pred{rng.randrange(4)}",
+                    f"entity{rng.randrange(20)}",
+                )
+                batch.append(Mutation(op="add_triple", triple=triple))
+                live.add(triple)
+            elif roll < 0.75 and live:
+                victim = rng.choice(sorted(live))
+                batch.append(Mutation(op="remove_triple", triple=victim))
+                live.discard(victim)
+            else:
+                batch.append(Mutation.add_document(_document(next_doc, rng)))
+                next_doc += 1
+        batches.append(batch)
+    return batches
+
+
+def _fresh_fleet(rng: random.Random):
+    triples = _seed_triples(30, rng)
+    documents = [_document(1000 + i, rng) for i in range(8)]
+    fleet = ShardedStore.partition(triples, documents, num_shards=NUM_SHARDS)
+    return fleet, set(triples)
+
+
+# ------------------------------------------------- store-level convergence
+
+
+class TestDrainInterleavingsConverge:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_any_interleaving_reaches_byte_identical_digests(self, data):
+        """Writes, partial drains (any edge, any shard order, any batch
+        budget), and late-joining edges interleave arbitrarily; after the
+        final full drain every edge proves digest parity per shard."""
+        rng = random.Random(data.draw(st.integers(0, 2**20), label="seed"))
+        primary, live = _fresh_fleet(rng)
+        geo = GeoReplicator(primary)
+        num_edges = data.draw(st.integers(1, 3), label="edges")
+        names = [f"edge-{i}" for i in range(num_edges)]
+        for name in names:
+            geo.add_edge(name)
+
+        late_joiner = data.draw(st.booleans(), label="late_joiner")
+        batches = _random_batches(
+            rng, data.draw(st.integers(1, 10), label="writes"), live
+        )
+        for index, batch in enumerate(batches):
+            primary.apply(batch)
+            if late_joiner and index == len(batches) // 2:
+                # A cold edge bootstrapping mid-history: snapshot replay up
+                # to the current epochs, queue replay for the rest.
+                names.append("edge-late")
+                geo.add_edge("edge-late")
+                late_joiner = False
+            # Arbitrary partial drains: hypothesis picks who catches up,
+            # how far, and on which shard.
+            for _ in range(data.draw(st.integers(0, 2), label="drains")):
+                name = data.draw(st.sampled_from(names), label="which")
+                shard = data.draw(
+                    st.one_of(st.none(), st.integers(0, NUM_SHARDS - 1)),
+                    label="shard",
+                )
+                geo.drain(
+                    name,
+                    shard_index=shard,
+                    max_batches=data.draw(st.integers(1, 3), label="budget"),
+                )
+
+        geo.drain_all()
+        expected = primary.state_digests(include_index=False)
+        for name in names:
+            assert geo.converged(name)
+            assert geo.verify_converged(name) == expected
+            assert geo.watermark_vector(name) == primary.epoch_vector
+            assert geo.depth(name) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_watermarks_advance_monotonically_without_skips_or_repeats(self, data):
+        """Reported watermark vectors never regress, and the total batches
+        each edge applies equals exactly the epochs between its bootstrap
+        checkpoint and the primary head — dense, no skip, no double-apply."""
+        rng = random.Random(data.draw(st.integers(0, 2**20), label="seed"))
+        primary, live = _fresh_fleet(rng)
+        geo = GeoReplicator(primary)
+        geo.add_edge("edge-0")
+        start = geo.watermark_vector("edge-0")
+
+        applied = 0
+        last: Dict[str, tuple] = {"edge-0": start}
+        for batch in _random_batches(
+            rng, data.draw(st.integers(1, 8), label="writes"), live
+        ):
+            primary.apply(batch)
+            if data.draw(st.booleans(), label="drain_now"):
+                applied += geo.drain(
+                    "edge-0", max_batches=data.draw(st.integers(1, 2), label="budget")
+                )
+            current = geo.watermark_vector("edge-0")
+            assert all(now >= before for now, before in zip(current, last["edge-0"]))
+            last["edge-0"] = current
+
+        applied += geo.drain("edge-0")
+        owed = sum(
+            head - begin for head, begin in zip(primary.epoch_vector, start)
+        )
+        assert applied == owed
+        assert geo.lag_vector("edge-0") == (0,) * NUM_SHARDS
+
+
+# --------------------------------------------- serving-tier session safety
+
+
+class TestSessionsThroughTheRouter:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_no_session_observes_a_vector_below_its_own_write(self, runner, data):
+        """Arbitrary per-session interleavings of writes and region-pinned
+        reads, racing two background drain loops (one deliberately
+        laggy): every completed read's epoch vector covers the session's
+        own landed writes component-wise, and every edge-served read
+        carries a vector at least the edge's reported watermark with its
+        visible staleness stamped."""
+        seed = data.draw(st.integers(0, 2**20), label="seed")
+        rng = random.Random(seed)
+        steps = data.draw(st.integers(4, 12), label="steps")
+        facts = list(runner.dataset("factbench"))[:8]
+        router = ShardedValidationService.from_runner(
+            runner,
+            NUM_SHARDS,
+            ServiceConfig(time_scale=0.001),
+            store=runner.sharded_store("factbench", NUM_SHARDS).replay_twin(),
+            replicas=1,
+            edges=2,
+            drain_interval_s=0.005,
+            edge_lag_s={"edge-1": 0.05},
+            drain_seed=seed,
+        )
+        sessions = ["alice", "bob"]
+        regions = {"alice": "edge-0", "bob": "edge-1"}
+        floors: Dict[str, Dict[int, int]] = {name: {} for name in sessions}
+
+        async def go():
+            violations: List[str] = []
+            async with router:
+                for step in range(steps):
+                    session = rng.choice(sessions)
+                    if rng.random() < 0.4:
+                        report = await router.apply_mutations(
+                            [
+                                Mutation.add_triple(
+                                    f"GeoEntity{rng.randrange(40)}",
+                                    "worksFor",
+                                    f"Org{step}",
+                                )
+                            ],
+                            session=session,
+                        )
+                        floor = floors[session]
+                        for shard, shard_report in report.shard_reports:
+                            floor[shard] = max(
+                                floor.get(shard, 0), shard_report.epoch
+                            )
+                    else:
+                        response = await router.submit(
+                            ServiceRequest(rng.choice(facts), "dka", "gemma2:9b"),
+                            session=session,
+                            region=regions[session],
+                        )
+                        if response.outcome is not RequestOutcome.COMPLETED:
+                            continue
+                        vector = response.epoch_vector
+                        for shard, epoch in floors[session].items():
+                            if vector[shard] < epoch:
+                                violations.append(
+                                    f"{session} step {step}: shard {shard} at "
+                                    f"{vector[shard]} below own write {epoch}"
+                                )
+                        if response.served_by not in (None, "primary"):
+                            assert response.staleness_epochs is not None
+                            watermark = router.watermark_vector(response.served_by)
+                            assert all(
+                                v >= w for v, w in zip(vector, watermark)
+                            ), "edge served below its reported watermark"
+                await router.drain_edges()
+                for name in router.live_edge_names:
+                    router.geo.verify_converged(name)
+            return violations
+
+        assert asyncio.run(go()) == []

@@ -361,3 +361,198 @@ class TestDrainAcrossShards:
             )
 
         asyncio.run(go())
+
+
+# ------------------------------------------------------------- geo tier faults
+
+
+class TestGeoTierFaults:
+    """The async geo tier under faults: crash-resume, partition, restart."""
+
+    def _fleet(self, seed: int = 3):
+        import random
+
+        from repro.kg import Triple
+
+        rng = random.Random(seed)
+        triples = sorted(
+            {
+                Triple(
+                    f"entity{rng.randrange(20)}",
+                    f"pred{rng.randrange(4)}",
+                    f"entity{rng.randrange(20)}",
+                )
+                for _ in range(30)
+            }
+        )
+        from repro.store import ShardedStore
+
+        return ShardedStore.partition(triples, [], num_shards=2)
+
+    def _write_batches(self, fleet, count: int):
+        from repro.store import Mutation
+
+        for index in range(count):
+            fleet.apply(
+                [Mutation.add_triple(f"GeoWrite{index}", "worksFor", f"Org{index}")]
+            )
+
+    def test_edge_crash_mid_drain_resumes_without_skip_or_double_apply(
+        self, tmp_path
+    ):
+        """An edge dying mid-drain (some batches applied, the rest not)
+        restarts from its *durable* watermark — its own store epochs — and
+        the resumed drain applies exactly the missing suffix: every queued
+        epoch lands exactly once, then digests prove convergence."""
+        from repro.store import EdgeReplica
+        from repro.store.geosync import GeoReplicator
+
+        fleet = self._fleet()
+        geo = GeoReplicator(fleet, queue_dir=str(tmp_path / "queues"))
+        geo.add_edge("edge-0")
+        self._write_batches(fleet, 6)
+
+        applied_epochs = {0: [], 1: []}
+        calls = 0
+
+        def crashy(shard_index, epoch, batch):
+            nonlocal calls
+            calls += 1
+            if calls > 2:
+                raise RuntimeError("edge crashed mid-drain")
+            landed = geo.edges["edge-0"].stores[shard_index].apply(batch).epoch
+            applied_epochs[shard_index].append(epoch)
+            return landed
+
+        with pytest.raises(RuntimeError, match="crashed mid-drain"):
+            geo.drain("edge-0", apply=crashy)
+        vector_at_crash = geo.edges["edge-0"].applied_vector
+        assert sum(len(v) for v in applied_epochs.values()) == 2
+
+        # The crash-restart: persist the edge, reload it, re-attach.  Its
+        # applied vector (the durable watermark) is exactly where it died.
+        geo.edges["edge-0"].save(str(tmp_path / "edge"))
+        restored = EdgeReplica.load("edge-0", str(tmp_path / "edge"), 2)
+        assert restored.applied_vector == vector_at_crash
+        geo.remove_edge("edge-0")
+        geo.adopt_edge(restored)
+
+        def recording(shard_index, epoch, batch):
+            landed = restored.stores[shard_index].apply(batch).epoch
+            applied_epochs[shard_index].append(epoch)
+            return landed
+
+        geo.drain("edge-0", apply=recording)
+        # Exactly-once per epoch per shard, densely up to the primary head.
+        for shard_index, primary in enumerate(fleet.shards):
+            begin = geo.queues[shard_index].floor_epoch
+            assert applied_epochs[shard_index] == list(
+                range(begin + 1, primary.epoch + 1)
+            )
+        assert geo.verify_converged("edge-0") == fleet.state_digests(
+            include_index=False
+        )
+
+    def test_primary_restart_preserves_queued_unshipped_batches(self, tmp_path):
+        """Queued-but-unshipped batches and reported watermarks survive a
+        primary restart: ``GeoReplicator.resume`` reloads the durable
+        queue files and a lagging edge drains to convergence against the
+        rebuilt primary."""
+        from repro.store import EdgeReplica
+        from repro.store.geosync import GeoReplicator
+
+        queue_dir = str(tmp_path / "queues")
+        fleet = self._fleet()
+        geo = GeoReplicator(fleet, queue_dir=queue_dir)
+        geo.add_edge("edge-0")
+        self._write_batches(fleet, 5)
+        pending_before = geo.depth("edge-0")
+        assert pending_before == 5  # nothing drained yet
+        watermark_before = geo.watermark_vector("edge-0")
+        geo.edges["edge-0"].save(str(tmp_path / "edge"))
+        geo.close()  # primary process dies
+
+        rebuilt = fleet.replay_twin()  # restart: state from the logs
+        resumed = GeoReplicator.resume(rebuilt, queue_dir)
+        restored = EdgeReplica.load("edge-0", str(tmp_path / "edge"), 2)
+        resumed.adopt_edge(restored)
+        assert resumed.watermark_vector("edge-0") == watermark_before
+        assert resumed.depth("edge-0") == pending_before
+        assert resumed.drain("edge-0") == pending_before
+        assert resumed.verify_converged("edge-0") == rebuilt.state_digests(
+            include_index=False
+        )
+
+    def test_partitioned_edge_serves_stale_stamped_reads_and_sessions_route_around(
+        self, fault_runner
+    ):
+        """A partitioned edge (drain loop stalled by an ``edge:{i}`` fault)
+        keeps serving reads — epoch-stamped with visible staleness — while
+        sessions whose writes it has not applied fall back to the primary
+        instead of reading below their own writes."""
+        from repro.chaos import FaultEvent, FaultInjector, FaultSchedule, FaultSpec
+        from repro.store import Mutation
+
+        router = ShardedValidationService.from_runner(
+            fault_runner,
+            2,
+            ServiceConfig(time_scale=0.001),
+            store=fault_runner.sharded_store("factbench", 2).replay_twin(),
+            edges=2,
+            drain_interval_s=0.005,
+        )
+        fact = fault_runner.dataset("factbench")[0]
+
+        async def go():
+            async with router:
+                injector = FaultInjector(
+                    FaultSchedule(
+                        [
+                            FaultEvent(
+                                at_s=0.0,
+                                target="edge:1",
+                                fault=FaultSpec.parse("stall:30"),
+                            )
+                        ]
+                    ),
+                    clock=router.clock,
+                )
+                router.set_fault_injection(injector)
+                injector.start()
+                frozen = router.watermark_vector("edge-1")
+                for index in range(4):
+                    await router.apply_mutations(
+                        [Mutation.add_triple(f"Partition{index}", "worksFor", "Org")],
+                        session="writer",
+                    )
+
+                # A session with no writes reads from the partitioned edge:
+                # answered locally, staleness visible, vector = edge state.
+                stale = await router.submit(
+                    ServiceRequest(fact, "dka", "gemma2:9b"),
+                    session="reader",
+                    region="edge-1",
+                )
+                # The writer's session floor is above the frozen watermark:
+                # the router routes around the edge to the primary.
+                fresh = await router.submit(
+                    ServiceRequest(fact, "dka", "gemma2:9b"),
+                    session="writer",
+                    region="edge-1",
+                )
+                fallbacks = router.metrics.session_fallbacks
+                return frozen, stale, fresh, fallbacks
+
+        frozen, stale, fresh, fallbacks = asyncio.run(go())
+        assert stale.outcome is RequestOutcome.COMPLETED
+        assert stale.served_by == "edge-1"
+        # Staleness is the *owning shard's* visible lag; the four writes
+        # hash across both shards, so each shard trails by at least one.
+        assert stale.staleness_epochs and stale.staleness_epochs >= 1
+        assert stale.epoch_vector == frozen  # stamped with the edge's state
+        assert fresh.outcome is RequestOutcome.COMPLETED
+        assert fresh.served_by == "primary"
+        assert all(
+            served >= floor for served, floor in zip(fresh.epoch_vector, frozen)
+        )
+        assert fallbacks >= 1
